@@ -1,0 +1,15 @@
+// The `ayd` binary: thin wrapper over ayd::tool::run_tool (which is a
+// library function so the test suite can drive every command end-to-end).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ayd/tool/tool.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return ayd::tool::run_tool(args, std::cout, std::cerr);
+}

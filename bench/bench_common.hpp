@@ -1,0 +1,72 @@
+// Helpers shared by the experiment binaries: formatting of simulation
+// summaries, uniform CSV dumping, and the standard main() wrapper that
+// turns CLI errors into readable messages.
+
+#pragma once
+
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ayd/cli/args.hpp"
+#include "ayd/cli/experiment.hpp"
+#include "ayd/io/csv.hpp"
+#include "ayd/io/table.hpp"
+#include "ayd/stats/summary.hpp"
+#include "ayd/util/strings.hpp"
+
+namespace ayd::bench {
+
+/// "0.1123 ±0.0004" — the simulated-mean cell used across all tables.
+inline std::string mean_ci_cell(const stats::Summary& s, int digits = 4) {
+  return util::format_sig(s.mean, digits) + " ±" +
+         util::format_sig(s.ci.half_width(), 2);
+}
+
+/// "—" placeholder used when a column does not apply (e.g. first-order
+/// solution in scenario 6).
+inline const char* kNoValue = "-";
+
+/// Runs an experiment body with uniform option parsing / error handling.
+/// `setup` may add extra options before parsing. Returns process exit code.
+inline int run_experiment_main(
+    int argc, char** argv, const std::string& title,
+    const std::string& description,
+    const std::function<void(cli::ArgParser&)>& setup,
+    const std::function<void(const cli::ArgParser&,
+                             const cli::ExperimentContext&)>& body) {
+  try {
+    cli::ArgParser parser(argv[0] != nullptr ? argv[0] : "bench",
+                          description);
+    cli::add_experiment_options(parser);
+    if (setup) setup(parser);
+    parser.parse(argc, argv);
+    if (parser.help_requested()) {
+      std::fputs(parser.help().c_str(), stdout);
+      return 0;
+    }
+    const cli::ExperimentContext ctx = cli::read_experiment_context(parser);
+    cli::print_experiment_header(title, ctx);
+    body(parser, ctx);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+/// Writes rows to ctx.csv_path when set (header first), else does nothing.
+inline void maybe_write_csv(const cli::ExperimentContext& ctx,
+                            const std::vector<std::string>& header,
+                            const std::vector<std::vector<std::string>>& rows) {
+  if (ctx.csv_path.empty()) return;
+  std::vector<std::vector<std::string>> all;
+  all.push_back(header);
+  all.insert(all.end(), rows.begin(), rows.end());
+  io::write_csv_file(ctx.csv_path, all);
+  std::printf("(series written to %s)\n", ctx.csv_path.c_str());
+}
+
+}  // namespace ayd::bench

@@ -1,0 +1,98 @@
+// Reproduces Figure 2: optimal pattern parameters and execution overhead
+// in the six resilience scenarios on all four platforms (α = 0.1,
+// D = 1 h). For each (platform, scenario) the harness prints:
+//   * the first-order solution (Theorems 2/3; absent in scenario 6),
+//   * the numerically optimal solution,
+//   * the simulated execution overhead of both patterns (with 95% CIs),
+//   * the first-order and numerical overhead predictions.
+// The paper's headline observation — first-order ≈ optimal in scenarios
+// 1-4, degraded accuracy in scenario 5, no first-order solution in
+// scenario 6 — is directly visible in the rows.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+#include "ayd/core/first_order.hpp"
+#include "ayd/core/optimizer.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/sim/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ayd;
+  return bench::run_experiment_main(
+      argc, argv,
+      "Figure 2 — optimal patterns per scenario on four platforms",
+      "first-order vs numerically optimal P*, T*, overhead + simulation",
+      [](cli::ArgParser& p) {
+        p.add_option("alpha", "0.1", "sequential fraction of the job");
+        p.add_option("downtime", "3600", "downtime D in seconds");
+      },
+      [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
+        const double alpha = args.option_double("alpha");
+        const double downtime = args.option_double("downtime");
+        auto pool = ctx.make_pool();
+        std::vector<std::vector<std::string>> csv_rows;
+
+        for (const auto& platform : model::all_platforms()) {
+          std::printf("== %s (alpha=%s, D=%ss) ==\n", platform.name.c_str(),
+                      util::format_sig(alpha).c_str(),
+                      util::format_sig(downtime).c_str());
+          io::Table table({"Scn", "P* (FO)", "T* (FO)", "H pred (FO)",
+                           "H sim (FO)", "P* (opt)", "T* (opt)",
+                           "H pred (opt)", "H sim (opt)"});
+          for (const auto scenario : model::all_scenarios()) {
+            const model::System sys = model::System::from_platform(
+                platform, scenario, alpha, downtime);
+
+            // Numerical optimum (the paper's "Optimal").
+            core::AllocationSearchOptions aopt;
+            aopt.max_procs = 1e8;
+            const core::AllocationOptimum opt =
+                core::optimal_allocation(sys, aopt);
+            const sim::ReplicationResult sim_opt = sim::simulate_overhead(
+                sys, {opt.period, opt.procs}, ctx.replication(), pool.get());
+
+            // First-order closed form (the paper's "First-order").
+            const core::FirstOrderSolution fo = core::solve_first_order(sys);
+            std::vector<std::string> row{model::scenario_name(scenario)};
+            std::string fo_p = bench::kNoValue, fo_t = bench::kNoValue,
+                        fo_h = bench::kNoValue, fo_sim = bench::kNoValue;
+            if (fo.has_optimum) {
+              const double procs = std::max(1.0, std::round(fo.procs));
+              const sim::ReplicationResult sim_fo = sim::simulate_overhead(
+                  sys, {fo.period, procs}, ctx.replication(), pool.get());
+              fo_p = util::format_sig(procs, 4);
+              fo_t = util::format_sig(fo.period, 4);
+              fo_h = util::format_sig(fo.overhead, 4);
+              fo_sim = bench::mean_ci_cell(sim_fo.overhead);
+            }
+            row.insert(row.end(),
+                       {fo_p, fo_t, fo_h, fo_sim,
+                        util::format_sig(opt.procs, 4),
+                        util::format_sig(opt.period, 4),
+                        util::format_sig(opt.overhead, 4),
+                        bench::mean_ci_cell(sim_opt.overhead)});
+            table.add_row(row);
+            csv_rows.push_back(
+                {platform.name, model::scenario_name(scenario), fo_p, fo_t,
+                 fo_h, util::format_sig(opt.procs, 6),
+                 util::format_sig(opt.period, 6),
+                 util::format_sig(opt.overhead, 6),
+                 util::format_sig(sim_opt.overhead.mean, 6)});
+          }
+          std::printf("%s\n", table.to_string().c_str());
+        }
+        std::printf(
+            "Expected shape (paper): FO ≈ optimal in scenarios 1-4; "
+            "scenario 5 FO slightly off (small constant cost); scenario 6 "
+            "numerical only, with the largest P* and smallest T*.\n");
+        bench::maybe_write_csv(
+            ctx,
+            {"platform", "scenario", "fo_procs", "fo_period", "fo_overhead",
+             "opt_procs", "opt_period", "opt_overhead", "sim_overhead"},
+            csv_rows);
+      });
+}

@@ -1,0 +1,83 @@
+// Reproduces Figure 4 (platform Hera): impact of the sequential fraction α
+// on the optimal pattern, scenarios 1/3/5.
+//   (a) optimal processor count P* — first-order and numerical;
+//   (b) optimal checkpointing period T*;
+//   (c) simulated execution overhead at the numerical optimum.
+// Expected shape: smaller α → more processors and lower overhead; T* is
+// α-independent in scenario 1; at α = 0 only the numerical solution
+// exists and P* stays bounded (no infinite parallelism under failures).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+#include "ayd/core/first_order.hpp"
+#include "ayd/core/optimizer.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/sim/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ayd;
+  return bench::run_experiment_main(
+      argc, argv, "Figure 4 — impact of the sequential fraction (Hera)",
+      "P*, T*, simulated overhead vs alpha for scenarios 1, 3, 5",
+      [](cli::ArgParser& p) {
+        p.add_option("platform", "hera", "platform preset to sweep");
+        p.add_option("p-max", "1e8", "processor-count search cap");
+      },
+      [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
+        const model::Platform platform =
+            model::platform_by_name(args.option("platform"));
+        const double p_max = args.option_double("p-max");
+        auto pool = ctx.make_pool();
+        const std::vector<double> alphas{0.0, 1e-4, 1e-3, 1e-2, 1e-1};
+        const std::vector<model::Scenario> scenarios{
+            model::Scenario::kS1, model::Scenario::kS3, model::Scenario::kS5};
+        std::vector<std::vector<std::string>> csv_rows;
+
+        for (const auto scenario : scenarios) {
+          std::printf("== scenario %s (%s) ==\n",
+                      model::scenario_name(scenario).c_str(),
+                      model::scenario_description(scenario).c_str());
+          io::Table table({"alpha", "P* (FO)", "T* (FO)", "P* (opt)",
+                           "T* (opt)", "H pred (opt)", "H sim (opt)"});
+          for (const double alpha : alphas) {
+            const model::System sys =
+                model::System::from_platform(platform, scenario, alpha);
+            core::AllocationSearchOptions aopt;
+            aopt.max_procs = p_max;
+            const core::AllocationOptimum opt =
+                core::optimal_allocation(sys, aopt);
+            const sim::ReplicationResult sim = sim::simulate_overhead(
+                sys, {opt.period, opt.procs}, ctx.replication(), pool.get());
+            const core::FirstOrderSolution fo = core::solve_first_order(sys);
+            std::string fo_p = bench::kNoValue, fo_t = bench::kNoValue;
+            if (fo.has_optimum) {
+              fo_p = util::format_sig(std::max(1.0, fo.procs), 4);
+              fo_t = util::format_sig(fo.period, 4);
+            }
+            table.add_row({util::format_sig(alpha, 4), fo_p, fo_t,
+                           util::format_sig(opt.procs, 4),
+                           util::format_sig(opt.period, 4),
+                           util::format_sig(opt.overhead, 4),
+                           bench::mean_ci_cell(sim.overhead, 4)});
+            csv_rows.push_back({model::scenario_name(scenario),
+                                util::format_sig(alpha, 6), fo_p, fo_t,
+                                util::format_sig(opt.procs, 6),
+                                util::format_sig(opt.period, 6),
+                                util::format_sig(sim.overhead.mean, 6)});
+          }
+          std::printf("%s\n", table.to_string().c_str());
+        }
+        std::printf(
+            "Expected shape (paper): P* grows and overhead falls as alpha "
+            "shrinks; T* barely moves in scenario 1; alpha=0 has no "
+            "first-order solution yet a bounded numerical optimum.\n");
+        bench::maybe_write_csv(ctx,
+                               {"scenario", "alpha", "fo_procs", "fo_period",
+                                "opt_procs", "opt_period", "sim_overhead"},
+                               csv_rows);
+      });
+}

@@ -1,0 +1,99 @@
+// Reproduces Figure 5 (platform Hera, α = 0.1): asymptotic behaviour of
+// the optimal pattern as the individual error rate λ_ind decreases.
+// The paper's headline: P* = Θ(λ^{-1/4}), T* = Θ(λ^{-1/2}) under a linear
+// checkpoint cost (scenario 1), and P*, T* = Θ(λ^{-1/3}) under constant
+// cost (scenarios 3 and 5). The harness prints the sweep and the fitted
+// log-log slopes next to the theoretical exponents.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+#include "ayd/core/first_order.hpp"
+#include "ayd/core/optimizer.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/sim/runner.hpp"
+#include "ayd/stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ayd;
+  return bench::run_experiment_main(
+      argc, argv, "Figure 5 — impact of the error rate (Hera, alpha=0.1)",
+      "P*, T*, overhead vs lambda_ind; fitted log-log slopes vs theory",
+      [](cli::ArgParser& p) {
+        p.add_option("platform", "hera", "platform preset to sweep");
+        p.add_option("alpha", "0.1", "sequential fraction");
+      },
+      [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
+        const model::Platform platform =
+            model::platform_by_name(args.option("platform"));
+        const double alpha = args.option_double("alpha");
+        auto pool = ctx.make_pool();
+        const std::vector<double> lambdas{1e-12, 1e-11, 1e-10, 1e-9, 1e-8};
+        const std::vector<model::Scenario> scenarios{
+            model::Scenario::kS1, model::Scenario::kS3, model::Scenario::kS5};
+        std::vector<std::vector<std::string>> csv_rows;
+
+        for (const auto scenario : scenarios) {
+          const model::System base =
+              model::System::from_platform(platform, scenario, alpha);
+          const auto orders = core::asymptotic_orders(
+              model::classify(base.costs()).first_order_case);
+          std::printf("== scenario %s (%s) ==\n",
+                      model::scenario_name(scenario).c_str(),
+                      model::scenario_description(scenario).c_str());
+          io::Table table({"lambda", "P* (FO)", "P* (opt)", "T* (FO)",
+                           "T* (opt)", "H pred (FO)", "H sim (opt)"});
+          std::vector<double> log_l, log_p, log_t;
+          for (const double lambda : lambdas) {
+            const model::System sys = base.with_lambda(lambda);
+            core::AllocationSearchOptions aopt;
+            aopt.max_procs = 1e10;
+            const core::AllocationOptimum opt =
+                core::optimal_allocation(sys, aopt);
+            const core::FirstOrderSolution fo = core::solve_first_order(sys);
+            const sim::ReplicationResult sim = sim::simulate_overhead(
+                sys, {opt.period, opt.procs}, ctx.replication(), pool.get());
+            table.add_row(
+                {util::format_sig(lambda, 3),
+                 fo.has_optimum ? util::format_sig(fo.procs, 4)
+                                : std::string(bench::kNoValue),
+                 util::format_sig(opt.procs, 4),
+                 fo.has_optimum ? util::format_sig(fo.period, 4)
+                                : std::string(bench::kNoValue),
+                 util::format_sig(opt.period, 4),
+                 fo.has_optimum ? util::format_sig(fo.overhead, 4)
+                                : std::string(bench::kNoValue),
+                 bench::mean_ci_cell(sim.overhead, 4)});
+            log_l.push_back(std::log10(lambda));
+            log_p.push_back(std::log10(opt.procs));
+            log_t.push_back(std::log10(opt.period));
+            csv_rows.push_back({model::scenario_name(scenario),
+                                util::format_sig(lambda, 6),
+                                util::format_sig(opt.procs, 6),
+                                util::format_sig(opt.period, 6),
+                                util::format_sig(sim.overhead.mean, 6)});
+          }
+          std::printf("%s", table.to_string().c_str());
+          const auto p_fit = stats::linear_fit(log_l, log_p);
+          const auto t_fit = stats::linear_fit(log_l, log_t);
+          std::printf(
+              "fitted slopes (numerical optimum): P* ~ lambda^%s (theory "
+              "%s), T* ~ lambda^%s (theory %s)\n\n",
+              util::format_sig(p_fit.slope, 3).c_str(),
+              util::format_sig(orders.p_exponent, 3).c_str(),
+              util::format_sig(t_fit.slope, 3).c_str(),
+              util::format_sig(orders.t_exponent, 3).c_str());
+        }
+        std::printf(
+            "Expected shape (paper): scenario 1 slopes -1/4 and -1/2; "
+            "scenarios 3 and 5 slopes -1/3 and -1/3; overhead tends to "
+            "alpha as lambda -> 0.\n");
+        bench::maybe_write_csv(ctx,
+                               {"scenario", "lambda", "opt_procs",
+                                "opt_period", "sim_overhead"},
+                               csv_rows);
+      });
+}

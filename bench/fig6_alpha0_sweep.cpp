@@ -1,0 +1,93 @@
+// Reproduces Figure 6 (platform Hera, α = 0): the perfectly parallel job,
+// where no first-order optimum exists and everything is numerical.
+// Expected asymptotics (paper, Section IV-B4): under scenario 1,
+// P* ≈ Θ(λ^{-1/2}), T* ≈ Θ(λ^{-1/2}), H* ≈ Θ(λ^{1/2}); under scenarios
+// 3 and 5, P* ≈ Θ(λ^{-1}), T* ≈ O(1), H* ≈ Θ(λ).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+#include "ayd/core/first_order.hpp"
+#include "ayd/core/optimizer.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/sim/runner.hpp"
+#include "ayd/stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ayd;
+  return bench::run_experiment_main(
+      argc, argv, "Figure 6 — perfectly parallel job (Hera, alpha=0)",
+      "numerical P*, T*, overhead vs lambda_ind with alpha = 0",
+      [](cli::ArgParser& p) {
+        p.add_option("platform", "hera", "platform preset to sweep");
+        p.add_option("p-max", "1e13", "processor-count search cap");
+      },
+      [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
+        const model::Platform platform =
+            model::platform_by_name(args.option("platform"));
+        const double p_max = args.option_double("p-max");
+        auto pool = ctx.make_pool();
+        const std::vector<double> lambdas{1e-12, 1e-11, 1e-10, 1e-9, 1e-8};
+        const std::vector<model::Scenario> scenarios{
+            model::Scenario::kS1, model::Scenario::kS3, model::Scenario::kS5};
+        std::vector<std::vector<std::string>> csv_rows;
+
+        for (const auto scenario : scenarios) {
+          const model::System base = model::System::from_platform(
+              platform, scenario, /*alpha=*/0.0);
+          const auto orders = core::asymptotic_orders_alpha0(
+              model::classify(base.costs()).first_order_case);
+          std::printf("== scenario %s (%s), alpha = 0 ==\n",
+                      model::scenario_name(scenario).c_str(),
+                      model::scenario_description(scenario).c_str());
+          io::Table table({"lambda", "P* (opt)", "T* (opt)", "H pred (opt)",
+                           "H sim (opt)"});
+          std::vector<double> log_l, log_p, log_h;
+          for (const double lambda : lambdas) {
+            const model::System sys = base.with_lambda(lambda);
+            core::AllocationSearchOptions aopt;
+            aopt.max_procs = p_max;
+            const core::AllocationOptimum opt =
+                core::optimal_allocation(sys, aopt);
+            const sim::ReplicationResult sim = sim::simulate_overhead(
+                sys, {opt.period, opt.procs}, ctx.replication(), pool.get());
+            table.add_row({util::format_sig(lambda, 3),
+                           util::format_sig(opt.procs, 4),
+                           util::format_sig(opt.period, 4),
+                           util::format_sig(opt.overhead, 4),
+                           bench::mean_ci_cell(sim.overhead, 4)});
+            log_l.push_back(std::log10(lambda));
+            log_p.push_back(std::log10(opt.procs));
+            log_h.push_back(std::log10(opt.overhead));
+            csv_rows.push_back({model::scenario_name(scenario),
+                                util::format_sig(lambda, 6),
+                                util::format_sig(opt.procs, 6),
+                                util::format_sig(opt.period, 6),
+                                util::format_sig(opt.overhead, 6),
+                                util::format_sig(sim.overhead.mean, 6)});
+          }
+          std::printf("%s", table.to_string().c_str());
+          const auto p_fit = stats::linear_fit(log_l, log_p);
+          const auto h_fit = stats::linear_fit(log_l, log_h);
+          std::printf(
+              "fitted slopes: P* ~ lambda^%s (paper ~%s), H* ~ lambda^%s "
+              "(paper ~%s)\n\n",
+              util::format_sig(p_fit.slope, 3).c_str(),
+              util::format_sig(orders.p_exponent, 3).c_str(),
+              util::format_sig(h_fit.slope, 3).c_str(),
+              util::format_sig(orders.h_exponent, 3).c_str());
+        }
+        std::printf(
+            "Expected shape (paper): scenario 1 P* ~ lambda^{-1/2}, "
+            "H ~ lambda^{1/2}; scenarios 3/5 P* ~ lambda^{-1}, T* ~ O(1), "
+            "H ~ lambda.\n");
+        bench::maybe_write_csv(ctx,
+                               {"scenario", "lambda", "opt_procs",
+                                "opt_period", "opt_overhead",
+                                "sim_overhead"},
+                               csv_rows);
+      });
+}

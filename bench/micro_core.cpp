@@ -1,0 +1,109 @@
+// Google-benchmark microbenchmarks for the analytic core: formula
+// evaluation and optimiser latency. These guard the costs that the sweep
+// harnesses (Figures 2-7) pay thousands of times.
+
+#include <benchmark/benchmark.h>
+
+#include "ayd/core/baselines.hpp"
+#include "ayd/core/expected_time.hpp"
+#include "ayd/core/first_order.hpp"
+#include "ayd/core/optimizer.hpp"
+#include "ayd/core/overhead.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+
+namespace {
+
+using ayd::core::Pattern;
+using ayd::model::Scenario;
+using ayd::model::System;
+
+const System& hera_s1() {
+  static const System sys =
+      System::from_platform(ayd::model::hera(), Scenario::kS1);
+  return sys;
+}
+
+void BM_ExpectedPatternTime(benchmark::State& state) {
+  const System& sys = hera_s1();
+  const Pattern pattern{3000.0, 512.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ayd::core::expected_pattern_time(sys, pattern));
+  }
+}
+BENCHMARK(BM_ExpectedPatternTime);
+
+void BM_ExpectedPatternTimeDirect(benchmark::State& state) {
+  const System& sys = hera_s1();
+  const Pattern pattern{3000.0, 512.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ayd::core::expected_pattern_time_direct(sys, pattern));
+  }
+}
+BENCHMARK(BM_ExpectedPatternTimeDirect);
+
+void BM_LogExpectedPatternTime(benchmark::State& state) {
+  const System& sys = hera_s1();
+  const Pattern pattern{3000.0, 512.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ayd::core::log_expected_pattern_time(sys, pattern));
+  }
+}
+BENCHMARK(BM_LogExpectedPatternTime);
+
+void BM_LogExpectedPatternTimeOverflowRegime(benchmark::State& state) {
+  const System& sys = hera_s1();
+  const Pattern pattern{1e6, 1e12};  // exercises the log-space branch
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ayd::core::log_expected_pattern_time(sys, pattern));
+  }
+}
+BENCHMARK(BM_LogExpectedPatternTimeOverflowRegime);
+
+void BM_PatternOverhead(benchmark::State& state) {
+  const System& sys = hera_s1();
+  const Pattern pattern{3000.0, 512.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ayd::core::pattern_overhead(sys, pattern));
+  }
+}
+BENCHMARK(BM_PatternOverhead);
+
+void BM_SolveFirstOrder(benchmark::State& state) {
+  const System& sys = hera_s1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ayd::core::solve_first_order(sys));
+  }
+}
+BENCHMARK(BM_SolveFirstOrder);
+
+void BM_OptimalPeriod(benchmark::State& state) {
+  const System& sys = hera_s1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ayd::core::optimal_period(sys, 512.0));
+  }
+}
+BENCHMARK(BM_OptimalPeriod);
+
+void BM_OptimalAllocation(benchmark::State& state) {
+  const System& sys = hera_s1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ayd::core::optimal_allocation(sys));
+  }
+}
+BENCHMARK(BM_OptimalAllocation);
+
+void BM_JinRelaxation(benchmark::State& state) {
+  const System& sys = hera_s1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ayd::core::jin_relaxation(sys));
+  }
+}
+BENCHMARK(BM_JinRelaxation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Google-benchmark microbenchmarks for the simulation stack: RNG, event
+// queue, and per-pattern throughput of both protocol back-ends.
+
+#include <benchmark/benchmark.h>
+
+#include "ayd/core/first_order.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/rng/stream.hpp"
+#include "ayd/sim/event_queue.hpp"
+#include "ayd/sim/protocol.hpp"
+#include "ayd/sim/runner.hpp"
+
+namespace {
+
+using ayd::core::Pattern;
+using ayd::model::Scenario;
+using ayd::model::System;
+
+const System& hera_s1() {
+  static const System sys =
+      System::from_platform(ayd::model::hera(), Scenario::kS1);
+  return sys;
+}
+
+Pattern hera_pattern() {
+  return {ayd::core::optimal_period_first_order(hera_s1(), 512.0), 512.0};
+}
+
+void BM_RngNextU64(benchmark::State& state) {
+  ayd::rng::RngStream rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngExponential(benchmark::State& state) {
+  ayd::rng::RngStream rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_exponential(1e-5));
+  }
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  ayd::sim::EventQueue q;
+  ayd::rng::RngStream rng(7);
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) {
+      (void)q.push(rng.next_uniform01() * 1e6,
+                   ayd::sim::EventType::kPhaseEnd);
+    }
+    for (int i = 0; i < 16; ++i) benchmark::DoNotOptimize(q.pop());
+  }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_FastPattern(benchmark::State& state) {
+  ayd::sim::FastProtocolSimulator simulator(hera_s1(), hera_pattern());
+  ayd::rng::RngStream rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.simulate_pattern(rng));
+  }
+}
+BENCHMARK(BM_FastPattern);
+
+void BM_DesPattern(benchmark::State& state) {
+  ayd::sim::DesProtocolSimulator simulator(hera_s1(), hera_pattern());
+  ayd::rng::RngStream rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.simulate_pattern(rng));
+  }
+}
+BENCHMARK(BM_DesPattern);
+
+void BM_ReplicatedOverheadEstimate(benchmark::State& state) {
+  ayd::sim::ReplicationOptions opt;
+  opt.replicas = 8;
+  opt.patterns_per_replica = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ayd::sim::simulate_overhead(hera_s1(), hera_pattern(), opt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8 *
+                          32);
+}
+BENCHMARK(BM_ReplicatedOverheadEstimate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Capacity planning: "how many nodes should I ask for, and what will my
+// job actually cost?"
+//
+// A 30-day (sequential-equivalent) scientific application with a 5%
+// sequential fraction is to run on Coastal. The operator can provision
+// either stable-storage checkpointing (scenario 3) or in-memory
+// checkpointing (scenario 5). For a range of allocation sizes this
+// example prints the expected makespan, the node-hours consumed, and the
+// optimal operating point for each protocol — the table a capacity
+// planner would actually look at.
+//
+// Build & run:  ./examples/capacity_planning
+
+#include <cmath>
+#include <cstdio>
+
+#include "ayd/core/first_order.hpp"
+#include "ayd/core/optimizer.hpp"
+#include "ayd/core/overhead.hpp"
+#include "ayd/io/table.hpp"
+#include "ayd/model/application.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/util/strings.hpp"
+#include "ayd/util/units.hpp"
+
+namespace {
+
+void plan(const ayd::model::System& sys, const char* label,
+          const ayd::model::Application& app) {
+  using namespace ayd;
+  std::printf("--- protocol: %s ---\n", label);
+  io::Table table({"P", "T* (per ckpt)", "overhead", "makespan",
+                   "node-hours", "vs error-free"});
+  const core::AllocationOptimum best = core::optimal_allocation(sys);
+  for (double p : {256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0,
+                   best.procs}) {
+    p = std::round(p);
+    const core::PeriodOptimum period = core::optimal_period(sys, p);
+    const core::Pattern pattern{period.period, p};
+    const double makespan = core::expected_makespan(sys, pattern, app);
+    const double error_free =
+        model::error_free_makespan(app, sys.error_free_overhead(p));
+    const double node_hours = util::to_hours(makespan) * p;
+    const bool is_best = p == std::round(best.procs);
+    table.add_row({util::format_sig(p, 5) + (is_best ? "*" : ""),
+                   util::format_duration(period.period),
+                   util::format_sig(period.overhead, 4),
+                   util::format_duration(makespan),
+                   util::format_si(node_hours, 4),
+                   util::format_sig(makespan / error_free, 4) + "x"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("(* = overhead-optimal allocation; node-hours keep growing "
+              "with P, so a cost-aware planner may stop earlier)\n\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace ayd;
+  const model::Platform platform = model::coastal();
+  const model::Application app{"climate-ensemble",
+                               /*total_work=*/30.0 * util::kSecondsPerDay,
+                               /*memory_gib=*/4096.0};
+  std::printf("capacity planning on %s for '%s' (W_total = 30 days "
+              "sequential, alpha = 0.05, D = 1h)\n\n",
+              platform.name.c_str(), app.name.c_str());
+
+  const double alpha = 0.05;
+  plan(model::System::from_platform(platform, model::Scenario::kS3, alpha),
+       "stable storage (scenario 3: C = a, V = v)", app);
+  plan(model::System::from_platform(platform, model::Scenario::kS5, alpha),
+       "in-memory (scenario 5: C = b/P, V = v)", app);
+
+  std::printf("Reading the tables: in-memory checkpointing shifts the "
+              "optimal allocation higher (its cost shrinks with P) and "
+              "lowers the makespan floor — Theorem 3's P* = Θ(λ^{-1/3}) "
+              "with a smaller d.\n");
+  return 0;
+}

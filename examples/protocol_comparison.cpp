@@ -1,0 +1,96 @@
+// Protocol comparison: which resilience configuration wins on a given
+// machine?
+//
+// For one platform this example ranks all six Table-III scenarios by the
+// execution overhead achievable at their respective optimal patterns —
+// predicted by the analysis and confirmed by simulation — and prints the
+// efficiency loss of running each protocol at the *measured* processor
+// count instead of its optimum.
+//
+// Build & run:  ./examples/protocol_comparison [--platform=atlas]
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "ayd/cli/args.hpp"
+#include "ayd/core/optimizer.hpp"
+#include "ayd/core/overhead.hpp"
+#include "ayd/io/table.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/sim/runner.hpp"
+#include "ayd/util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ayd;
+  try {
+    cli::ArgParser parser("protocol_comparison",
+                          "rank resilience scenarios on one platform");
+    parser.add_option("platform", "hera", "Hera, Atlas, Coastal, Coastal SSD");
+    parser.parse(argc, argv);
+    if (parser.help_requested()) {
+      std::fputs(parser.help().c_str(), stdout);
+      return 0;
+    }
+    const model::Platform platform =
+        model::platform_by_name(parser.option("platform"));
+
+    struct Row {
+      model::Scenario scenario;
+      core::AllocationOptimum opt;
+      double sim_overhead;
+      double overhead_at_measured;
+    };
+    std::vector<Row> rows;
+    sim::ReplicationOptions sim_opt;
+    sim_opt.replicas = 100;
+    sim_opt.patterns_per_replica = 100;
+
+    for (const auto scenario : model::all_scenarios()) {
+      const model::System sys =
+          model::System::from_platform(platform, scenario);
+      core::AllocationSearchOptions aopt;
+      aopt.max_procs = 1e8;
+      Row row{scenario, core::optimal_allocation(sys, aopt), 0.0, 0.0};
+      row.sim_overhead =
+          sim::simulate_overhead(sys, {row.opt.period, row.opt.procs},
+                                 sim_opt)
+              .overhead.mean;
+      row.overhead_at_measured =
+          core::optimal_period(sys, platform.measured_procs).overhead;
+      rows.push_back(row);
+    }
+    std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+      return a.opt.overhead < b.opt.overhead;
+    });
+
+    std::printf("resilience protocol ranking on %s (alpha = 0.1, D = 1h)\n\n",
+                platform.name.c_str());
+    io::Table table({"rank", "scenario", "form", "P*", "T*", "H pred",
+                     "H sim", "H @ measured P"});
+    table.set_align(2, io::Align::kLeft);
+    int rank = 1;
+    for (const Row& row : rows) {
+      table.add_row({std::to_string(rank++),
+                     model::scenario_name(row.scenario),
+                     model::scenario_description(row.scenario),
+                     util::format_sig(row.opt.procs, 4),
+                     util::format_duration(row.opt.period),
+                     util::format_sig(row.opt.overhead, 4),
+                     util::format_sig(row.sim_overhead, 4),
+                     util::format_sig(row.overhead_at_measured, 4)});
+    }
+    std::printf("%s", table.to_string().c_str());
+    std::printf(
+        "\nScenarios whose resilience cost shrinks with P (5, 6) tolerate "
+        "far more parallelism; stable-storage protocols (1-4) pay for "
+        "coordination. The last column shows what each protocol costs at "
+        "the platform's as-measured allocation of %.0f processors.\n",
+        platform.measured_procs);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

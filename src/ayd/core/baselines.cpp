@@ -1,0 +1,74 @@
+#include "ayd/core/baselines.hpp"
+
+#include <cmath>
+
+#include "ayd/core/first_order.hpp"
+#include "ayd/core/overhead.hpp"
+#include "ayd/math/minimize.hpp"
+#include "ayd/math/special.hpp"
+#include "ayd/util/contracts.hpp"
+
+namespace ayd::core {
+
+model::System fail_stop_only_system(const model::System& sys) {
+  const model::FailureModel& fm = sys.failure();
+  const model::FailureModel fail_stop_only(
+      fm.lambda_ind() * fm.fail_stop_fraction(), 1.0);
+  return model::System(fail_stop_only, sys.costs(), sys.downtime(),
+                       sys.speedup_model());
+}
+
+double silent_blind_period(const model::System& sys, double procs) {
+  return optimal_period_first_order(fail_stop_only_system(sys), procs);
+}
+
+JinRelaxationResult jin_relaxation(const model::System& sys,
+                                   const JinRelaxationOptions& opt) {
+  AYD_REQUIRE(opt.initial_procs >= opt.min_procs &&
+                  opt.initial_procs <= opt.max_procs,
+              "initial processor count outside search domain");
+  AYD_REQUIRE(opt.max_rounds >= 1, "need at least one relaxation round");
+
+  JinRelaxationResult out;
+  double p = opt.initial_procs;
+  double t = optimal_period(sys, p, opt.period).period;
+
+  const double lo = std::log(opt.min_procs);
+  const double hi = std::log(opt.max_procs);
+  math::MinimizeOptions mopt;
+  mopt.x_tol = opt.tolerance;
+
+  for (int round = 1; round <= opt.max_rounds; ++round) {
+    out.rounds = round;
+    // T-step: optimal period for the current allocation.
+    const PeriodOptimum t_step = optimal_period(sys, p, opt.period);
+    const double t_new = t_step.period;
+
+    // P-step: optimal allocation for the *fixed* period t_new.
+    const auto objective = [&](double log_p) {
+      return log_pattern_overhead(sys, Pattern{t_new, std::exp(log_p)});
+    };
+    const math::MinimizeResult p_step = math::minimize_with_hint(
+        objective, lo, hi, std::log(std::clamp(p, opt.min_procs,
+                                               opt.max_procs)),
+        mopt);
+    const double p_new = std::exp(p_step.x);
+
+    const bool settled =
+        math::rel_diff(t_new, t) <= opt.tolerance &&
+        math::rel_diff(p_new, p) <= opt.tolerance;
+    t = t_new;
+    p = p_new;
+    if (settled) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  out.procs = p;
+  out.period = t;
+  out.overhead = pattern_overhead(sys, Pattern{t, p});
+  return out;
+}
+
+}  // namespace ayd::core

@@ -1,0 +1,184 @@
+#include "ayd/core/multi_verification.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ayd/core/optimizer.hpp"
+#include "ayd/math/minimize.hpp"
+#include "ayd/math/special.hpp"
+#include "ayd/util/contracts.hpp"
+
+namespace ayd::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// M·expm1(λf·w) with M = 1/λf + D, stable down to λf == 0 (-> w).
+double m_expm1(double lf, double d, double w) {
+  const double x = lf * w;
+  return w * math::expm1_over_x(x) + d * std::expm1(x);
+}
+
+}  // namespace
+
+void validate(const MultiPattern& pattern) {
+  AYD_REQUIRE(std::isfinite(pattern.period) && pattern.period > 0.0,
+              "multi-pattern period must be finite and positive");
+  AYD_REQUIRE(std::isfinite(pattern.procs) && pattern.procs >= 1.0,
+              "multi-pattern processor count must be finite and >= 1");
+  AYD_REQUIRE(pattern.segments >= 1,
+              "multi-pattern needs at least one segment");
+}
+
+double expected_multi_pattern_time(const model::System& sys,
+                                   const MultiPattern& pattern) {
+  validate(pattern);
+  const double p = pattern.procs;
+  const double lf = sys.fail_stop_rate(p);
+  const double ls = sys.silent_rate(p);
+  const double v = sys.verification_cost(p);
+  const double c = sys.checkpoint_cost(p);
+  const double r = sys.recovery_cost(p);
+  const double d = sys.downtime();
+  const int n = pattern.segments;
+  const double w = pattern.period / n;
+
+  // Expected recovery time E(R) = M(e^{λf·R} − 1), with retries.
+  const double er = m_expm1(lf, d, r);
+
+  // Segment-level transition quantities (identical for every segment).
+  const double p_fs = -std::expm1(-lf * (w + v));       // fail-stop first
+  const double survive_fs = std::exp(-lf * (w + v));
+  const double q_silent = -std::expm1(-ls * w);
+  const double p_silent = survive_fs * q_silent;         // caught at verify
+  const double p_clean = survive_fs * (1.0 - q_silent);  // advance
+  const double e_lost_seg = math::expected_time_lost(lf, w + v);
+
+  // Per-segment expected direct cost (time spent before the transition).
+  const double a_seg = p_fs * (e_lost_seg + d + er) +
+                       p_silent * (w + v + er) + p_clean * (w + v);
+  const double b_seg = p_fs + p_silent;  // weight on F_1 (restart)
+  // c_seg = p_clean (weight on F_{i+1}).
+
+  // Checkpoint state.
+  const double q_c = -std::expm1(-lf * c);
+  const double e_lost_c = math::expected_time_lost(lf, c);
+  double acc_p = q_c * (e_lost_c + d + er) + (1.0 - q_c) * c;
+  double acc_q = q_c;  // weight on F_1
+
+  // Backward substitution: F_i = a + b·F_1 + p_clean·F_{i+1}.
+  for (int i = 0; i < n; ++i) {
+    acc_p = a_seg + p_clean * acc_p;
+    acc_q = b_seg + p_clean * acc_q;
+  }
+  // F_1 = acc_p + acc_q·F_1  =>  F_1 = acc_p / (1 − acc_q).
+  const double denom = 1.0 - acc_q;
+  if (!(denom > 0.0) || !std::isfinite(acc_p)) return kInf;
+  return acc_p / denom;
+}
+
+double multi_pattern_overhead(const model::System& sys,
+                              const MultiPattern& pattern) {
+  validate(pattern);
+  return expected_multi_pattern_time(sys, pattern) /
+         (pattern.period * sys.speedup(pattern.procs));
+}
+
+double first_order_multi_overhead(const model::System& sys,
+                                  const MultiPattern& pattern) {
+  validate(pattern);
+  const double p = pattern.procs;
+  const double t = pattern.period;
+  const double n = pattern.segments;
+  const double lf = sys.fail_stop_rate(p);
+  const double ls = sys.silent_rate(p);
+  const double cost = n * sys.verification_cost(p) + sys.checkpoint_cost(p);
+  const double rate = lf / 2.0 + ls * (n + 1.0) / (2.0 * n);
+  return sys.error_free_overhead(p) * (cost / t + rate * t + 1.0);
+}
+
+double optimal_period_multi(const model::System& sys, double procs,
+                            int segments) {
+  AYD_REQUIRE(std::isfinite(procs) && procs >= 1.0,
+              "processor count must be finite and >= 1");
+  AYD_REQUIRE(segments >= 1, "need at least one segment");
+  const double lf = sys.fail_stop_rate(procs);
+  const double ls = sys.silent_rate(procs);
+  const double n = segments;
+  const double rate = lf / 2.0 + ls * (n + 1.0) / (2.0 * n);
+  if (rate == 0.0) return kInf;
+  const double cost =
+      n * sys.verification_cost(procs) + sys.checkpoint_cost(procs);
+  AYD_REQUIRE(cost > 0.0, "resilience cost must be positive");
+  return std::sqrt(cost / rate);
+}
+
+VerificationPlan optimal_verification_plan(const model::System& sys,
+                                           double procs) {
+  AYD_REQUIRE(std::isfinite(procs) && procs >= 1.0,
+              "processor count must be finite and >= 1");
+  const double lf = sys.fail_stop_rate(procs);
+  const double ls = sys.silent_rate(procs);
+  const double v = sys.verification_cost(procs);
+  const double c = sys.checkpoint_cost(procs);
+  AYD_REQUIRE(v > 0.0,
+              "the closed-form verification plan requires V_P > 0 "
+              "(free verifications admit unbounded n)");
+  AYD_REQUIRE(lf + ls > 0.0,
+              "error-free systems have no optimal verification count");
+
+  VerificationPlan plan;
+  plan.segments_continuous = std::sqrt(ls * c / ((lf + ls) * v));
+  // Round to the better integer neighbour of the continuous optimum
+  // under the first-order overhead (n = 1 minimum).
+  const auto fo_overhead = [&](int n) {
+    const double t = optimal_period_multi(sys, procs, n);
+    return first_order_multi_overhead(sys, {t, procs, n});
+  };
+  const int lo = std::max(1, static_cast<int>(
+                                 std::floor(plan.segments_continuous)));
+  const int hi = lo + 1;
+  plan.segments = fo_overhead(lo) <= fo_overhead(hi) ? lo : hi;
+  plan.period = optimal_period_multi(sys, procs, plan.segments);
+  plan.overhead =
+      first_order_multi_overhead(sys, {plan.period, procs, plan.segments});
+  return plan;
+}
+
+MultiOptimum optimal_multi_pattern(const model::System& sys, double procs,
+                                   int max_segments) {
+  AYD_REQUIRE(max_segments >= 1, "max_segments must be >= 1");
+  MultiOptimum best;
+  best.overhead = kInf;
+
+  int rising_streak = 0;
+  for (int n = 1; n <= max_segments; ++n) {
+    // Inner exact-overhead period optimisation on log T, seeded by the
+    // first-order period for this n.
+    double hint = optimal_period_multi(sys, procs, n);
+    if (!std::isfinite(hint)) hint = 1e6;
+    const auto objective = [&](double log_t) {
+      const double h = multi_pattern_overhead(
+          sys, {std::exp(log_t), procs, n});
+      return std::isfinite(h) ? std::log(h) : 1e300;
+    };
+    const math::MinimizeResult res = math::minimize_with_hint(
+        objective, std::log(1e-3), std::log(1e13),
+        std::log(std::clamp(hint, 1e-3, 1e13)));
+    const double overhead = std::exp(res.fx);
+    if (overhead < best.overhead) {
+      best.segments = n;
+      best.period = std::exp(res.x);
+      best.overhead = overhead;
+      best.converged = res.converged;
+      rising_streak = 0;
+    } else if (++rising_streak >= 4) {
+      break;  // unimodal in n in practice; stop after a consistent rise
+    }
+  }
+  return best;
+}
+
+}  // namespace ayd::core

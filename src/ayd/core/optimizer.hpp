@@ -1,0 +1,76 @@
+// Numerical optimisation of the exact expected overhead.
+//
+// The paper's "Optimal" curves come from numerically minimising the exact
+// H(T, P) = E(T, P) / (T·S(P)) (its Section IV compares them against the
+// first-order formulas). This module implements that reference solution:
+//
+//  * optimal_period     — 1-D minimisation over T for fixed P, performed
+//    on log T with a bracketed Brent search seeded by the Theorem-1
+//    period. Works on log H so no intermediate can overflow.
+//  * optimal_allocation — nested minimisation over P (outer, on log P)
+//    and T (inner). Monotone cases (scenario 6, perfectly parallel jobs,
+//    error-free platforms) converge to the domain boundary and are
+//    reported as such rather than inventing a fake optimum.
+//
+// P is treated as continuous, matching the analysis; integer refinement
+// (evaluating floor/ceil and keeping the better) is applied on request.
+
+#pragma once
+
+#include "ayd/core/pattern.hpp"
+#include "ayd/model/system.hpp"
+
+namespace ayd::core {
+
+struct PeriodSearchOptions {
+  double min_period = 1e-3;  ///< seconds; lower edge of the search domain
+  double max_period = 1e13;  ///< seconds; upper edge of the search domain
+  double tolerance = 1e-10;  ///< relative tolerance on log T
+  int max_iterations = 200;
+};
+
+struct PeriodOptimum {
+  double period = 0.0;
+  double overhead = 0.0;      ///< H(T*, P); may be +inf if log form needed
+  double log_overhead = 0.0;  ///< log H(T*, P), always finite
+  bool converged = false;
+  /// True when the minimiser stopped at a search-domain edge (the overhead
+  /// is monotone in T over the domain — e.g. error-free platforms).
+  bool at_boundary = false;
+  int evaluations = 0;
+};
+
+/// Minimises H(T, P) over T for the given processor count.
+[[nodiscard]] PeriodOptimum optimal_period(const model::System& sys,
+                                           double procs,
+                                           const PeriodSearchOptions& opt = {});
+
+struct AllocationSearchOptions {
+  double min_procs = 1.0;
+  double max_procs = 1e7;  ///< raise for α = 0 sweeps (paper probes 10^13)
+  double tolerance = 1e-9; ///< relative tolerance on log P
+  int max_iterations = 200;
+  PeriodSearchOptions period{};
+  /// Evaluate floor(P*) and ceil(P*) and keep the better one.
+  bool refine_integer = true;
+};
+
+struct AllocationOptimum {
+  double procs = 0.0;    ///< optimal allocation (integer if refined)
+  double period = 0.0;   ///< optimal period at that allocation
+  double overhead = 0.0;
+  double log_overhead = 0.0;
+  /// Continuous optimiser output before integer refinement.
+  double procs_continuous = 0.0;
+  bool converged = false;
+  /// True when P ran into min_procs/max_procs (monotone overhead in P over
+  /// the domain: scenario 6, α = 0 with constant costs, error-free...).
+  bool at_boundary = false;
+  int outer_evaluations = 0;
+};
+
+/// Jointly minimises H(T, P) over both parameters.
+[[nodiscard]] AllocationOptimum optimal_allocation(
+    const model::System& sys, const AllocationSearchOptions& opt = {});
+
+}  // namespace ayd::core

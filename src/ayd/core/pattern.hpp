@@ -1,0 +1,29 @@
+// A periodic checkpointing pattern PATTERN(T, P): T seconds of useful
+// computation executed on P processors, followed by a verification V_P and
+// a checkpoint C_P (the paper's Section II).
+
+#pragma once
+
+#include <cmath>
+
+#include "ayd/util/contracts.hpp"
+
+namespace ayd::core {
+
+struct Pattern {
+  /// Useful-computation length T of the pattern, in seconds (> 0).
+  double period = 0.0;
+  /// Processor allocation P (real-valued >= 1; the analysis treats P as
+  /// continuous and integer refinement happens in the optimiser).
+  double procs = 1.0;
+};
+
+/// Validates a pattern; throws util::InvalidArgument on violation.
+inline void validate(const Pattern& pattern) {
+  AYD_REQUIRE(std::isfinite(pattern.period) && pattern.period > 0.0,
+              "pattern period must be finite and positive");
+  AYD_REQUIRE(std::isfinite(pattern.procs) && pattern.procs >= 1.0,
+              "pattern processor count must be finite and >= 1");
+}
+
+}  // namespace ayd::core

@@ -1,0 +1,218 @@
+#include "ayd/core/two_level.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ayd/math/minimize.hpp"
+#include "ayd/math/special.hpp"
+#include "ayd/util/contracts.hpp"
+
+namespace ayd::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// M·expm1(λf·w) with M = 1/λf + D, stable down to λf == 0 (-> w).
+double m_expm1(double lf, double d, double w) {
+  const double x = lf * w;
+  return w * math::expm1_over_x(x) + d * std::expm1(x);
+}
+
+}  // namespace
+
+void validate(const TwoLevelPattern& pattern) {
+  AYD_REQUIRE(std::isfinite(pattern.period) && pattern.period > 0.0,
+              "two-level pattern period must be finite and positive");
+  AYD_REQUIRE(std::isfinite(pattern.procs) && pattern.procs >= 1.0,
+              "two-level pattern processor count must be finite and >= 1");
+  AYD_REQUIRE(pattern.segments >= 1,
+              "two-level pattern needs at least one segment");
+}
+
+double expected_two_level_time(const TwoLevelSystem& sys,
+                               const TwoLevelPattern& pattern) {
+  validate(pattern);
+  const double p = pattern.procs;
+  const double lf = sys.base.fail_stop_rate(p);
+  const double ls = sys.base.silent_rate(p);
+  const double v = sys.base.verification_cost(p);
+  const double c2 = sys.base.checkpoint_cost(p);
+  const double r2 = sys.base.recovery_cost(p);
+  const double l1 = sys.level1_cost(p);
+  const double d = sys.base.downtime();
+  const int n = pattern.segments;
+  const double w = pattern.period / n;
+  const double a_span = w + v;  // work + verification of one segment
+
+  // Expected level-2 recovery completion time (with its internal
+  // fail-stop retries and downtimes); the triggering downtime is added by
+  // the caller of each branch below.
+  const double er2 = m_expm1(lf, d, r2);
+
+  // Segment-independent transition quantities.
+  const double q_fa = -std::expm1(-lf * a_span);  // fail-stop in work+verify
+  const double p_fa = std::exp(-lf * a_span);
+  const double q_s = -std::expm1(-ls * w);        // silent strike in work
+  const double q_fl = -std::expm1(-lf * l1);      // fail-stop in L1 recovery
+  const double p_fl = std::exp(-lf * l1);
+  const double e_lost_a = math::expected_time_lost(lf, a_span);
+  const double e_lost_l = math::expected_time_lost(lf, l1);
+
+  // Backward recursion: the expectation from the start of segment i to
+  // pattern completion is e_i = a_i + g_i·F where F = e_1 is the full-
+  // pattern expectation (fail-stop restarts close the loop on F).
+  double a_next = 0.0;  // a_{n+1}
+  double g_next = 0.0;  // g_{n+1}
+  for (int i = n; i >= 1; --i) {
+    const double ckpt = i == n ? c2 : l1;  // level-2 only on the last
+    const double q_fc = -std::expm1(-lf * ckpt);
+    const double p_fc = std::exp(-lf * ckpt);
+    const double e_lost_c = math::expected_time_lost(lf, ckpt);
+
+    // e_i = q_fa·(E_lost(A) + D + E(R2) + F)
+    //     + p_fa·q_s·[A + q_fl·(E_lost(L) + D + E(R2) + F) + p_fl·(L + e_i)]
+    //     + p_fa·(1-q_s)·[q_fc·(A + E_lost(C) + D + E(R2) + F)
+    //                     + p_fc·(A + C + e_{i+1})].
+    const double coef_self = p_fa * q_s * p_fl;
+    const double coef_next = p_fa * (1.0 - q_s) * p_fc;
+    const double coef_f =
+        q_fa + p_fa * q_s * q_fl + p_fa * (1.0 - q_s) * q_fc;
+    const double konst =
+        q_fa * (e_lost_a + d + er2) +
+        p_fa * q_s *
+            (a_span + q_fl * (e_lost_l + d + er2) + p_fl * l1) +
+        p_fa * (1.0 - q_s) *
+            (q_fc * (a_span + e_lost_c + d + er2) +
+             p_fc * (a_span + ckpt));
+
+    const double denom = 1.0 - coef_self;
+    if (!(denom > 0.0)) return kInf;
+    const double a_i = (konst + coef_next * a_next) / denom;
+    const double g_i = (coef_f + coef_next * g_next) / denom;
+    a_next = a_i;
+    g_next = g_i;
+  }
+
+  // F = a_1 + g_1·F  =>  F = a_1 / (1 − g_1).
+  const double denom = 1.0 - g_next;
+  if (!(denom > 0.0) || !std::isfinite(a_next)) return kInf;
+  return a_next / denom;
+}
+
+double two_level_overhead(const TwoLevelSystem& sys,
+                          const TwoLevelPattern& pattern) {
+  validate(pattern);
+  return expected_two_level_time(sys, pattern) /
+         (pattern.period * sys.base.speedup(pattern.procs));
+}
+
+double first_order_two_level_overhead(const TwoLevelSystem& sys,
+                                      const TwoLevelPattern& pattern) {
+  validate(pattern);
+  const double p = pattern.procs;
+  const double t = pattern.period;
+  const double n = pattern.segments;
+  const double lf = sys.base.fail_stop_rate(p);
+  const double ls = sys.base.silent_rate(p);
+  // The n-th segment stores the level-2 checkpoint INSTEAD of a level-1,
+  // so only n-1 level-1 checkpoints appear in the fault-free cost.
+  const double cost = n * sys.base.verification_cost(p) +
+                      (n - 1.0) * sys.level1_cost(p) +
+                      sys.base.checkpoint_cost(p);
+  // A silent error re-executes its whole segment (detection happens only
+  // at the segment's verification), hence λs/n rather than λs/(2n).
+  const double rate = lf / 2.0 + ls / n;
+  return sys.base.error_free_overhead(p) * (cost / t + rate * t + 1.0);
+}
+
+double optimal_period_two_level(const TwoLevelSystem& sys, double procs,
+                                int segments) {
+  AYD_REQUIRE(std::isfinite(procs) && procs >= 1.0,
+              "processor count must be finite and >= 1");
+  AYD_REQUIRE(segments >= 1, "need at least one segment");
+  const double lf = sys.base.fail_stop_rate(procs);
+  const double ls = sys.base.silent_rate(procs);
+  const double n = segments;
+  const double rate = lf / 2.0 + ls / n;
+  if (rate == 0.0) return kInf;
+  const double cost = n * sys.base.verification_cost(procs) +
+                      (n - 1.0) * sys.level1_cost(procs) +
+                      sys.base.checkpoint_cost(procs);
+  AYD_REQUIRE(cost > 0.0, "resilience cost must be positive");
+  return std::sqrt(cost / rate);
+}
+
+TwoLevelPlan optimal_two_level_plan(const TwoLevelSystem& sys, double procs) {
+  AYD_REQUIRE(std::isfinite(procs) && procs >= 1.0,
+              "processor count must be finite and >= 1");
+  const double lf = sys.base.fail_stop_rate(procs);
+  const double ls = sys.base.silent_rate(procs);
+  const double vl = sys.base.verification_cost(procs) +
+                    sys.level1_cost(procs);
+  const double c2 = sys.base.checkpoint_cost(procs);
+  AYD_REQUIRE(vl > 0.0,
+              "the closed-form two-level plan requires V_P + L_P > 0 "
+              "(free segment boundaries admit unbounded n)");
+  AYD_REQUIRE(lf > 0.0,
+              "the closed-form two-level plan requires fail-stop errors "
+              "(with λf == 0 the first-order n* is unbounded; use "
+              "optimal_two_level_pattern with an explicit cap)");
+
+  TwoLevelPlan plan;
+  // Minimising (n(V+L) + (C-L))·(λf/2 + λs/n): the n-th boundary swaps
+  // its level-1 checkpoint for the level-2 one, so the n-proportional
+  // boundary cost is V+L while the fixed part is C-L (clamped at 0 for
+  // the degenerate L >= C configuration, where n* = 1).
+  const double l1 = sys.level1_cost(procs);
+  const double fixed = std::max(0.0, c2 - l1);
+  plan.segments_continuous = std::sqrt(2.0 * ls * fixed / (lf * vl));
+  const auto fo_overhead = [&](int n) {
+    const double t = optimal_period_two_level(sys, procs, n);
+    return first_order_two_level_overhead(sys, {t, procs, n});
+  };
+  const int lo =
+      std::max(1, static_cast<int>(std::floor(plan.segments_continuous)));
+  const int hi = lo + 1;
+  plan.segments = fo_overhead(lo) <= fo_overhead(hi) ? lo : hi;
+  plan.period = optimal_period_two_level(sys, procs, plan.segments);
+  plan.overhead =
+      first_order_two_level_overhead(sys, {plan.period, procs,
+                                           plan.segments});
+  return plan;
+}
+
+TwoLevelOptimum optimal_two_level_pattern(const TwoLevelSystem& sys,
+                                          double procs, int max_segments) {
+  AYD_REQUIRE(max_segments >= 1, "max_segments must be >= 1");
+  TwoLevelOptimum best;
+  best.overhead = kInf;
+
+  int rising_streak = 0;
+  for (int n = 1; n <= max_segments; ++n) {
+    double hint = optimal_period_two_level(sys, procs, n);
+    if (!std::isfinite(hint)) hint = 1e6;
+    const auto objective = [&](double log_t) {
+      const double h =
+          two_level_overhead(sys, {std::exp(log_t), procs, n});
+      return std::isfinite(h) ? std::log(h) : 1e300;
+    };
+    const math::MinimizeResult res = math::minimize_with_hint(
+        objective, std::log(1e-3), std::log(1e13),
+        std::log(std::clamp(hint, 1e-3, 1e13)));
+    const double overhead = std::exp(res.fx);
+    if (overhead < best.overhead) {
+      best.segments = n;
+      best.period = std::exp(res.x);
+      best.overhead = overhead;
+      best.converged = res.converged;
+      rising_streak = 0;
+    } else if (++rising_streak >= 4) {
+      break;  // unimodal in n in practice; stop after a consistent rise
+    }
+  }
+  return best;
+}
+
+}  // namespace ayd::core

@@ -1,0 +1,52 @@
+#include "ayd/core/young_daly.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "ayd/util/contracts.hpp"
+
+namespace ayd::core {
+
+namespace {
+
+void check_args(double mtbf, double cost) {
+  AYD_REQUIRE(mtbf > 0.0, "platform MTBF must be positive");
+  AYD_REQUIRE(cost >= 0.0, "checkpoint cost must be nonnegative");
+}
+
+}  // namespace
+
+double young_period(double platform_mtbf, double checkpoint_cost) {
+  check_args(platform_mtbf, checkpoint_cost);
+  return std::sqrt(2.0 * platform_mtbf * checkpoint_cost);
+}
+
+double daly_period(double platform_mtbf, double checkpoint_cost) {
+  check_args(platform_mtbf, checkpoint_cost);
+  const double half_ratio = checkpoint_cost / (2.0 * platform_mtbf);
+  if (half_ratio >= 1.0) return platform_mtbf;
+  const double base = std::sqrt(2.0 * platform_mtbf * checkpoint_cost);
+  return base * (1.0 + std::sqrt(half_ratio) / 3.0 + half_ratio / 9.0) -
+         checkpoint_cost;
+}
+
+double young_overhead(double platform_mtbf, double checkpoint_cost) {
+  check_args(platform_mtbf, checkpoint_cost);
+  return std::sqrt(2.0 * checkpoint_cost / platform_mtbf);
+}
+
+double daly_period_vc(const model::System& sys, double procs) {
+  AYD_REQUIRE(std::isfinite(procs) && procs >= 1.0,
+              "processor count must be finite and >= 1");
+  const double rate =
+      sys.fail_stop_rate(procs) / 2.0 + sys.silent_rate(procs);
+  if (rate == 0.0) return std::numeric_limits<double>::infinity();
+  const double cost = sys.resilience_cost(procs);
+  AYD_REQUIRE(cost > 0.0, "resilience cost must be positive");
+  const double x2 = cost * rate;  // dimensionless exposure squared
+  if (x2 >= 1.0) return 1.0 / rate;  // Daly's large-cost fallback (T = μ)
+  const double x = std::sqrt(x2);
+  return std::sqrt(cost / rate) * (1.0 + x / 3.0 + x2 / 9.0) - cost;
+}
+
+}  // namespace ayd::core

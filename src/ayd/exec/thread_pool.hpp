@@ -1,0 +1,78 @@
+// Fixed-size thread pool with a shared task queue.
+//
+// The simulation replicator fans replicas out over this pool. Tasks are
+// plain std::function<void()>; submit() returns a std::future so callers
+// can propagate results and exceptions. Determinism of simulation results
+// does not depend on the pool: each replica derives its RNG stream from
+// its index, so scheduling order is irrelevant to the numbers produced.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ayd::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a callable; returns a future for its result.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      const std::lock_guard lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across the pool; blocks until all complete.
+/// The first exception thrown by any task is re-thrown (others are
+/// swallowed after completion). Indices are processed in contiguous
+/// per-thread chunks.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Maps fn over [0, n) and returns results in index order.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
+  using R = std::invoke_result_t<Fn, std::size_t>;
+  std::vector<R> out(n);
+  parallel_for(pool, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace ayd::exec

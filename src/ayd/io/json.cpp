@@ -1,0 +1,140 @@
+#include "ayd/io/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "ayd/util/contracts.hpp"
+
+namespace ayd::io {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  if (!pretty_) return;
+  *os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) *os_ << "  ";
+}
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  AYD_REQUIRE(stack_.empty() || stack_.back() == Frame::kArray,
+              "value inside an object requires a key first");
+  if (need_comma_) *os_ << ',';
+  if (!stack_.empty()) newline_indent();
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  *os_ << '{';
+  stack_.push_back(Frame::kObject);
+  need_comma_ = false;
+}
+
+void JsonWriter::end_object() {
+  AYD_REQUIRE(!stack_.empty() && stack_.back() == Frame::kObject,
+              "end_object without matching begin_object");
+  stack_.pop_back();
+  if (need_comma_) newline_indent();
+  *os_ << '}';
+  need_comma_ = true;
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  *os_ << '[';
+  stack_.push_back(Frame::kArray);
+  need_comma_ = false;
+}
+
+void JsonWriter::end_array() {
+  AYD_REQUIRE(!stack_.empty() && stack_.back() == Frame::kArray,
+              "end_array without matching begin_array");
+  stack_.pop_back();
+  if (need_comma_) newline_indent();
+  *os_ << ']';
+  need_comma_ = true;
+}
+
+void JsonWriter::key(std::string_view k) {
+  AYD_REQUIRE(!stack_.empty() && stack_.back() == Frame::kObject,
+              "key outside of object");
+  AYD_REQUIRE(!after_key_, "two keys in a row");
+  if (need_comma_) *os_ << ',';
+  newline_indent();
+  *os_ << '"' << json_escape(k) << "\":";
+  if (pretty_) *os_ << ' ';
+  after_key_ = true;
+  need_comma_ = false;
+}
+
+void JsonWriter::value(std::string_view s) {
+  before_value();
+  *os_ << '"' << json_escape(s) << '"';
+  need_comma_ = true;
+}
+
+void JsonWriter::value(double d) {
+  before_value();
+  if (std::isfinite(d)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    *os_ << buf;
+  } else {
+    // JSON has no inf/nan; encode as null (documented behaviour).
+    *os_ << "null";
+  }
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::int64_t i) {
+  before_value();
+  *os_ << i;
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::uint64_t u) {
+  before_value();
+  *os_ << u;
+  need_comma_ = true;
+}
+
+void JsonWriter::value(bool b) {
+  before_value();
+  *os_ << (b ? "true" : "false");
+  need_comma_ = true;
+}
+
+void JsonWriter::null() {
+  before_value();
+  *os_ << "null";
+  need_comma_ = true;
+}
+
+}  // namespace ayd::io

@@ -1,0 +1,65 @@
+// Minimal streaming JSON writer (objects, arrays, strings, numbers, bools,
+// null) with correct string escaping and finite-number handling. Used to
+// dump machine-readable experiment records alongside human tables.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ayd::io {
+
+class JsonWriter {
+ public:
+  /// Writes to the given stream (not owned; must outlive the writer).
+  explicit JsonWriter(std::ostream& os, bool pretty = false)
+      : os_(&os), pretty_(pretty) {}
+
+  ~JsonWriter() = default;
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Writes a key inside an object; must be followed by a value call.
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double d);
+  void value(std::int64_t i);
+  void value(std::uint64_t u);
+  void value(bool b);
+  void null();
+
+  /// Shorthand: key + value.
+  template <typename T>
+  void kv(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void before_value();
+  void newline_indent();
+  void write_escaped(std::string_view s);
+
+  std::ostream* os_;
+  bool pretty_;
+  bool need_comma_ = false;
+  bool after_key_ = false;
+  std::vector<Frame> stack_;
+};
+
+/// Escapes a string for embedding in JSON (without surrounding quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace ayd::io

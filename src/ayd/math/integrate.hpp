@@ -1,0 +1,36 @@
+// Adaptive Simpson quadrature.
+//
+// Used by the test suite to validate closed-form expectations (e.g. the
+// E_lost formula from the proof of Proposition 1) against direct numerical
+// integration of the defining integrals. Not on any hot path.
+
+#pragma once
+
+#include <functional>
+
+namespace ayd::math {
+
+struct IntegrateResult {
+  double value = 0.0;
+  double error_estimate = 0.0;
+  int evaluations = 0;
+  bool converged = false;
+};
+
+struct IntegrateOptions {
+  double abs_tol = 1e-10;
+  double rel_tol = 1e-10;
+  int max_depth = 40;
+  /// Subdivisions forced before the error estimate may accept a panel.
+  /// Guards against false convergence when the integrand's nodes happen to
+  /// alias the Simpson sample points (e.g. sin(10x) on [0, pi] is zero at
+  /// the first five points and would otherwise "converge" instantly).
+  int min_depth = 3;
+};
+
+/// Integrates f over [a, b] (a <= b) with adaptive Simpson's rule.
+[[nodiscard]] IntegrateResult integrate(const std::function<double(double)>& f,
+                                        double a, double b,
+                                        const IntegrateOptions& opt = {});
+
+}  // namespace ayd::math

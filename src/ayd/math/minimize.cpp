@@ -1,0 +1,213 @@
+#include "ayd/math/minimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ayd/util/contracts.hpp"
+
+namespace ayd::math {
+
+namespace {
+
+constexpr double kGolden = 0.3819660112501051;  // (3 - sqrt(5)) / 2
+constexpr double kGrow = 1.6180339887498949;    // golden growth ratio
+
+double x_tolerance(const MinimizeOptions& opt, double x) {
+  return opt.x_tol * std::abs(x) +
+         1e-300 +  // guards x == 0
+         4.0 * std::numeric_limits<double>::epsilon() * std::abs(x);
+}
+
+}  // namespace
+
+Bracket bracket_minimum(const std::function<double(double)>& f, double a,
+                        double b, double lo_limit, double hi_limit,
+                        int max_expansions) {
+  AYD_REQUIRE(lo_limit < hi_limit, "bracket limits out of order");
+  a = std::clamp(a, lo_limit, hi_limit);
+  b = std::clamp(b, lo_limit, hi_limit);
+  AYD_REQUIRE(a != b, "bracket seeds must differ after clamping");
+  double fa = f(a);
+  double fb = f(b);
+  if (fb > fa) {  // walk downhill: ensure f(b) <= f(a)
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  // March c beyond b until f turns upward.
+  double c = std::clamp(b + kGrow * (b - a), lo_limit, hi_limit);
+  double fc = f(c);
+  int n = 0;
+  while (fc <= fb && n++ < max_expansions) {
+    if (c == lo_limit || c == hi_limit) {
+      // Monotone all the way to the domain edge.
+      Bracket br;
+      br.lo = std::min(a, c);
+      br.hi = std::max(a, c);
+      br.mid = c;
+      br.valid = false;
+      return br;
+    }
+    a = b;
+    fa = fb;
+    b = c;
+    fb = fc;
+    c = std::clamp(b + kGrow * (b - a), lo_limit, hi_limit);
+    fc = f(c);
+  }
+  Bracket br;
+  if (fc <= fb) {  // expansion budget exhausted while still descending
+    br.lo = std::min(a, c);
+    br.hi = std::max(a, c);
+    br.mid = c;
+    br.valid = false;
+    return br;
+  }
+  br.lo = std::min(a, c);
+  br.hi = std::max(a, c);
+  br.mid = b;
+  br.valid = (br.lo < br.mid && br.mid < br.hi && fb <= fa && fb < fc);
+  return br;
+}
+
+MinimizeResult golden_section(const std::function<double(double)>& f,
+                              double lo, double hi,
+                              const MinimizeOptions& opt) {
+  AYD_REQUIRE(lo < hi, "golden_section requires lo < hi");
+  double a = lo, b = hi;
+  double x1 = a + kGolden * (b - a);
+  double x2 = b - kGolden * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  MinimizeResult r;
+  r.evaluations = 2;
+  for (int i = 0; i < opt.max_iterations; ++i) {
+    r.iterations = i + 1;
+    if (b - a <= 2.0 * x_tolerance(opt, 0.5 * (a + b))) break;
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = a + kGolden * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = b - kGolden * (b - a);
+      f2 = f(x2);
+    }
+    ++r.evaluations;
+  }
+  if (f1 < f2) {
+    r.x = x1;
+    r.fx = f1;
+  } else {
+    r.x = x2;
+    r.fx = f2;
+  }
+  r.converged = (b - a) <= 2.0 * x_tolerance(opt, r.x) ||
+                r.iterations < opt.max_iterations;
+  r.at_boundary = (r.x - lo) <= 4.0 * x_tolerance(opt, r.x) ||
+                  (hi - r.x) <= 4.0 * x_tolerance(opt, r.x);
+  return r;
+}
+
+MinimizeResult brent_minimize(const std::function<double(double)>& f,
+                              double lo, double hi,
+                              const MinimizeOptions& opt) {
+  AYD_REQUIRE(lo < hi, "brent_minimize requires lo < hi");
+  // Brent's algorithm, structure after Numerical Recipes `brent`.
+  double a = lo, b = hi;
+  double x = a + kGolden * (b - a);
+  double w = x, v = x;
+  double fx = f(x);
+  double fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+  MinimizeResult r;
+  r.evaluations = 1;
+  for (int i = 0; i < opt.max_iterations; ++i) {
+    r.iterations = i + 1;
+    const double xm = 0.5 * (a + b);
+    const double tol1 = x_tolerance(opt, x);
+    const double tol2 = 2.0 * tol1;
+    if (std::abs(x - xm) <= tol2 - 0.5 * (b - a)) {
+      r.converged = true;
+      break;
+    }
+    bool use_golden = true;
+    if (std::abs(e) > tol1) {
+      // Fit a parabola through (x, fx), (w, fw), (v, fv).
+      const double rr = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * rr;
+      q = 2.0 * (q - rr);
+      if (q > 0.0) p = -p;
+      q = std::abs(q);
+      const double etemp = e;
+      e = d;
+      if (std::abs(p) < std::abs(0.5 * q * etemp) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        use_golden = false;
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) {
+          d = (xm - x >= 0.0) ? tol1 : -tol1;
+        }
+      }
+    }
+    if (use_golden) {
+      e = (x >= xm) ? a - x : b - x;
+      d = kGolden * e;
+    }
+    const double u =
+        (std::abs(d) >= tol1) ? x + d : x + ((d >= 0.0) ? tol1 : -tol1);
+    const double fu = f(u);
+    ++r.evaluations;
+    if (fu <= fx) {
+      if (u >= x) a = x; else b = x;
+      v = w; w = x; x = u;
+      fv = fw; fw = fx; fx = fu;
+    } else {
+      if (u < x) a = u; else b = u;
+      if (fu <= fw || w == x) {
+        v = w; w = u;
+        fv = fw; fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+  r.x = x;
+  r.fx = fx;
+  r.at_boundary = (x - lo) <= 8.0 * x_tolerance(opt, x) ||
+                  (hi - x) <= 8.0 * x_tolerance(opt, x);
+  return r;
+}
+
+MinimizeResult minimize_with_hint(const std::function<double(double)>& f,
+                                  double lo, double hi, double hint,
+                                  const MinimizeOptions& opt) {
+  AYD_REQUIRE(lo < hi, "minimize_with_hint requires lo < hi");
+  hint = std::clamp(hint, lo, hi);
+  // Seed the bracket search slightly around the hint.
+  const double span = hi - lo;
+  double a = std::max(lo, hint - 0.01 * span);
+  double b = std::min(hi, hint + 0.01 * span);
+  if (a == b) {
+    a = lo;
+    b = hi;
+  }
+  const Bracket br = bracket_minimum(f, a, b, lo, hi);
+  if (!br.valid) {
+    // Monotone (or budget exhausted): fall back to a full-domain golden
+    // search, which converges to the boundary for monotone objectives.
+    MinimizeResult r = golden_section(f, lo, hi, opt);
+    return r;
+  }
+  MinimizeResult r = brent_minimize(f, br.lo, br.hi, opt);
+  return r;
+}
+
+}  // namespace ayd::math

@@ -1,0 +1,66 @@
+// One-dimensional minimisation: golden-section and Brent's parabolic
+// method, with bracket discovery. The core optimisers minimise the exact
+// expected overhead over log T and log P with these routines.
+
+#pragma once
+
+#include <functional>
+
+namespace ayd::math {
+
+/// Result of a 1-D minimisation.
+struct MinimizeResult {
+  double x = 0.0;          ///< argmin
+  double fx = 0.0;         ///< minimum value
+  int iterations = 0;      ///< iterations consumed
+  int evaluations = 0;     ///< function evaluations consumed
+  bool converged = false;  ///< tolerance met before iteration cap
+  /// True when the minimiser ended within tolerance of a search-domain
+  /// endpoint (the objective is likely monotone over the domain).
+  bool at_boundary = false;
+};
+
+struct MinimizeOptions {
+  double x_tol = 1e-10;      ///< relative tolerance on x
+  int max_iterations = 200;
+};
+
+/// A triple lo < mid < hi with f(mid) <= min(f(lo), f(hi)), certifying that
+/// a local minimum lies inside [lo, hi].
+struct Bracket {
+  double lo = 0.0;
+  double mid = 0.0;
+  double hi = 0.0;
+  bool valid = false;
+};
+
+/// Searches downhill from [a, b] for a bracketing triple (golden-ratio
+/// expansion). `lo_limit`/`hi_limit` clamp the search domain; if the
+/// function keeps decreasing up to a limit the bracket is reported invalid
+/// with mid at that limit (caller decides how to treat monotone objectives).
+[[nodiscard]] Bracket bracket_minimum(const std::function<double(double)>& f,
+                                      double a, double b,
+                                      double lo_limit, double hi_limit,
+                                      int max_expansions = 100);
+
+/// Golden-section search on [lo, hi]. No derivative or smoothness needed;
+/// linear convergence. Works on any unimodal function.
+[[nodiscard]] MinimizeResult golden_section(
+    const std::function<double(double)>& f, double lo, double hi,
+    const MinimizeOptions& opt = {});
+
+/// Brent's minimisation (golden section + successive parabolic
+/// interpolation) on [lo, hi]. Superlinear on smooth objectives.
+[[nodiscard]] MinimizeResult brent_minimize(
+    const std::function<double(double)>& f, double lo, double hi,
+    const MinimizeOptions& opt = {});
+
+/// Convenience: minimise f over [lo, hi] starting from a hint — brackets
+/// around `hint` first, then runs Brent inside the bracket. If the
+/// objective is monotone towards an endpoint, returns that endpoint with
+/// `at_boundary = true`.
+[[nodiscard]] MinimizeResult minimize_with_hint(
+    const std::function<double(double)>& f, double lo, double hi,
+    double hint, const MinimizeOptions& opt = {});
+
+}  // namespace ayd::math

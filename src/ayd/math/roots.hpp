@@ -1,0 +1,47 @@
+// One-dimensional root finding: bisection and Brent's method, plus a
+// bracket-expansion helper. Used by the core optimisers (stationary points
+// of overhead derivatives) and by tests.
+
+#pragma once
+
+#include <functional>
+
+namespace ayd::math {
+
+/// Result of a root search.
+struct RootResult {
+  double x = 0.0;         ///< abscissa of the root
+  double fx = 0.0;        ///< residual f(x)
+  int iterations = 0;     ///< iterations consumed
+  bool converged = false; ///< true if tolerance was met
+};
+
+/// Options shared by the root finders.
+struct RootOptions {
+  double x_tol = 1e-12;    ///< absolute tolerance on x (plus 4*eps*|x| internally)
+  double f_tol = 0.0;      ///< stop early if |f(x)| <= f_tol
+  int max_iterations = 200;
+};
+
+/// Finds x in [lo, hi] with f(x) = 0 by bisection.
+/// Preconditions: lo < hi and f(lo), f(hi) have opposite signs (or one is 0).
+/// Throws util::InvalidArgument if the bracket is invalid.
+[[nodiscard]] RootResult bisect(const std::function<double(double)>& f,
+                                double lo, double hi,
+                                const RootOptions& opt = {});
+
+/// Brent's method (inverse quadratic interpolation + secant + bisection).
+/// Same bracket preconditions as bisect; superlinear in practice.
+[[nodiscard]] RootResult brent_root(const std::function<double(double)>& f,
+                                    double lo, double hi,
+                                    const RootOptions& opt = {});
+
+/// Expands [lo, hi] geometrically (by `factor`) until f changes sign or
+/// `max_expansions` is hit. Returns true and updates lo/hi on success.
+/// Expansion alternates sides, starting from the given interval.
+[[nodiscard]] bool expand_bracket(const std::function<double(double)>& f,
+                                  double& lo, double& hi,
+                                  double factor = 1.6,
+                                  int max_expansions = 60);
+
+}  // namespace ayd::math

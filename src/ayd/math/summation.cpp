@@ -1,0 +1,16 @@
+#include "ayd/math/summation.hpp"
+
+namespace ayd::math {
+
+double compensated_sum(std::span<const double> xs) {
+  KahanSum s;
+  for (const double x : xs) s.add(x);
+  return s.value();
+}
+
+double compensated_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return compensated_sum(xs) / static_cast<double>(xs.size());
+}
+
+}  // namespace ayd::math

@@ -1,0 +1,60 @@
+// Compensated (Neumaier/Kahan) summation.
+//
+// Long simulation runs accumulate millions of pattern wall-times whose
+// magnitudes span several orders; compensated accumulation keeps the total
+// exact to the last bit for all practical inputs.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ayd::math {
+
+/// Neumaier-compensated accumulator. Value semantics; `merge` combines two
+/// accumulators (used by parallel reductions).
+class KahanSum {
+ public:
+  constexpr KahanSum() = default;
+
+  constexpr void add(double x) {
+    const double t = sum_ + x;
+    if (abs_ge(sum_, x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+    ++count_;
+  }
+
+  constexpr void merge(const KahanSum& other) {
+    // Adding the other's total and compensation separately preserves both
+    // corrections.
+    const std::size_t n = count_ + other.count_;
+    add(other.sum_);
+    add(other.comp_);
+    count_ = n;
+  }
+
+  [[nodiscard]] constexpr double value() const { return sum_ + comp_; }
+  [[nodiscard]] constexpr std::size_t count() const { return count_; }
+  [[nodiscard]] constexpr bool empty() const { return count_ == 0; }
+
+ private:
+  static constexpr bool abs_ge(double a, double b) {
+    return (a < 0 ? -a : a) >= (b < 0 ? -b : b);
+  }
+
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// Sums a span with Neumaier compensation.
+[[nodiscard]] double compensated_sum(std::span<const double> xs);
+
+/// Compensated arithmetic mean; returns 0 for an empty span.
+[[nodiscard]] double compensated_mean(std::span<const double> xs);
+
+}  // namespace ayd::math

@@ -1,0 +1,20 @@
+#include "ayd/model/application.hpp"
+
+#include "ayd/util/contracts.hpp"
+
+namespace ayd::model {
+
+double error_free_makespan(const Application& app,
+                           double error_free_overhead) {
+  AYD_REQUIRE(app.total_work >= 0.0, "total work must be >= 0");
+  AYD_REQUIRE(error_free_overhead > 0.0, "overhead must be positive");
+  return error_free_overhead * app.total_work;
+}
+
+double pattern_count(const Application& app, double period, double speedup) {
+  AYD_REQUIRE(period > 0.0, "pattern period must be positive");
+  AYD_REQUIRE(speedup > 0.0, "speedup must be positive");
+  return app.total_work / (period * speedup);
+}
+
+}  // namespace ayd::model

@@ -1,0 +1,32 @@
+// Application workload description.
+//
+// The paper's applications are long-lasting: total work W_total (measured
+// in seconds of sequential execution), divided into periodic patterns of
+// useful length T run at speedup S(P). Error-free makespan is
+// H(P)·W_total; the expected makespan under errors is
+// E(pattern)·W_total/(T·S(P)).
+
+#pragma once
+
+#include <string>
+
+namespace ayd::model {
+
+struct Application {
+  std::string name = "app";
+  /// Total work in seconds of sequential execution (W_total).
+  double total_work = 0.0;
+  /// Resident memory footprint in GiB (informational; cost models already
+  /// encode its effect on checkpoint time).
+  double memory_gib = 0.0;
+};
+
+/// Error-free makespan H(P)·W_total for a speedup overhead H(P).
+[[nodiscard]] double error_free_makespan(const Application& app,
+                                         double error_free_overhead);
+
+/// Number of patterns the application divides into: W_total / (T·S(P)).
+[[nodiscard]] double pattern_count(const Application& app, double period,
+                                   double speedup);
+
+}  // namespace ayd::model

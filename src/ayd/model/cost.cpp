@@ -1,0 +1,38 @@
+#include "ayd/model/cost.hpp"
+
+#include <cmath>
+
+#include "ayd/util/contracts.hpp"
+#include "ayd/util/strings.hpp"
+
+namespace ayd::model {
+
+CostModel::CostModel(double constant, double inverse, double linear)
+    : a_(constant), b_(inverse), c_(linear) {
+  AYD_REQUIRE(std::isfinite(a_) && a_ >= 0.0,
+              "constant cost coefficient must be finite and >= 0");
+  AYD_REQUIRE(std::isfinite(b_) && b_ >= 0.0,
+              "inverse cost coefficient must be finite and >= 0");
+  AYD_REQUIRE(std::isfinite(c_) && c_ >= 0.0,
+              "linear cost coefficient must be finite and >= 0");
+}
+
+double CostModel::cost(double p) const {
+  AYD_REQUIRE(p >= 1.0, "processor count must be >= 1");
+  return a_ + b_ / p + c_ * p;
+}
+
+std::string CostModel::describe() const {
+  if (is_zero()) return "0";
+  std::string out;
+  const auto append = [&out](const std::string& term) {
+    if (!out.empty()) out += " + ";
+    out += term;
+  };
+  if (a_ != 0.0) append(util::format_sig(a_));
+  if (b_ != 0.0) append(util::format_sig(b_) + "/P");
+  if (c_ != 0.0) append(util::format_sig(c_) + "*P");
+  return out;
+}
+
+}  // namespace ayd::model

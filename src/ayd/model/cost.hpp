@@ -1,0 +1,57 @@
+// Resilience operation cost models.
+//
+// The paper's general form (Table I) is
+//   C_P = a + b/P + cP   (checkpoint; recovery R_P uses the same form)
+//   V_P = v + u/P        (verification; a cost model with zero linear term)
+// where
+//   a    — start-up / I/O-bandwidth-bound component (constant in P),
+//   b/P  — network-bound component (memory footprint split across P),
+//   cP   — coordination/message-passing component (grows with P).
+
+#pragma once
+
+#include <string>
+
+namespace ayd::model {
+
+class CostModel {
+ public:
+  /// Builds cost(P) = constant + inverse/P + linear*P. All coefficients
+  /// must be nonnegative and finite.
+  CostModel(double constant, double inverse, double linear);
+
+  /// The zero cost model.
+  [[nodiscard]] static CostModel zero() { return {0.0, 0.0, 0.0}; }
+  /// cost(P) = a (I/O-bandwidth-bound coordinated checkpoint).
+  [[nodiscard]] static CostModel constant(double a) { return {a, 0.0, 0.0}; }
+  /// cost(P) = b/P (in-memory / network-bound, perfectly strided).
+  [[nodiscard]] static CostModel inverse(double b) { return {0.0, b, 0.0}; }
+  /// cost(P) = cP (coordination-dominated).
+  [[nodiscard]] static CostModel linear(double c) { return {0.0, 0.0, c}; }
+
+  /// Evaluates the cost at (real-valued) processor count P >= 1.
+  [[nodiscard]] double cost(double p) const;
+
+  [[nodiscard]] double constant_coeff() const { return a_; }
+  [[nodiscard]] double inverse_coeff() const { return b_; }
+  [[nodiscard]] double linear_coeff() const { return c_; }
+
+  [[nodiscard]] bool is_zero() const {
+    return a_ == 0.0 && b_ == 0.0 && c_ == 0.0;
+  }
+
+  /// Componentwise sum (used for C_P + V_P in the analysis).
+  [[nodiscard]] CostModel operator+(const CostModel& o) const {
+    return {a_ + o.a_, b_ + o.b_, c_ + o.c_};
+  }
+
+  /// "a + b/P + cP" with zero terms omitted, for table output.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  double a_;  ///< constant coefficient
+  double b_;  ///< 1/P coefficient
+  double c_;  ///< linear coefficient
+};
+
+}  // namespace ayd::model

@@ -1,0 +1,44 @@
+#include "ayd/model/platform.hpp"
+
+#include "ayd/util/contracts.hpp"
+#include "ayd/util/error.hpp"
+#include "ayd/util/strings.hpp"
+
+namespace ayd::model {
+
+// Values are Table II of the paper, verbatim.
+
+Platform hera() {
+  return {"Hera", 1.69e-8, 0.2188, 512.0, 300.0, 15.4};
+}
+
+Platform atlas() {
+  return {"Atlas", 1.62e-8, 0.0625, 1024.0, 439.0, 9.1};
+}
+
+Platform coastal() {
+  return {"Coastal", 2.34e-9, 0.1667, 2048.0, 1051.0, 4.5};
+}
+
+Platform coastal_ssd() {
+  return {"Coastal SSD", 2.34e-9, 0.1667, 2048.0, 2500.0, 180.0};
+}
+
+std::vector<Platform> all_platforms() {
+  return {hera(), atlas(), coastal(), coastal_ssd()};
+}
+
+Platform platform_by_name(const std::string& name) {
+  const std::string key = util::to_lower(util::trim(name));
+  for (const Platform& p : all_platforms()) {
+    if (util::to_lower(p.name) == key) return p;
+  }
+  // Accept the common compact spellings.
+  if (key == "coastal_ssd" || key == "coastalssd" || key == "coastal-ssd") {
+    return coastal_ssd();
+  }
+  throw util::InvalidArgument("unknown platform: " + name +
+                              " (expected Hera, Atlas, Coastal, Coastal SSD)");
+}
+
+}  // namespace ayd::model

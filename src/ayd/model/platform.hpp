@@ -1,0 +1,49 @@
+// Platform profiles (the paper's Table II).
+//
+// Four real platforms whose failure rates and checkpoint/verification
+// costs were measured for the SCR (Scalable Checkpoint/Restart) library
+// evaluation [Moody et al., SC'10] and reused by the paper. Following the
+// paper (after [Benoit et al., IPDPS'16]), the verification cost equals an
+// in-memory checkpoint of the full footprint.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ayd/model/failure.hpp"
+
+namespace ayd::model {
+
+struct Platform {
+  std::string name;
+  /// Individual-processor error rate λ_ind (1/s), both error types pooled.
+  double lambda_ind = 0.0;
+  /// Fraction of errors that are fail-stop (f); silent fraction is 1 - f.
+  double fail_stop_fraction = 0.0;
+  /// Number of processors the costs below were measured on.
+  double measured_procs = 0.0;
+  /// Measured checkpoint cost C_P at `measured_procs` (seconds).
+  double measured_checkpoint = 0.0;
+  /// Measured verification cost V_P at `measured_procs` (seconds).
+  double measured_verification = 0.0;
+
+  [[nodiscard]] FailureModel failure() const {
+    return {lambda_ind, fail_stop_fraction};
+  }
+};
+
+/// Table II presets.
+[[nodiscard]] Platform hera();
+[[nodiscard]] Platform atlas();
+[[nodiscard]] Platform coastal();
+[[nodiscard]] Platform coastal_ssd();
+
+/// All four platforms, in the paper's order.
+[[nodiscard]] std::vector<Platform> all_platforms();
+
+/// Looks a platform up by (case-insensitive) name; throws
+/// util::InvalidArgument for unknown names.
+[[nodiscard]] Platform platform_by_name(const std::string& name);
+
+}  // namespace ayd::model

@@ -1,0 +1,102 @@
+#include "ayd/model/scenario.hpp"
+
+#include "ayd/util/contracts.hpp"
+#include "ayd/util/error.hpp"
+#include "ayd/util/strings.hpp"
+
+namespace ayd::model {
+
+std::vector<Scenario> all_scenarios() {
+  return {Scenario::kS1, Scenario::kS2, Scenario::kS3,
+          Scenario::kS4, Scenario::kS5, Scenario::kS6};
+}
+
+int scenario_number(Scenario s) { return static_cast<int>(s); }
+
+std::string scenario_name(Scenario s) {
+  return std::to_string(scenario_number(s));
+}
+
+std::string scenario_description(Scenario s) {
+  switch (s) {
+    case Scenario::kS1: return "C=cP,  V=v";
+    case Scenario::kS2: return "C=cP,  V=u/P";
+    case Scenario::kS3: return "C=a,   V=v";
+    case Scenario::kS4: return "C=a,   V=u/P";
+    case Scenario::kS5: return "C=b/P, V=v";
+    case Scenario::kS6: return "C=b/P, V=u/P";
+  }
+  AYD_ENSURE(false, "unreachable scenario");
+}
+
+Scenario scenario_from_string(const std::string& s) {
+  std::string key = util::to_lower(util::trim(s));
+  if (!key.empty() && key[0] == 's') key = key.substr(1);
+  for (const Scenario sc : all_scenarios()) {
+    if (key == scenario_name(sc)) return sc;
+  }
+  throw util::InvalidArgument("unknown scenario: " + s +
+                              " (expected 1..6 or s1..s6)");
+}
+
+ResilienceCosts resolve(const Platform& platform, Scenario s) {
+  const double p = platform.measured_procs;
+  AYD_REQUIRE(p >= 1.0, "platform has no measured processor count");
+  const double c_meas = platform.measured_checkpoint;
+  const double v_meas = platform.measured_verification;
+  AYD_REQUIRE(c_meas >= 0.0 && v_meas >= 0.0,
+              "platform costs must be nonnegative");
+
+  CostModel checkpoint = CostModel::zero();
+  switch (s) {
+    case Scenario::kS1:
+    case Scenario::kS2:
+      checkpoint = CostModel::linear(c_meas / p);
+      break;
+    case Scenario::kS3:
+    case Scenario::kS4:
+      checkpoint = CostModel::constant(c_meas);
+      break;
+    case Scenario::kS5:
+    case Scenario::kS6:
+      checkpoint = CostModel::inverse(c_meas * p);
+      break;
+  }
+
+  CostModel verification = CostModel::zero();
+  switch (s) {
+    case Scenario::kS1:
+    case Scenario::kS3:
+    case Scenario::kS5:
+      verification = CostModel::constant(v_meas);
+      break;
+    case Scenario::kS2:
+    case Scenario::kS4:
+    case Scenario::kS6:
+      verification = CostModel::inverse(v_meas * p);
+      break;
+  }
+
+  return {checkpoint, checkpoint, verification};
+}
+
+CaseInfo classify(const ResilienceCosts& costs) {
+  CaseInfo info;
+  if (costs.checkpoint.linear_coeff() > 0.0) {
+    info.first_order_case = FirstOrderCase::kLinearCheckpoint;
+    info.coefficient = costs.checkpoint.linear_coeff();
+    return info;
+  }
+  const CostModel combined = costs.combined();
+  const double d = combined.constant_coeff();
+  if (d > 0.0) {
+    info.first_order_case = FirstOrderCase::kConstantCost;
+    info.coefficient = d;
+    return info;
+  }
+  info.first_order_case = FirstOrderCase::kDecreasingCost;
+  info.coefficient = combined.inverse_coeff();
+  return info;
+}
+
+}  // namespace ayd::model

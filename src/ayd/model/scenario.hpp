@@ -1,0 +1,81 @@
+// Resilience scenarios (the paper's Table III) and their resolution into
+// concrete cost models for a given platform.
+//
+//   Scenario   1     2     3     4     5     6
+//   C_P, R_P   cP    cP    a     a     b/P   b/P
+//   V_P        v     u/P   v     u/P   v     u/P
+//
+// Scenarios 1–2 model coordination-dominated coordinated checkpointing to
+// stable storage; 3–4 model I/O-bandwidth-bound stable storage; 5–6 model
+// in-memory / network-bound checkpointing. The coefficient for each
+// scenario is fitted so the model reproduces the platform's measured cost
+// at its measured processor count, exactly as the paper's Section IV-A
+// prescribes.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ayd/model/cost.hpp"
+#include "ayd/model/platform.hpp"
+
+namespace ayd::model {
+
+enum class Scenario : int {
+  kS1 = 1,  ///< C = cP,  V = v
+  kS2 = 2,  ///< C = cP,  V = u/P
+  kS3 = 3,  ///< C = a,   V = v
+  kS4 = 4,  ///< C = a,   V = u/P
+  kS5 = 5,  ///< C = b/P, V = v
+  kS6 = 6,  ///< C = b/P, V = u/P
+};
+
+/// All six scenarios in paper order.
+[[nodiscard]] std::vector<Scenario> all_scenarios();
+
+/// "1".."6" and "C=cP, V=v"-style descriptions.
+[[nodiscard]] std::string scenario_name(Scenario s);
+[[nodiscard]] std::string scenario_description(Scenario s);
+
+/// Scenario number (1-based) for table output.
+[[nodiscard]] int scenario_number(Scenario s);
+
+/// Parses "1".."6" / "s1".."s6"; throws util::InvalidArgument otherwise.
+[[nodiscard]] Scenario scenario_from_string(const std::string& s);
+
+/// Concrete cost models for one (platform, scenario) pair. Recovery cost
+/// always equals checkpoint cost (same I/O), following the paper.
+struct ResilienceCosts {
+  CostModel checkpoint = CostModel::zero();
+  CostModel recovery = CostModel::zero();
+  CostModel verification = CostModel::zero();
+
+  /// C_P + V_P, the combined resilience cost the analysis works with.
+  [[nodiscard]] CostModel combined() const {
+    return checkpoint + verification;
+  }
+};
+
+/// Fits the scenario's coefficients to the platform measurements:
+/// e.g. scenario 1 sets c = C_meas / P_meas and v = V_meas.
+[[nodiscard]] ResilienceCosts resolve(const Platform& platform, Scenario s);
+
+/// The analysis case of Section III-D a scenario falls into (for an
+/// Amdahl application with α > 0).
+enum class FirstOrderCase {
+  kLinearCheckpoint,    ///< case 1: C_P = cP + o(P)         (scenarios 1, 2)
+  kConstantCost,        ///< case 2: C_P + V_P = d + o(1)    (scenarios 3, 4, 5)
+  kDecreasingCost,      ///< case 3: C_P + V_P = h/P         (scenario 6)
+};
+
+/// Classification plus the case's governing coefficient (c, d, or h).
+struct CaseInfo {
+  FirstOrderCase first_order_case = FirstOrderCase::kConstantCost;
+  double coefficient = 0.0;  ///< c, d, or h depending on the case
+};
+
+/// Classifies arbitrary resilience costs into the paper's cases.
+[[nodiscard]] CaseInfo classify(const ResilienceCosts& costs);
+
+}  // namespace ayd::model

@@ -1,0 +1,85 @@
+#include "ayd/model/speedup.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "ayd/util/contracts.hpp"
+#include "ayd/util/strings.hpp"
+
+namespace ayd::model {
+
+Speedup::Speedup(Kind kind, double param, std::function<double(double)> fn,
+                 std::string name)
+    : kind_(kind), param_(param), fn_(std::move(fn)), name_(std::move(name)) {}
+
+Speedup Speedup::amdahl(double alpha) {
+  AYD_REQUIRE(alpha >= 0.0 && alpha <= 1.0,
+              "Amdahl sequential fraction must be in [0,1]");
+  return Speedup(Kind::kAmdahl, alpha, {},
+                 "amdahl(alpha=" + util::format_sig(alpha) + ")");
+}
+
+Speedup Speedup::perfect() {
+  return Speedup(Kind::kPerfect, 0.0, {}, "perfect");
+}
+
+Speedup Speedup::gustafson(double alpha) {
+  AYD_REQUIRE(alpha >= 0.0 && alpha <= 1.0,
+              "Gustafson serial fraction must be in [0,1]");
+  return Speedup(Kind::kGustafson, alpha, {},
+                 "gustafson(alpha=" + util::format_sig(alpha) + ")");
+}
+
+Speedup Speedup::power_law(double gamma) {
+  AYD_REQUIRE(gamma > 0.0 && gamma <= 1.0,
+              "power-law exponent must be in (0,1]");
+  return Speedup(Kind::kPowerLaw, gamma, {},
+                 "power_law(gamma=" + util::format_sig(gamma) + ")");
+}
+
+Speedup Speedup::custom(std::function<double(double)> fn, std::string name) {
+  AYD_REQUIRE(static_cast<bool>(fn), "custom speedup needs a function");
+  return Speedup(Kind::kCustom, 0.0, std::move(fn), std::move(name));
+}
+
+double Speedup::speedup(double p) const {
+  AYD_REQUIRE(p >= 1.0, "processor count must be >= 1");
+  switch (kind_) {
+    case Kind::kAmdahl:
+      return 1.0 / (param_ + (1.0 - param_) / p);
+    case Kind::kPerfect:
+      return p;
+    case Kind::kGustafson:
+      return param_ + (1.0 - param_) * p;
+    case Kind::kPowerLaw:
+      return std::pow(p, param_);
+    case Kind::kCustom: {
+      const double s = fn_(p);
+      AYD_REQUIRE(s > 0.0, "custom speedup must be positive");
+      return s;
+    }
+  }
+  AYD_ENSURE(false, "unreachable speedup kind");
+}
+
+double Speedup::overhead(double p) const { return 1.0 / speedup(p); }
+
+std::optional<double> Speedup::sequential_fraction() const {
+  switch (kind_) {
+    case Kind::kAmdahl:
+    case Kind::kGustafson:
+      return param_;
+    case Kind::kPerfect:
+      return 0.0;
+    case Kind::kPowerLaw:
+    case Kind::kCustom:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool Speedup::is_amdahl_family() const {
+  return kind_ == Kind::kAmdahl || kind_ == Kind::kPerfect;
+}
+
+}  // namespace ayd::model

@@ -1,0 +1,70 @@
+// Application speedup profiles.
+//
+// The paper's analysis is for Amdahl's law, S(P) = 1/(α + (1-α)/P); its
+// future-work section asks for other profiles, so the profile is a
+// first-class value type here and everything downstream (exact overhead,
+// numerical optimiser, simulator) is generic over it. The first-order
+// closed forms (Theorems 2/3) remain Amdahl-specific and check the kind.
+
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace ayd::model {
+
+class Speedup {
+ public:
+  enum class Kind {
+    kAmdahl,    ///< S(P) = 1 / (α + (1-α)/P)
+    kPerfect,   ///< S(P) = P
+    kGustafson, ///< S(P) = α + (1-α)·P   (scaled/weak-scaling speedup)
+    kPowerLaw,  ///< S(P) = P^γ, 0 < γ <= 1
+    kCustom,    ///< user-supplied S(P)
+  };
+
+  /// Amdahl profile with sequential fraction α in [0, 1]. α == 0 gives a
+  /// perfectly parallel job (the paper's Section III-D case 4).
+  [[nodiscard]] static Speedup amdahl(double alpha);
+  /// Perfectly parallel job, S(P) = P (≡ amdahl(0), kept distinct for
+  /// reporting).
+  [[nodiscard]] static Speedup perfect();
+  /// Gustafson (weak-scaling) profile with serial fraction α in [0, 1].
+  [[nodiscard]] static Speedup gustafson(double alpha);
+  /// Power-law profile S(P) = P^γ with γ in (0, 1].
+  [[nodiscard]] static Speedup power_law(double gamma);
+  /// Arbitrary profile. `fn` must be positive and nondecreasing on P >= 1
+  /// with fn(1) == 1 (not checked beyond positivity at use).
+  [[nodiscard]] static Speedup custom(std::function<double(double)> fn,
+                                      std::string name);
+
+  /// Speedup S(P); P >= 1 (real-valued: the optimiser treats P as
+  /// continuous, exactly as the paper's analysis does).
+  [[nodiscard]] double speedup(double p) const;
+
+  /// Error-free execution overhead H(P) = 1 / S(P).
+  [[nodiscard]] double overhead(double p) const;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Sequential fraction α for Amdahl/Gustafson profiles (0 for perfect),
+  /// nullopt otherwise.
+  [[nodiscard]] std::optional<double> sequential_fraction() const;
+
+  /// True for Amdahl profiles (including α == 0) and kPerfect; the
+  /// first-order theorems apply only to these.
+  [[nodiscard]] bool is_amdahl_family() const;
+
+ private:
+  Speedup(Kind kind, double param, std::function<double(double)> fn,
+          std::string name);
+
+  Kind kind_;
+  double param_ = 0.0;  ///< α or γ depending on kind
+  std::function<double(double)> fn_;  ///< only for kCustom
+  std::string name_;
+};
+
+}  // namespace ayd::model

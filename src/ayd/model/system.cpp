@@ -1,0 +1,43 @@
+#include "ayd/model/system.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "ayd/util/contracts.hpp"
+
+namespace ayd::model {
+
+System::System(FailureModel failure, ResilienceCosts costs, double downtime,
+               Speedup speedup)
+    : failure_(failure),
+      costs_(std::move(costs)),
+      downtime_(downtime),
+      speedup_(std::move(speedup)) {
+  AYD_REQUIRE(std::isfinite(downtime_) && downtime_ >= 0.0,
+              "downtime must be finite and >= 0");
+}
+
+System System::from_platform(const Platform& platform, Scenario scenario,
+                             double alpha, double downtime) {
+  return System(platform.failure(), resolve(platform, scenario), downtime,
+                Speedup::amdahl(alpha));
+}
+
+System System::with_lambda(double lambda_ind) const {
+  return System(failure_.with_lambda(lambda_ind), costs_, downtime_,
+                speedup_);
+}
+
+System System::with_downtime(double downtime) const {
+  return System(failure_, costs_, downtime, speedup_);
+}
+
+System System::with_speedup(Speedup speedup) const {
+  return System(failure_, costs_, downtime_, std::move(speedup));
+}
+
+System System::with_costs(ResilienceCosts costs) const {
+  return System(failure_, std::move(costs), downtime_, speedup_);
+}
+
+}  // namespace ayd::model

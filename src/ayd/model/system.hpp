@@ -1,0 +1,79 @@
+// System: the complete input to the analysis and the simulator.
+//
+// Bundles the failure model, the resilience cost models, the downtime, and
+// the application speedup profile. This is the single value every function
+// in ayd::core and ayd::sim takes.
+
+#pragma once
+
+#include <string>
+
+#include "ayd/model/cost.hpp"
+#include "ayd/model/failure.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/model/speedup.hpp"
+
+namespace ayd::model {
+
+class System {
+ public:
+  System(FailureModel failure, ResilienceCosts costs, double downtime,
+         Speedup speedup);
+
+  /// The paper's standard construction: platform preset + Table III
+  /// scenario + Amdahl α (default 0.1) + downtime (default one hour).
+  [[nodiscard]] static System from_platform(const Platform& platform,
+                                            Scenario scenario,
+                                            double alpha = 0.1,
+                                            double downtime = 3600.0);
+
+  [[nodiscard]] const FailureModel& failure() const { return failure_; }
+  [[nodiscard]] const ResilienceCosts& costs() const { return costs_; }
+  [[nodiscard]] double downtime() const { return downtime_; }
+  [[nodiscard]] const Speedup& speedup_model() const { return speedup_; }
+
+  // -- Frequently used projections ------------------------------------
+
+  [[nodiscard]] double fail_stop_rate(double p) const {
+    return failure_.fail_stop_rate(p);
+  }
+  [[nodiscard]] double silent_rate(double p) const {
+    return failure_.silent_rate(p);
+  }
+  [[nodiscard]] double checkpoint_cost(double p) const {
+    return costs_.checkpoint.cost(p);
+  }
+  [[nodiscard]] double recovery_cost(double p) const {
+    return costs_.recovery.cost(p);
+  }
+  [[nodiscard]] double verification_cost(double p) const {
+    return costs_.verification.cost(p);
+  }
+  /// C_P + V_P.
+  [[nodiscard]] double resilience_cost(double p) const {
+    return checkpoint_cost(p) + verification_cost(p);
+  }
+  [[nodiscard]] double speedup(double p) const {
+    return speedup_.speedup(p);
+  }
+  /// Error-free overhead H(P) = 1/S(P).
+  [[nodiscard]] double error_free_overhead(double p) const {
+    return speedup_.overhead(p);
+  }
+
+  // -- Value-semantic modifiers (copy with one field replaced) ---------
+
+  [[nodiscard]] System with_lambda(double lambda_ind) const;
+  [[nodiscard]] System with_downtime(double downtime) const;
+  [[nodiscard]] System with_speedup(Speedup speedup) const;
+  [[nodiscard]] System with_costs(ResilienceCosts costs) const;
+
+ private:
+  FailureModel failure_;
+  ResilienceCosts costs_;
+  double downtime_;
+  Speedup speedup_;
+};
+
+}  // namespace ayd::model

@@ -1,0 +1,36 @@
+// SplitMix64 (Steele, Lea, Flood 2014; public-domain reference by Vigna).
+//
+// Used for two jobs only: expanding a user seed into the 256-bit state of
+// xoshiro256++, and deriving statistically independent substream seeds from
+// (seed, stream_id) pairs. It is a bijective mixing function, so distinct
+// inputs can never collide.
+
+#pragma once
+
+#include <cstdint>
+
+namespace ayd::rng {
+
+/// One step of the SplitMix64 output function on state `x` (pass by value;
+/// callers thread the updated state themselves if they need a sequence).
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of two 64-bit values into one (seed, stream) -> substream
+/// seed. Avalanches `a` through the SplitMix64 finalizer, injects `b`, then
+/// avalanches again, so a collision between two pairs requires two finalizer
+/// outputs to agree on all but the XOR of the stream ids — probability
+/// ~2^-64 per pair. In particular the dense low-valued (seed, stream) grids
+/// used for replica substreams map to distinct outputs.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a;
+  std::uint64_t y = splitmix64_next(x) ^ b;
+  return splitmix64_next(y);
+}
+
+}  // namespace ayd::rng

@@ -1,0 +1,14 @@
+#include "ayd/sim/event.hpp"
+
+namespace ayd::sim {
+
+std::string event_type_name(EventType t) {
+  switch (t) {
+    case EventType::kFailStop: return "fail-stop";
+    case EventType::kSilent: return "silent";
+    case EventType::kPhaseEnd: return "phase-end";
+  }
+  return "unknown";
+}
+
+}  // namespace ayd::sim

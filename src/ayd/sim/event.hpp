@@ -1,0 +1,34 @@
+// Discrete-event-simulation primitives: event types and the timestamped
+// event record.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ayd::sim {
+
+enum class EventType : std::uint8_t {
+  kFailStop,   ///< a fail-stop error arrival
+  kSilent,     ///< a silent error arrival (corrupts data, undetected)
+  kPhaseEnd,   ///< the current protocol phase completes
+};
+
+[[nodiscard]] std::string event_type_name(EventType t);
+
+struct Event {
+  double time = 0.0;     ///< absolute simulation time, seconds
+  EventType type = EventType::kPhaseEnd;
+  std::uint64_t id = 0;  ///< unique, monotonically increasing handle
+};
+
+/// Min-heap ordering: earliest time first; ties broken by insertion id so
+/// simultaneous events fire in schedule order (deterministic replay).
+struct EventAfter {
+  [[nodiscard]] bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.id > b.id;
+  }
+};
+
+}  // namespace ayd::sim

@@ -1,0 +1,44 @@
+#include "ayd/sim/event_queue.hpp"
+
+#include "ayd/util/contracts.hpp"
+
+namespace ayd::sim {
+
+std::uint64_t EventQueue::push(double time, EventType type) {
+  AYD_REQUIRE(time >= 0.0, "event time must be nonnegative");
+  const std::uint64_t id = next_id_++;
+  heap_.push(Event{time, type, id});
+  return id;
+}
+
+void EventQueue::cancel(std::uint64_t id) { cancelled_.insert(id); }
+
+void EventQueue::skip_cancelled() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+std::optional<Event> EventQueue::pop() {
+  skip_cancelled();
+  if (heap_.empty()) return std::nullopt;
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+std::optional<Event> EventQueue::peek() {
+  skip_cancelled();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top();
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  cancelled_.clear();
+}
+
+}  // namespace ayd::sim

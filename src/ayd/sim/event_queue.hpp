@@ -1,0 +1,54 @@
+// Pending-event set for the DES engine: a binary heap ordered by
+// (time, id) with lazy cancellation.
+//
+// cancel() marks an id; cancelled events are skipped during pop. This is
+// the standard technique for calendar queues whose events are frequently
+// invalidated (here: a phase-end is cancelled whenever an error preempts
+// the phase, and pending error arrivals are cancelled on rollback).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "ayd/sim/event.hpp"
+
+namespace ayd::sim {
+
+class EventQueue {
+ public:
+  /// Schedules an event; returns its unique id (usable with cancel()).
+  std::uint64_t push(double time, EventType type);
+
+  /// Marks an event as cancelled. Cancelling an already-popped or unknown
+  /// id is a harmless no-op (the mark is dropped on next encounter).
+  void cancel(std::uint64_t id);
+
+  /// Pops the earliest non-cancelled event; nullopt when drained.
+  [[nodiscard]] std::optional<Event> pop();
+
+  /// Earliest non-cancelled event without removing it.
+  [[nodiscard]] std::optional<Event> peek();
+
+  [[nodiscard]] bool empty() { return !peek().has_value(); }
+
+  /// Number of live (non-cancelled) events currently queued.
+  [[nodiscard]] std::size_t live_size() const {
+    return heap_.size() - cancelled_.size();
+  }
+
+  /// Removes everything.
+  void clear();
+
+ private:
+  void skip_cancelled();
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace ayd::sim

@@ -1,0 +1,147 @@
+#include "ayd/sim/multi_protocol.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "ayd/util/contracts.hpp"
+
+namespace ayd::sim {
+
+MultiVerifSimulator::MultiVerifSimulator(const model::System& sys,
+                                         const core::MultiPattern& pattern)
+    : pattern_(pattern),
+      lf_(sys.fail_stop_rate(pattern.procs)),
+      ls_(sys.silent_rate(pattern.procs)),
+      w_(pattern.period / pattern.segments),
+      v_(sys.verification_cost(pattern.procs)),
+      c_(sys.checkpoint_cost(pattern.procs)),
+      r_(sys.recovery_cost(pattern.procs)),
+      d_(sys.downtime()) {
+  core::validate(pattern);
+}
+
+PatternStats MultiVerifSimulator::simulate_pattern(rng::RngStream& rng) {
+  PatternStats stats;
+  double wall = 0.0;
+
+  const auto sample = [&](double rate) {
+    return rate > 0.0 ? rng.next_exponential(rate)
+                      : std::numeric_limits<double>::infinity();
+  };
+  const auto run_recovery = [&] {
+    for (;;) {
+      const double y = sample(lf_);
+      if (y < r_) {
+        ++stats.fail_stop_errors;
+        ++stats.recovery_fail_stops;
+        wall += y + d_;
+        continue;
+      }
+      wall += r_;
+      return;
+    }
+  };
+
+  for (;;) {  // attempts
+    ++stats.attempts;
+    bool restart = false;
+    for (int i = 0; i < pattern_.segments; ++i) {
+      // Memorylessness: fresh draws per segment are exact.
+      const double x = sample(lf_);
+      const double s_arrival = sample(ls_);
+      const bool silent = s_arrival < w_;
+      if (x < w_ + v_) {
+        ++stats.fail_stop_errors;
+        if (silent && s_arrival < x) ++stats.masked_silent;
+        wall += x + d_;
+        run_recovery();
+        restart = true;
+        break;
+      }
+      wall += w_ + v_;
+      if (silent) {
+        ++stats.silent_detections;
+        run_recovery();
+        restart = true;
+        break;
+      }
+    }
+    if (restart) continue;
+    const double x = sample(lf_);
+    if (x < c_) {
+      ++stats.fail_stop_errors;
+      wall += x + d_;
+      run_recovery();
+      continue;
+    }
+    wall += c_;
+    stats.wall_time = wall;
+    return stats;
+  }
+}
+
+ReplicationResult simulate_multi_overhead(const model::System& sys,
+                                          const core::MultiPattern& pattern,
+                                          const ReplicationOptions& opt,
+                                          exec::ThreadPool* pool) {
+  AYD_REQUIRE(opt.replicas >= 1, "need at least one replica");
+  AYD_REQUIRE(opt.patterns_per_replica >= 1,
+              "need at least one pattern per replica");
+  core::validate(pattern);
+
+  struct Outcome {
+    double overhead = 0.0;
+    double mean_time = 0.0;
+    PatternStats totals;
+  };
+  const auto run_replica = [&](std::size_t i) {
+    rng::RngStream rng(opt.seed, i);
+    MultiVerifSimulator simulator(sys, pattern);
+    PatternStats totals;
+    for (std::size_t k = 0; k < opt.patterns_per_replica; ++k) {
+      totals.merge(simulator.simulate_pattern(rng));
+    }
+    const auto n = static_cast<double>(opt.patterns_per_replica);
+    const double work = n * pattern.period * sys.speedup(pattern.procs);
+    return Outcome{totals.wall_time / work, totals.wall_time / n, totals};
+  };
+
+  std::vector<Outcome> outcomes;
+  if (pool != nullptr) {
+    outcomes = exec::parallel_map(*pool, opt.replicas, run_replica);
+  } else {
+    outcomes.reserve(opt.replicas);
+    for (std::size_t i = 0; i < opt.replicas; ++i) {
+      outcomes.push_back(run_replica(i));
+    }
+  }
+
+  stats::RunningStats overhead_stats;
+  stats::RunningStats time_stats;
+  PatternStats totals;
+  for (const Outcome& o : outcomes) {
+    overhead_stats.add(o.overhead);
+    time_stats.add(o.mean_time);
+    totals.merge(o.totals);
+  }
+
+  ReplicationResult result;
+  result.overhead = stats::summarize(overhead_stats, opt.ci_level);
+  result.pattern_time = stats::summarize(time_stats, opt.ci_level);
+  result.analytic_overhead = core::multi_pattern_overhead(sys, pattern);
+  result.analytic_pattern_time =
+      core::expected_multi_pattern_time(sys, pattern);
+  result.total_patterns =
+      static_cast<std::uint64_t>(opt.replicas) * opt.patterns_per_replica;
+  const auto n = static_cast<double>(result.total_patterns);
+  result.fail_stops_per_pattern =
+      static_cast<double>(totals.fail_stop_errors) / n;
+  result.silent_detections_per_pattern =
+      static_cast<double>(totals.silent_detections) / n;
+  result.masked_silent_per_pattern =
+      static_cast<double>(totals.masked_silent) / n;
+  result.attempts_per_pattern = static_cast<double>(totals.attempts) / n;
+  return result;
+}
+
+}  // namespace ayd::sim

@@ -1,0 +1,258 @@
+#include "ayd/sim/protocol.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "ayd/util/contracts.hpp"
+#include "ayd/util/error.hpp"
+
+namespace ayd::sim {
+
+namespace {
+
+constexpr std::uint64_t kNoEvent = std::numeric_limits<std::uint64_t>::max();
+
+[[noreturn]] void throw_diverged(const core::Pattern& pattern, double lf,
+                                 double ls) {
+  std::ostringstream os;
+  os << "pattern did not complete within " << kMaxPatternAttempts
+     << " attempts (T=" << pattern.period << ", P=" << pattern.procs
+     << ", lambda_f=" << lf << ", lambda_s=" << ls
+     << "); the per-attempt success probability is too small";
+  throw util::SimulationDiverged(os.str());
+}
+
+}  // namespace
+
+DesProtocolSimulator::DesProtocolSimulator(const model::System& sys,
+                                           const core::Pattern& pattern)
+    : pattern_(pattern),
+      lf_(sys.fail_stop_rate(pattern.procs)),
+      ls_(sys.silent_rate(pattern.procs)),
+      t_(pattern.period),
+      v_(sys.verification_cost(pattern.procs)),
+      c_(sys.checkpoint_cost(pattern.procs)),
+      r_(sys.recovery_cost(pattern.procs)),
+      d_(sys.downtime()) {
+  core::validate(pattern);
+}
+
+PatternStats DesProtocolSimulator::simulate_pattern(rng::RngStream& rng,
+                                                    Trace* trace,
+                                                    double start_time) {
+  enum class Phase { kWork, kVerify, kCheckpoint, kRecovery };
+
+  PatternStats stats;
+  EventQueue queue;
+  double clock = start_time;
+
+  Phase phase = Phase::kWork;
+  double phase_start = clock;
+  bool silent_struck = false;
+  std::uint64_t phase_end_id = kNoEvent;
+  std::uint64_t silent_id = kNoEvent;
+  std::uint64_t fail_stop_id = kNoEvent;
+
+  const auto schedule_fail_stop = [&] {
+    if (lf_ > 0.0) {
+      fail_stop_id = queue.push(clock + rng.next_exponential(lf_),
+                                EventType::kFailStop);
+    }
+  };
+  const auto begin_phase = [&](Phase next, double duration) {
+    phase = next;
+    phase_start = clock;
+    phase_end_id = queue.push(clock + duration, EventType::kPhaseEnd);
+  };
+  const auto begin_attempt = [&] {
+    if (stats.attempts >= kMaxPatternAttempts) {
+      throw_diverged(pattern_, lf_, ls_);
+    }
+    ++stats.attempts;
+    silent_struck = false;
+    begin_phase(Phase::kWork, t_);
+    if (ls_ > 0.0) {
+      silent_id =
+          queue.push(clock + rng.next_exponential(ls_), EventType::kSilent);
+    }
+  };
+  const auto cancel_if_pending = [&](std::uint64_t& id) {
+    if (id != kNoEvent) {
+      queue.cancel(id);
+      id = kNoEvent;
+    }
+  };
+  const auto trace_segment = [&](double begin, double end, SegmentKind kind) {
+    if (trace != nullptr) trace->add(begin, end, kind);
+  };
+  const auto phase_kind = [&]() -> SegmentKind {
+    switch (phase) {
+      case Phase::kWork: return SegmentKind::kCompute;
+      case Phase::kVerify: return SegmentKind::kVerify;
+      case Phase::kCheckpoint: return SegmentKind::kCheckpoint;
+      case Phase::kRecovery: return SegmentKind::kRecovery;
+    }
+    AYD_ENSURE(false, "unreachable phase");
+  };
+
+  begin_attempt();
+  schedule_fail_stop();
+
+  for (;;) {
+    const auto event = queue.pop();
+    AYD_ENSURE(event.has_value(), "protocol simulation ran out of events");
+    clock = event->time;
+
+    switch (event->type) {
+      case EventType::kSilent: {
+        silent_id = kNoEvent;
+        // Fires only during the work phase: it is scheduled at work start
+        // and cancelled when the phase ends or is preempted.
+        AYD_ENSURE(phase == Phase::kWork, "silent error outside computation");
+        silent_struck = true;
+        break;
+      }
+
+      case EventType::kFailStop: {
+        fail_stop_id = kNoEvent;
+        if (stats.fail_stop_errors >= kMaxPatternAttempts) {
+          throw_diverged(pattern_, lf_, ls_);
+        }
+        ++stats.fail_stop_errors;
+        if (phase == Phase::kRecovery) ++stats.recovery_fail_stops;
+        if (silent_struck) {
+          // Masked: the rollback the fail-stop forces also repairs the
+          // corruption, so the verification never has to catch it.
+          ++stats.masked_silent;
+          silent_struck = false;
+        }
+        cancel_if_pending(phase_end_id);
+        cancel_if_pending(silent_id);
+        // The partial phase execution is lost.
+        trace_segment(phase_start, clock,
+                      phase == Phase::kWork ? SegmentKind::kWasted
+                                            : phase_kind());
+        // Downtime: nothing can fail, no events pending by construction.
+        trace_segment(clock, clock + d_, SegmentKind::kDowntime);
+        clock += d_;
+        begin_phase(Phase::kRecovery, r_);
+        schedule_fail_stop();  // fresh arrival after the quiet downtime
+        break;
+      }
+
+      case EventType::kPhaseEnd: {
+        phase_end_id = kNoEvent;
+        switch (phase) {
+          case Phase::kWork:
+            cancel_if_pending(silent_id);
+            trace_segment(phase_start, clock,
+                          silent_struck ? SegmentKind::kWasted
+                                        : SegmentKind::kCompute);
+            begin_phase(Phase::kVerify, v_);
+            break;
+          case Phase::kVerify:
+            trace_segment(phase_start, clock, SegmentKind::kVerify);
+            if (silent_struck) {
+              ++stats.silent_detections;
+              silent_struck = false;
+              begin_phase(Phase::kRecovery, r_);
+            } else {
+              begin_phase(Phase::kCheckpoint, c_);
+            }
+            break;
+          case Phase::kCheckpoint:
+            trace_segment(phase_start, clock, SegmentKind::kCheckpoint);
+            stats.wall_time = clock - start_time;
+            return stats;
+          case Phase::kRecovery:
+            trace_segment(phase_start, clock, SegmentKind::kRecovery);
+            begin_attempt();
+            break;
+        }
+        break;
+      }
+    }
+  }
+}
+
+FastProtocolSimulator::FastProtocolSimulator(const model::System& sys,
+                                             const core::Pattern& pattern)
+    : pattern_(pattern),
+      lf_(sys.fail_stop_rate(pattern.procs)),
+      ls_(sys.silent_rate(pattern.procs)),
+      t_(pattern.period),
+      v_(sys.verification_cost(pattern.procs)),
+      c_(sys.checkpoint_cost(pattern.procs)),
+      r_(sys.recovery_cost(pattern.procs)),
+      d_(sys.downtime()) {
+  core::validate(pattern);
+}
+
+PatternStats FastProtocolSimulator::simulate_pattern(rng::RngStream& rng) {
+  PatternStats stats;
+  double wall = 0.0;
+
+  const auto sample = [&](double rate) {
+    return rate > 0.0 ? rng.next_exponential(rate)
+                      : std::numeric_limits<double>::infinity();
+  };
+  // Repeated recovery attempts until one completes without a fail-stop.
+  const auto run_recovery = [&] {
+    for (;;) {
+      const double y = sample(lf_);
+      if (y < r_) {
+        if (stats.fail_stop_errors >= kMaxPatternAttempts) {
+          throw_diverged(pattern_, lf_, ls_);
+        }
+        ++stats.fail_stop_errors;
+        ++stats.recovery_fail_stops;
+        wall += y + d_;
+        continue;
+      }
+      wall += r_;
+      return;
+    }
+  };
+
+  for (;;) {
+    if (stats.attempts >= kMaxPatternAttempts) {
+      throw_diverged(pattern_, lf_, ls_);
+    }
+    ++stats.attempts;
+    // First fail-stop arrival within this attempt (memoryless restart at
+    // each attempt boundary makes a fresh draw equivalent).
+    const double x = sample(lf_);
+    // First silent arrival within the computation.
+    const double s_arrival = sample(ls_);
+    const bool silent = s_arrival < t_;
+
+    if (x < t_ + v_) {
+      // Fail-stop during compute or verification.
+      ++stats.fail_stop_errors;
+      if (silent && s_arrival < x) ++stats.masked_silent;
+      wall += x + d_;
+      run_recovery();
+      continue;
+    }
+    if (silent) {
+      // Survived to the end of verification; the silent error is caught.
+      ++stats.silent_detections;
+      wall += t_ + v_;
+      run_recovery();
+      continue;
+    }
+    if (x < t_ + v_ + c_) {
+      // Fail-stop while storing the checkpoint.
+      ++stats.fail_stop_errors;
+      wall += x + d_;
+      run_recovery();
+      continue;
+    }
+    wall += t_ + v_ + c_;
+    stats.wall_time = wall;
+    return stats;
+  }
+}
+
+}  // namespace ayd::sim

@@ -1,0 +1,100 @@
+#include "ayd/sim/runner.hpp"
+
+#include <vector>
+
+#include "ayd/core/expected_time.hpp"
+#include "ayd/core/overhead.hpp"
+#include "ayd/util/contracts.hpp"
+
+namespace ayd::sim {
+
+namespace {
+
+struct ReplicaOutcome {
+  double overhead = 0.0;
+  double mean_pattern_time = 0.0;
+  PatternStats totals;
+};
+
+ReplicaOutcome run_replica(const model::System& sys,
+                           const core::Pattern& pattern,
+                           const ReplicationOptions& opt,
+                           std::uint64_t replica_index) {
+  rng::RngStream rng(opt.seed, replica_index);
+  PatternStats totals;
+
+  if (opt.backend == Backend::kDes) {
+    DesProtocolSimulator simulator(sys, pattern);
+    for (std::size_t i = 0; i < opt.patterns_per_replica; ++i) {
+      totals.merge(simulator.simulate_pattern(rng));
+    }
+  } else {
+    FastProtocolSimulator simulator(sys, pattern);
+    for (std::size_t i = 0; i < opt.patterns_per_replica; ++i) {
+      totals.merge(simulator.simulate_pattern(rng));
+    }
+  }
+
+  const auto n = static_cast<double>(opt.patterns_per_replica);
+  // Fault-free time of the work contained in n patterns, in serial-time
+  // units: n·T·S(P) (cf. paper, "Optimization objective").
+  const double work = n * pattern.period * sys.speedup(pattern.procs);
+  ReplicaOutcome out;
+  out.totals = totals;
+  out.overhead = totals.wall_time / work;
+  out.mean_pattern_time = totals.wall_time / n;
+  return out;
+}
+
+}  // namespace
+
+ReplicationResult simulate_overhead(const model::System& sys,
+                                    const core::Pattern& pattern,
+                                    const ReplicationOptions& opt,
+                                    exec::ThreadPool* pool) {
+  AYD_REQUIRE(opt.replicas >= 1, "need at least one replica");
+  AYD_REQUIRE(opt.patterns_per_replica >= 1,
+              "need at least one pattern per replica");
+  core::validate(pattern);
+
+  std::vector<ReplicaOutcome> outcomes;
+  if (pool != nullptr) {
+    outcomes = exec::parallel_map(*pool, opt.replicas, [&](std::size_t i) {
+      return run_replica(sys, pattern, opt, i);
+    });
+  } else {
+    outcomes.reserve(opt.replicas);
+    for (std::size_t i = 0; i < opt.replicas; ++i) {
+      outcomes.push_back(run_replica(sys, pattern, opt, i));
+    }
+  }
+
+  // Deterministic reduction in replica order.
+  stats::RunningStats overhead_stats;
+  stats::RunningStats time_stats;
+  PatternStats totals;
+  for (const ReplicaOutcome& o : outcomes) {
+    overhead_stats.add(o.overhead);
+    time_stats.add(o.mean_pattern_time);
+    totals.merge(o.totals);
+  }
+
+  ReplicationResult result;
+  result.overhead = stats::summarize(overhead_stats, opt.ci_level);
+  result.pattern_time = stats::summarize(time_stats, opt.ci_level);
+  result.analytic_overhead = core::pattern_overhead(sys, pattern);
+  result.analytic_pattern_time = core::expected_pattern_time(sys, pattern);
+  result.total_patterns =
+      static_cast<std::uint64_t>(opt.replicas) * opt.patterns_per_replica;
+  const auto n = static_cast<double>(result.total_patterns);
+  result.fail_stops_per_pattern =
+      static_cast<double>(totals.fail_stop_errors) / n;
+  result.silent_detections_per_pattern =
+      static_cast<double>(totals.silent_detections) / n;
+  result.masked_silent_per_pattern =
+      static_cast<double>(totals.masked_silent) / n;
+  result.attempts_per_pattern = static_cast<double>(totals.attempts) / n;
+  return result;
+}
+
+}  // namespace ayd::sim

@@ -1,0 +1,62 @@
+// Replicated simulation driver.
+//
+// Follows the paper's experimental protocol (Section IV-A): the result of
+// each experiment is an average over independent runs, each executing a
+// long sequence of patterns; the expected execution overhead is estimated
+// as the ratio of faulty execution time to fault-free execution time of
+// the same work. Replica i draws from the RNG substream (seed, i), so the
+// estimate is bit-identical no matter how many threads execute it.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ayd/core/pattern.hpp"
+#include "ayd/exec/thread_pool.hpp"
+#include "ayd/model/system.hpp"
+#include "ayd/sim/protocol.hpp"
+#include "ayd/stats/summary.hpp"
+
+namespace ayd::sim {
+
+enum class Backend {
+  kFast,  ///< closed-form per-segment sampler (default)
+  kDes,   ///< event-queue reference simulator
+};
+
+struct ReplicationOptions {
+  /// Independent runs (the paper uses 500).
+  std::size_t replicas = 120;
+  /// Patterns per run (the paper uses >= 500).
+  std::size_t patterns_per_replica = 160;
+  std::uint64_t seed = 0xA4D2016ULL;
+  Backend backend = Backend::kFast;
+  double ci_level = 0.95;
+};
+
+struct ReplicationResult {
+  /// Per-replica execution overhead H = wall / (n·T·S(P)) summary.
+  stats::Summary overhead;
+  /// Per-replica mean pattern wall-time summary.
+  stats::Summary pattern_time;
+  /// Exact model predictions for comparison.
+  double analytic_overhead = 0.0;
+  double analytic_pattern_time = 0.0;
+  /// Error-process telemetry (per pattern, averaged over everything).
+  double fail_stops_per_pattern = 0.0;
+  double silent_detections_per_pattern = 0.0;
+  double masked_silent_per_pattern = 0.0;
+  double attempts_per_pattern = 0.0;
+  std::uint64_t total_patterns = 0;
+};
+
+/// Simulates `replicas` independent applications of
+/// `patterns_per_replica` patterns each and summarises the measured
+/// execution overhead against the analytic prediction. If `pool` is
+/// non-null the replicas run in parallel on it.
+[[nodiscard]] ReplicationResult simulate_overhead(
+    const model::System& sys, const core::Pattern& pattern,
+    const ReplicationOptions& opt = {}, exec::ThreadPool* pool = nullptr);
+
+}  // namespace ayd::sim

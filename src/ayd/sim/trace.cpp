@@ -1,0 +1,101 @@
+#include "ayd/sim/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+#include "ayd/util/contracts.hpp"
+#include "ayd/util/strings.hpp"
+
+namespace ayd::sim {
+
+std::string segment_kind_name(SegmentKind k) {
+  switch (k) {
+    case SegmentKind::kCompute: return "compute";
+    case SegmentKind::kWasted: return "wasted";
+    case SegmentKind::kVerify: return "verify";
+    case SegmentKind::kCheckpoint: return "checkpoint";
+    case SegmentKind::kRecovery: return "recovery";
+    case SegmentKind::kDowntime: return "downtime";
+  }
+  return "unknown";
+}
+
+char segment_kind_glyph(SegmentKind k) {
+  switch (k) {
+    case SegmentKind::kCompute: return '=';
+    case SegmentKind::kWasted: return 'x';
+    case SegmentKind::kVerify: return 'v';
+    case SegmentKind::kCheckpoint: return 'C';
+    case SegmentKind::kRecovery: return 'R';
+    case SegmentKind::kDowntime: return 'D';
+  }
+  return '?';
+}
+
+void Trace::add(double begin, double end, SegmentKind kind) {
+  AYD_REQUIRE(end >= begin, "trace segment must have end >= begin");
+  if (end == begin) return;  // zero-length segments carry no information
+  if (!segments_.empty()) {
+    AYD_REQUIRE(begin >= segments_.back().end - 1e-9,
+                "trace segments must be appended in time order");
+  }
+  segments_.push_back({begin, end, kind});
+}
+
+double Trace::total_time() const {
+  if (segments_.empty()) return 0.0;
+  return segments_.back().end - segments_.front().begin;
+}
+
+double Trace::time_in(SegmentKind kind) const {
+  double total = 0.0;
+  for (const Segment& s : segments_) {
+    if (s.kind == kind) total += s.duration();
+  }
+  return total;
+}
+
+std::string Trace::render_timeline(std::size_t width) const {
+  AYD_REQUIRE(width >= 10, "timeline width too small");
+  std::ostringstream os;
+  if (segments_.empty()) {
+    os << "(empty trace)\n";
+    return os.str();
+  }
+  const double t0 = segments_.front().begin;
+  const double t1 = segments_.back().end;
+  const double span = t1 - t0;
+
+  // For each bucket pick the kind covering the most time inside it.
+  std::string line(width, ' ');
+  for (std::size_t b = 0; b < width; ++b) {
+    const double b0 = t0 + span * static_cast<double>(b) /
+                               static_cast<double>(width);
+    const double b1 = t0 + span * static_cast<double>(b + 1) /
+                               static_cast<double>(width);
+    std::array<double, 6> cover{};
+    for (const Segment& s : segments_) {
+      if (s.end <= b0 || s.begin >= b1) continue;
+      const double overlap = std::min(s.end, b1) - std::max(s.begin, b0);
+      cover[static_cast<std::size_t>(s.kind)] += overlap;
+    }
+    const auto best =
+        std::max_element(cover.begin(), cover.end()) - cover.begin();
+    if (cover[static_cast<std::size_t>(best)] > 0.0) {
+      line[b] = segment_kind_glyph(static_cast<SegmentKind>(best));
+    }
+  }
+
+  os << "t=" << util::format_duration(0.0) << " "
+     << line << " t=" << util::format_duration(span) << "\n";
+  os << "legend:";
+  for (int k = 0; k <= static_cast<int>(SegmentKind::kDowntime); ++k) {
+    const auto kind = static_cast<SegmentKind>(k);
+    os << "  " << segment_kind_glyph(kind) << "=" << segment_kind_name(kind);
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace ayd::sim

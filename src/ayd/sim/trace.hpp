@@ -1,0 +1,53 @@
+// Execution traces: a list of labelled time segments recorded by the DES
+// protocol simulator, with an ASCII timeline renderer used by the
+// failure_timeline example and by debugging sessions.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ayd::sim {
+
+enum class SegmentKind : int {
+  kCompute,     ///< useful work
+  kWasted,      ///< work destroyed by an error (re-executed later)
+  kVerify,      ///< verification V_P
+  kCheckpoint,  ///< checkpoint C_P
+  kRecovery,    ///< recovery R_P
+  kDowntime,    ///< downtime D after a fail-stop error
+};
+
+[[nodiscard]] std::string segment_kind_name(SegmentKind k);
+/// One-character glyph for timeline rendering.
+[[nodiscard]] char segment_kind_glyph(SegmentKind k);
+
+struct Segment {
+  double begin = 0.0;
+  double end = 0.0;
+  SegmentKind kind = SegmentKind::kCompute;
+  [[nodiscard]] double duration() const { return end - begin; }
+};
+
+class Trace {
+ public:
+  void add(double begin, double end, SegmentKind kind);
+
+  [[nodiscard]] const std::vector<Segment>& segments() const {
+    return segments_;
+  }
+  [[nodiscard]] bool empty() const { return segments_.empty(); }
+  [[nodiscard]] double total_time() const;
+  [[nodiscard]] double time_in(SegmentKind kind) const;
+
+  /// Renders the whole trace as a glyph-per-bucket timeline, `width`
+  /// buckets wide, with a legend. Each bucket shows the kind that occupies
+  /// most of it.
+  [[nodiscard]] std::string render_timeline(std::size_t width = 100) const;
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace ayd::sim

@@ -1,0 +1,364 @@
+#include "ayd/sim/two_level_protocol.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "ayd/sim/event_queue.hpp"
+#include "ayd/util/contracts.hpp"
+
+namespace ayd::sim {
+
+namespace {
+
+constexpr std::uint64_t kNoEvent = std::numeric_limits<std::uint64_t>::max();
+
+}  // namespace
+
+TwoLevelSimulator::TwoLevelSimulator(const core::TwoLevelSystem& sys,
+                                     const core::TwoLevelPattern& pattern)
+    : pattern_(pattern),
+      lf_(sys.base.fail_stop_rate(pattern.procs)),
+      ls_(sys.base.silent_rate(pattern.procs)),
+      w_(pattern.period / pattern.segments),
+      v_(sys.base.verification_cost(pattern.procs)),
+      l1_(sys.level1_cost(pattern.procs)),
+      c2_(sys.base.checkpoint_cost(pattern.procs)),
+      r2_(sys.base.recovery_cost(pattern.procs)),
+      d_(sys.base.downtime()) {
+  core::validate(pattern);
+}
+
+PatternStats TwoLevelSimulator::simulate_pattern(rng::RngStream& rng) {
+  PatternStats stats;
+  double wall = 0.0;
+
+  const auto sample = [&](double rate) {
+    return rate > 0.0 ? rng.next_exponential(rate)
+                      : std::numeric_limits<double>::infinity();
+  };
+  // Level-2 recovery with internal retries (each failed attempt costs its
+  // lost time plus a downtime).
+  const auto run_level2_recovery = [&] {
+    for (;;) {
+      if (stats.fail_stop_errors >= kMaxPatternAttempts) {
+        throw util::SimulationDiverged(
+            "two-level pattern did not complete: level-2 recovery "
+            "fail-stop storm");
+      }
+      const double y = sample(lf_);
+      if (y < r2_) {
+        ++stats.fail_stop_errors;
+        ++stats.recovery_fail_stops;
+        wall += y + d_;
+        continue;
+      }
+      wall += r2_;
+      return;
+    }
+  };
+
+  for (;;) {  // pattern attempts (restarted by fail-stop errors)
+    if (stats.attempts >= kMaxPatternAttempts) {
+      throw util::SimulationDiverged(
+          "two-level pattern did not complete within the attempt bound");
+    }
+    ++stats.attempts;
+    bool restart = false;
+    for (int i = 0; i < pattern_.segments && !restart; ++i) {
+      for (;;) {  // segment attempts (restarted by silent errors)
+        // Memorylessness: fresh draws per segment attempt are exact.
+        const double x = sample(lf_);
+        const double s_arrival = sample(ls_);
+        const bool silent = s_arrival < w_;
+        if (x < w_ + v_) {
+          // Fail-stop during work or verification: level-2 restart.
+          ++stats.fail_stop_errors;
+          if (silent && s_arrival < x) ++stats.masked_silent;
+          wall += x + d_;
+          run_level2_recovery();
+          restart = true;
+          break;
+        }
+        wall += w_ + v_;
+        if (silent) {
+          // Caught by this segment's verification: level-1 recovery, then
+          // re-execute only this segment.
+          ++stats.silent_detections;
+          const double y = sample(lf_);
+          if (y < l1_) {
+            // Fail-stop during the (in-memory) recovery: level-2 restart.
+            ++stats.fail_stop_errors;
+            ++stats.recovery_fail_stops;
+            wall += y + d_;
+            run_level2_recovery();
+            restart = true;
+            break;
+          }
+          wall += l1_;
+          continue;  // retry this segment
+        }
+        // Clean segment: store the boundary checkpoint (level-1, or
+        // level-2 on the last segment).
+        const double ckpt = i == pattern_.segments - 1 ? c2_ : l1_;
+        const double z = sample(lf_);
+        if (z < ckpt) {
+          ++stats.fail_stop_errors;
+          wall += z + d_;
+          run_level2_recovery();
+          restart = true;
+          break;
+        }
+        wall += ckpt;
+        break;  // segment complete, advance
+      }
+    }
+    if (restart) continue;
+    stats.wall_time = wall;
+    return stats;
+  }
+}
+
+TwoLevelDesSimulator::TwoLevelDesSimulator(const core::TwoLevelSystem& sys,
+                                           const core::TwoLevelPattern& pattern)
+    : pattern_(pattern),
+      lf_(sys.base.fail_stop_rate(pattern.procs)),
+      ls_(sys.base.silent_rate(pattern.procs)),
+      w_(pattern.period / pattern.segments),
+      v_(sys.base.verification_cost(pattern.procs)),
+      l1_(sys.level1_cost(pattern.procs)),
+      c2_(sys.base.checkpoint_cost(pattern.procs)),
+      r2_(sys.base.recovery_cost(pattern.procs)),
+      d_(sys.base.downtime()) {
+  core::validate(pattern);
+}
+
+PatternStats TwoLevelDesSimulator::simulate_pattern(rng::RngStream& rng,
+                                                    Trace* trace,
+                                                    double start_time) {
+  enum class Phase {
+    kWork,
+    kVerify,
+    kCheckpoint,   // level-1 or level-2, depending on the segment
+    kL1Recovery,
+    kL2Recovery,
+  };
+
+  PatternStats stats;
+  EventQueue queue;
+  double clock = start_time;
+
+  Phase phase = Phase::kWork;
+  double phase_start = clock;
+  int segment = 0;  // current segment index, 0-based
+  bool silent_struck = false;
+  std::uint64_t phase_end_id = kNoEvent;
+  std::uint64_t silent_id = kNoEvent;
+  std::uint64_t fail_stop_id = kNoEvent;
+
+  const auto schedule_fail_stop = [&] {
+    if (lf_ > 0.0) {
+      fail_stop_id = queue.push(clock + rng.next_exponential(lf_),
+                                EventType::kFailStop);
+    }
+  };
+  const auto begin_phase = [&](Phase next, double duration) {
+    phase = next;
+    phase_start = clock;
+    phase_end_id = queue.push(clock + duration, EventType::kPhaseEnd);
+  };
+  const auto begin_segment = [&] {
+    silent_struck = false;
+    begin_phase(Phase::kWork, w_);
+    if (ls_ > 0.0) {
+      silent_id =
+          queue.push(clock + rng.next_exponential(ls_), EventType::kSilent);
+    }
+  };
+  const auto begin_attempt = [&] {
+    if (stats.attempts >= kMaxPatternAttempts) {
+      throw util::SimulationDiverged(
+          "two-level DES pattern did not complete within the attempt "
+          "bound");
+    }
+    ++stats.attempts;
+    segment = 0;
+    begin_segment();
+  };
+  const auto cancel_if_pending = [&](std::uint64_t& id) {
+    if (id != kNoEvent) {
+      queue.cancel(id);
+      id = kNoEvent;
+    }
+  };
+  const auto trace_segment = [&](double begin, double end, SegmentKind kind) {
+    if (trace != nullptr) trace->add(begin, end, kind);
+  };
+  const auto phase_kind = [&]() -> SegmentKind {
+    switch (phase) {
+      case Phase::kWork: return SegmentKind::kCompute;
+      case Phase::kVerify: return SegmentKind::kVerify;
+      case Phase::kCheckpoint: return SegmentKind::kCheckpoint;
+      case Phase::kL1Recovery:
+      case Phase::kL2Recovery: return SegmentKind::kRecovery;
+    }
+    AYD_ENSURE(false, "unreachable phase");
+  };
+
+  begin_attempt();
+  schedule_fail_stop();
+
+  for (;;) {
+    const auto event = queue.pop();
+    AYD_ENSURE(event.has_value(), "two-level simulation ran out of events");
+    clock = event->time;
+
+    switch (event->type) {
+      case EventType::kSilent: {
+        silent_id = kNoEvent;
+        AYD_ENSURE(phase == Phase::kWork, "silent error outside computation");
+        silent_struck = true;
+        break;
+      }
+
+      case EventType::kFailStop: {
+        fail_stop_id = kNoEvent;
+        if (stats.fail_stop_errors >= kMaxPatternAttempts) {
+          throw util::SimulationDiverged(
+              "two-level DES pattern did not complete: fail-stop storm");
+        }
+        ++stats.fail_stop_errors;
+        if (phase == Phase::kL1Recovery || phase == Phase::kL2Recovery) {
+          ++stats.recovery_fail_stops;
+        }
+        if (silent_struck) {
+          ++stats.masked_silent;
+          silent_struck = false;
+        }
+        cancel_if_pending(phase_end_id);
+        cancel_if_pending(silent_id);
+        trace_segment(phase_start, clock,
+                      phase == Phase::kWork ? SegmentKind::kWasted
+                                            : phase_kind());
+        trace_segment(clock, clock + d_, SegmentKind::kDowntime);
+        clock += d_;
+        begin_phase(Phase::kL2Recovery, r2_);
+        schedule_fail_stop();
+        break;
+      }
+
+      case EventType::kPhaseEnd: {
+        phase_end_id = kNoEvent;
+        switch (phase) {
+          case Phase::kWork:
+            cancel_if_pending(silent_id);
+            trace_segment(phase_start, clock,
+                          silent_struck ? SegmentKind::kWasted
+                                        : SegmentKind::kCompute);
+            begin_phase(Phase::kVerify, v_);
+            break;
+          case Phase::kVerify:
+            trace_segment(phase_start, clock, SegmentKind::kVerify);
+            if (silent_struck) {
+              ++stats.silent_detections;
+              silent_struck = false;
+              begin_phase(Phase::kL1Recovery, l1_);
+            } else {
+              begin_phase(Phase::kCheckpoint,
+                          segment == pattern_.segments - 1 ? c2_ : l1_);
+            }
+            break;
+          case Phase::kCheckpoint:
+            trace_segment(phase_start, clock, SegmentKind::kCheckpoint);
+            if (segment == pattern_.segments - 1) {
+              stats.wall_time = clock - start_time;
+              return stats;
+            }
+            ++segment;
+            begin_segment();
+            break;
+          case Phase::kL1Recovery:
+            trace_segment(phase_start, clock, SegmentKind::kRecovery);
+            begin_segment();  // retry the same segment
+            break;
+          case Phase::kL2Recovery:
+            trace_segment(phase_start, clock, SegmentKind::kRecovery);
+            begin_attempt();  // restart the whole pattern
+            break;
+        }
+        break;
+      }
+    }
+  }
+}
+
+ReplicationResult simulate_two_level_overhead(
+    const core::TwoLevelSystem& sys, const core::TwoLevelPattern& pattern,
+    const ReplicationOptions& opt, exec::ThreadPool* pool) {
+  AYD_REQUIRE(opt.replicas >= 1, "need at least one replica");
+  AYD_REQUIRE(opt.patterns_per_replica >= 1,
+              "need at least one pattern per replica");
+  core::validate(pattern);
+
+  struct Outcome {
+    double overhead = 0.0;
+    double mean_time = 0.0;
+    PatternStats totals;
+  };
+  const auto run_replica = [&](std::size_t i) {
+    rng::RngStream rng(opt.seed, i);
+    PatternStats totals;
+    if (opt.backend == Backend::kDes) {
+      TwoLevelDesSimulator simulator(sys, pattern);
+      for (std::size_t k = 0; k < opt.patterns_per_replica; ++k) {
+        totals.merge(simulator.simulate_pattern(rng));
+      }
+    } else {
+      TwoLevelSimulator simulator(sys, pattern);
+      for (std::size_t k = 0; k < opt.patterns_per_replica; ++k) {
+        totals.merge(simulator.simulate_pattern(rng));
+      }
+    }
+    const auto n = static_cast<double>(opt.patterns_per_replica);
+    const double work =
+        n * pattern.period * sys.base.speedup(pattern.procs);
+    return Outcome{totals.wall_time / work, totals.wall_time / n, totals};
+  };
+
+  std::vector<Outcome> outcomes;
+  if (pool != nullptr) {
+    outcomes = exec::parallel_map(*pool, opt.replicas, run_replica);
+  } else {
+    outcomes.reserve(opt.replicas);
+    for (std::size_t i = 0; i < opt.replicas; ++i) {
+      outcomes.push_back(run_replica(i));
+    }
+  }
+
+  stats::RunningStats overhead_stats;
+  stats::RunningStats time_stats;
+  PatternStats totals;
+  for (const Outcome& o : outcomes) {
+    overhead_stats.add(o.overhead);
+    time_stats.add(o.mean_time);
+    totals.merge(o.totals);
+  }
+
+  ReplicationResult result;
+  result.overhead = stats::summarize(overhead_stats, opt.ci_level);
+  result.pattern_time = stats::summarize(time_stats, opt.ci_level);
+  result.analytic_overhead = core::two_level_overhead(sys, pattern);
+  result.analytic_pattern_time = core::expected_two_level_time(sys, pattern);
+  result.total_patterns =
+      static_cast<std::uint64_t>(opt.replicas) * opt.patterns_per_replica;
+  const auto n = static_cast<double>(result.total_patterns);
+  result.fail_stops_per_pattern =
+      static_cast<double>(totals.fail_stop_errors) / n;
+  result.silent_detections_per_pattern =
+      static_cast<double>(totals.silent_detections) / n;
+  result.masked_silent_per_pattern =
+      static_cast<double>(totals.masked_silent) / n;
+  result.attempts_per_pattern = static_cast<double>(totals.attempts) / n;
+  return result;
+}
+
+}  // namespace ayd::sim

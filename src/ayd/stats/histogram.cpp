@@ -1,0 +1,84 @@
+#include "ayd/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "ayd/util/contracts.hpp"
+#include "ayd/util/strings.hpp"
+
+namespace ayd::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  AYD_REQUIRE(lo < hi, "histogram range requires lo < hi");
+  AYD_REQUIRE(bins >= 1, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (std::isnan(x) || x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::size_t>(t * static_cast<double>(counts_.size()));
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+void Histogram::merge(const Histogram& other) {
+  AYD_REQUIRE(other.lo_ == lo_ && other.hi_ == hi_ &&
+                  other.counts_.size() == counts_.size(),
+              "cannot merge histograms with different binning");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  AYD_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  AYD_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return bin + 1 == counts_.size() ? hi_ : bin_lo(bin + 1);
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  const std::size_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(in_range);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  const std::size_t peak =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::string label = "[" + util::format_sig(bin_lo(i), 3) + ", " +
+                              util::format_sig(bin_hi(i), 3) + ")";
+    std::size_t bar = 0;
+    if (peak > 0) {
+      bar = (counts_[i] * width + peak / 2) / peak;
+    }
+    os << util::pad_left(label, 24) << " | " << std::string(bar, '#') << " "
+       << counts_[i] << "\n";
+  }
+  if (underflow_ > 0) os << "  underflow: " << underflow_ << "\n";
+  if (overflow_ > 0) os << "  overflow:  " << overflow_ << "\n";
+  return os.str();
+}
+
+}  // namespace ayd::stats

@@ -1,0 +1,44 @@
+// Fixed-bin histogram with ASCII rendering, used by examples and by tests
+// that eyeball simulated distributions (e.g. pattern wall-time spread).
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ayd::stats {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); values outside are counted in underflow /
+  /// overflow. Requires lo < hi, bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Fraction of in-range samples in `bin` (0 if histogram is empty).
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+  /// Multi-line ASCII bar rendering, widest bar = `width` chars.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ayd::stats

@@ -1,0 +1,30 @@
+// One-sample Kolmogorov–Smirnov goodness-of-fit test.
+//
+// The RNG test suite uses this to check that our from-scratch exponential
+// and uniform samplers actually follow their nominal distributions (a much
+// stronger check than matching a couple of moments).
+
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace ayd::stats {
+
+struct KsResult {
+  double statistic = 0.0;  ///< sup-norm distance D_n
+  double p_value = 1.0;    ///< asymptotic Kolmogorov p-value
+  std::size_t n = 0;
+};
+
+/// Tests the sample against the continuous CDF `cdf`. The sample is copied
+/// and sorted internally. Asymptotic p-value uses the Kolmogorov series with
+/// the Stephens small-sample correction sqrt(n) + 0.12 + 0.11/sqrt(n).
+[[nodiscard]] KsResult ks_test(std::span<const double> sample,
+                               const std::function<double(double)>& cdf);
+
+/// CDF helpers for common cases.
+[[nodiscard]] double exponential_cdf(double x, double rate);
+[[nodiscard]] double uniform_cdf(double x, double lo, double hi);
+
+}  // namespace ayd::stats

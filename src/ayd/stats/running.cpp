@@ -1,0 +1,14 @@
+#include "ayd/stats/running.hpp"
+
+#include <cmath>
+
+namespace ayd::stats {
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+}  // namespace ayd::stats

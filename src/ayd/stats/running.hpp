@@ -1,0 +1,75 @@
+// Single-pass running moments (Welford) with exact parallel merge
+// (Chan/Golub/LeVeque pairwise update). This is the accumulator every
+// simulation replica feeds; replicas merge deterministically at the end.
+
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace ayd::stats {
+
+class RunningStats {
+ public:
+  constexpr RunningStats() = default;
+
+  constexpr void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Merges another accumulator into this one; result is identical (up to
+  /// rounding) to having added all samples into a single accumulator.
+  constexpr void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(o.n_);
+    const double delta = o.mean_ - mean_;
+    const double n_total = na + nb;
+    mean_ += delta * (nb / n_total);
+    m2_ += o.m2_ + delta * delta * (na * nb / n_total);
+    n_ += o.n_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  [[nodiscard]] constexpr std::size_t count() const { return n_; }
+  [[nodiscard]] constexpr double mean() const { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] constexpr double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  /// Population variance (n denominator); 0 for n < 1.
+  [[nodiscard]] constexpr double population_variance() const {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean: stddev / sqrt(n); 0 for n < 2.
+  [[nodiscard]] double stderr_mean() const;
+
+  [[nodiscard]] constexpr double min() const {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] constexpr double max() const {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace ayd::stats

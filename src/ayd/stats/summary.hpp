@@ -1,0 +1,65 @@
+// Summary statistics and normal-theory confidence intervals for simulation
+// outputs.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ayd/stats/running.hpp"
+
+namespace ayd::stats {
+
+/// A two-sided confidence interval for a mean.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double level = 0.95;
+  [[nodiscard]] double half_width() const { return 0.5 * (hi - lo); }
+  [[nodiscard]] bool contains(double x) const { return lo <= x && x <= hi; }
+};
+
+/// Full summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double stderr_mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  ConfidenceInterval ci;  ///< normal-theory CI for the mean at `ci.level`
+};
+
+/// Standard normal quantile z_p (wraps the RNG-module approximation; it is
+/// exposed here because CIs are a statistics concern).
+[[nodiscard]] double normal_quantile(double p);
+
+/// Normal-theory CI for a mean from its point estimate and standard error.
+[[nodiscard]] ConfidenceInterval mean_ci(double mean, double stderr_mean,
+                                         double level = 0.95);
+
+/// Builds a Summary from a running accumulator.
+[[nodiscard]] Summary summarize(const RunningStats& stats,
+                                double ci_level = 0.95);
+
+/// Builds a Summary from raw samples.
+[[nodiscard]] Summary summarize(std::span<const double> xs,
+                                double ci_level = 0.95);
+
+/// Empirical quantile (linear interpolation between order statistics,
+/// type-7 / NumPy default). `q` in [0, 1]. Sorts a copy.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Least-squares slope of y against x. Used to fit the log-log asymptotic
+/// orders reported next to Figures 5 and 6 (e.g. P* ~ λ^{-1/4}).
+/// Returns {slope, intercept}. Requires xs.size() == ys.size() >= 2.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+[[nodiscard]] LinearFit linear_fit(std::span<const double> xs,
+                                   std::span<const double> ys);
+
+}  // namespace ayd::stats

@@ -1,0 +1,169 @@
+// `ayd optimize` — the paper's core question answered for one system:
+// how long should the checkpointing period be, and how many processors
+// should the job enroll? Prints the closed-form first-order solution
+// (Theorems 1-3) next to the exact numerical optimum.
+
+#include "ayd/tool/commands.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "ayd/core/first_order.hpp"
+#include "ayd/core/optimizer.hpp"
+#include "ayd/core/overhead.hpp"
+#include "ayd/core/young_daly.hpp"
+#include "ayd/io/json.hpp"
+#include "ayd/io/table.hpp"
+#include "ayd/util/strings.hpp"
+
+namespace ayd::tool {
+
+int cmd_optimize(const std::vector<std::string>& args, std::ostream& out) {
+  cli::ArgParser parser(
+      "ayd optimize",
+      "optimal checkpointing period T* and processor allocation P* "
+      "(first-order formulas vs. exact numerical optimisation)");
+  add_system_options(parser);
+  parser.add_option("procs", "",
+                    "fix the processor count and optimise the period only "
+                    "(Theorem 1 mode)");
+  parser.add_option("max-procs", "1e7",
+                    "upper edge of the numerical allocation search");
+  parser.add_flag("json", "emit a machine-readable JSON record instead of "
+                          "tables");
+  if (parse_or_help(parser, args, out)) return 0;
+
+  const model::System sys = system_from_args(parser);
+  const bool json = parser.flag("json");
+  if (!json) {
+    print_system(sys, out);
+    out << "\n";
+  }
+
+  if (json) {
+    // Machine-readable record: inputs + first-order, higher-order (fixed
+    // P only) and numerical solutions.
+    io::JsonWriter w(out, /*pretty=*/true);
+    w.begin_object();
+    w.key("system");
+    w.begin_object();
+    w.kv("lambda_ind", sys.failure().lambda_ind());
+    w.kv("fail_stop_fraction", sys.failure().fail_stop_fraction());
+    w.kv("downtime", sys.downtime());
+    w.kv("profile", sys.speedup_model().name());
+    w.kv("checkpoint", sys.costs().checkpoint.describe());
+    w.kv("verification", sys.costs().verification.describe());
+    w.end_object();
+    if (!parser.option("procs").empty()) {
+      const double procs = parser.option_double("procs");
+      w.kv("procs", procs);
+      const double t_fo = core::optimal_period_first_order(sys, procs);
+      const core::PeriodOptimum num = core::optimal_period(sys, procs);
+      w.key("first_order");
+      w.begin_object();
+      w.kv("period", t_fo);
+      if (std::isfinite(t_fo)) {
+        w.kv("overhead", core::pattern_overhead(sys, {t_fo, procs}));
+      }
+      w.end_object();
+      if (std::isfinite(t_fo)) {
+        const double t_ho = core::daly_period_vc(sys, procs);
+        w.key("higher_order");
+        w.begin_object();
+        w.kv("period", t_ho);
+        w.kv("overhead", core::pattern_overhead(sys, {t_ho, procs}));
+        w.end_object();
+      }
+      w.key("numerical");
+      w.begin_object();
+      w.kv("period", num.period);
+      w.kv("overhead", num.overhead);
+      w.kv("at_boundary", num.at_boundary);
+      w.end_object();
+    } else {
+      const core::FirstOrderSolution fo = core::solve_first_order(sys);
+      core::AllocationSearchOptions search;
+      search.max_procs = parser.option_double("max-procs");
+      const core::AllocationOptimum num =
+          core::optimal_allocation(sys, search);
+      w.key("first_order");
+      w.begin_object();
+      w.kv("has_optimum", fo.has_optimum);
+      if (fo.has_optimum) {
+        w.kv("procs", fo.procs);
+        w.kv("period", fo.period);
+        w.kv("overhead", fo.overhead);
+      }
+      if (!fo.note.empty()) w.kv("note", fo.note);
+      w.end_object();
+      w.key("numerical");
+      w.begin_object();
+      w.kv("procs", num.procs);
+      w.kv("period", num.period);
+      w.kv("overhead", num.overhead);
+      w.kv("at_boundary", num.at_boundary);
+      w.end_object();
+    }
+    w.end_object();
+    out << "\n";
+    return 0;
+  }
+
+  if (!parser.option("procs").empty()) {
+    // Fixed allocation: Theorem 1 against the exact period optimum.
+    const double procs = parser.option_double("procs");
+    const double t_fo = core::optimal_period_first_order(sys, procs);
+    const core::PeriodOptimum num = core::optimal_period(sys, procs);
+
+    io::Table table({"Solution", "T* (s)", "H(T*, P)"});
+    table.set_align(0, io::Align::kLeft);
+    if (std::isfinite(t_fo)) {
+      table.add_row({"first-order (Theorem 1)", util::format_sig(t_fo, 6),
+                     util::format_sig(
+                         core::pattern_overhead(sys, {t_fo, procs}), 6)});
+      const double t_ho = core::daly_period_vc(sys, procs);
+      table.add_row({"higher-order (Daly-style)", util::format_sig(t_ho, 6),
+                     util::format_sig(
+                         core::pattern_overhead(sys, {t_ho, procs}), 6)});
+    } else {
+      table.add_row({"first-order (Theorem 1)", "inf (error-free)", "-"});
+    }
+    table.add_row({num.at_boundary ? "numerical (at search boundary)"
+                                   : "numerical",
+                   util::format_sig(num.period, 6),
+                   util::format_sig(num.overhead, 6)});
+    out << "P fixed at " << util::format_sig(procs, 6) << ":\n"
+        << table.to_string();
+    return 0;
+  }
+
+  // Joint optimisation.
+  const core::FirstOrderSolution fo = core::solve_first_order(sys);
+  core::AllocationSearchOptions search;
+  search.max_procs = parser.option_double("max-procs");
+  const core::AllocationOptimum num = core::optimal_allocation(sys, search);
+
+  io::Table table({"Solution", "P*", "T* (s)", "overhead H"});
+  table.set_align(0, io::Align::kLeft);
+  if (fo.has_optimum) {
+    table.add_row({"first-order (Thm 2/3)", util::format_sig(fo.procs, 6),
+                   util::format_sig(fo.period, 6),
+                   util::format_sig(fo.overhead, 6)});
+  } else {
+    table.add_row({"first-order (Thm 2/3)", "-", "-", "-"});
+  }
+  table.add_row({num.at_boundary ? "numerical (at search boundary)"
+                                 : "numerical",
+                 util::format_sig(num.procs, 6),
+                 util::format_sig(num.period, 6),
+                 util::format_sig(num.overhead, 6)});
+  out << table.to_string();
+  if (!fo.note.empty()) out << "note: " << fo.note << "\n";
+  if (num.at_boundary) {
+    out << "note: the overhead is monotone in P over the search domain; "
+           "raise --max-procs to explore further.\n";
+  }
+  return 0;
+}
+
+}  // namespace ayd::tool

@@ -1,0 +1,96 @@
+// `ayd plan` — application-level capacity planning: given the total work
+// of a job, report the optimal pattern, the expected makespan, the number
+// of checkpoints the run will take, and how alternative allocations
+// compare. The question the paper's introduction opens with ("what is the
+// optimal number of processors to execute this application?"), answered
+// for one concrete job.
+
+#include "ayd/tool/commands.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "ayd/core/first_order.hpp"
+#include "ayd/core/optimizer.hpp"
+#include "ayd/core/overhead.hpp"
+#include "ayd/io/table.hpp"
+#include "ayd/model/application.hpp"
+#include "ayd/util/strings.hpp"
+
+namespace ayd::tool {
+
+int cmd_plan(const std::vector<std::string>& args, std::ostream& out) {
+  cli::ArgParser parser(
+      "ayd plan",
+      "capacity-plan a job: optimal pattern, expected makespan and "
+      "checkpoint count, plus how nearby allocations compare");
+  add_system_options(parser);
+  parser.add_option("work", "1e7",
+                    "total work W_total in seconds of sequential execution");
+  parser.add_option("name", "job", "job name for the report");
+  parser.add_option("max-procs", "1e7",
+                    "largest allocation available to the job");
+  if (parse_or_help(parser, args, out)) return 0;
+
+  const model::System sys = system_from_args(parser);
+  const model::Application app{parser.option("name"),
+                               parser.option_double("work"), 0.0};
+  print_system(sys, out);
+  out << "job: " << app.name << ", W_total = "
+      << util::format_sig(app.total_work, 4) << " s sequential ("
+      << util::format_duration(app.total_work) << ")\n\n";
+
+  core::AllocationSearchOptions search;
+  search.max_procs = parser.option_double("max-procs");
+  const core::AllocationOptimum opt = core::optimal_allocation(sys, search);
+  const core::Pattern best{opt.period, opt.procs};
+
+  const double makespan = core::expected_makespan(sys, best, app);
+  const double error_free =
+      app.total_work * sys.error_free_overhead(opt.procs);
+  const double patterns =
+      model::pattern_count(app, opt.period, sys.speedup(opt.procs));
+
+  out << "optimal plan:\n"
+      << "  processors      P* = " << util::format_sig(opt.procs, 6)
+      << (opt.at_boundary ? "  (at --max-procs boundary)" : "") << "\n"
+      << "  period          T* = " << util::format_sig(opt.period, 6)
+      << " s (" << util::format_duration(opt.period) << " between "
+      << "checkpoints)\n"
+      << "  overhead        H  = " << util::format_sig(opt.overhead, 6)
+      << "\n"
+      << "  exp. makespan      " << util::format_duration(makespan)
+      << "  (error-free at this P: " << util::format_duration(error_free)
+      << ", +"
+      << util::format_sig(100.0 * (makespan / error_free - 1.0), 3)
+      << "%)\n"
+      << "  checkpoints        " << util::format_sig(std::ceil(patterns), 4)
+      << " (one every " << util::format_duration(opt.period) << ")\n\n";
+
+  // Alternatives: how sensitive is the makespan to the allocation?
+  io::Table table({"allocation", "P", "T* (s)", "H", "exp. makespan",
+                   "vs optimal"});
+  table.set_align(0, io::Align::kLeft);
+  for (const double factor : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const double procs = std::max(1.0, std::round(opt.procs * factor));
+    const core::PeriodOptimum period = core::optimal_period(sys, procs);
+    const core::Pattern pattern{period.period, procs};
+    const double m = core::expected_makespan(sys, pattern, app);
+    table.add_row({factor == 1.0 ? "P* (optimal)"
+                                 : util::format_sig(factor, 3) + " x P*",
+                   util::format_sig(procs, 6),
+                   util::format_sig(period.period, 4),
+                   util::format_sig(period.overhead, 4),
+                   util::format_duration(m),
+                   (m >= makespan ? "+" : "") +
+                       util::format_sig(100.0 * (m / makespan - 1.0), 3) +
+                       "%"});
+  }
+  out << table.to_string();
+  out << "\nEnrolling more processors than P* makes the job *slower*: "
+         "failures and resilience costs outgrow the speedup (the paper's "
+         "headline result).\n";
+  return 0;
+}
+
+}  // namespace ayd::tool

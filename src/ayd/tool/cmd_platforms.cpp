@@ -1,0 +1,59 @@
+// `ayd platforms` — the Table II presets with derived MTBFs and the
+// scenario cost models each one resolves to.
+
+#include "ayd/tool/commands.hpp"
+
+#include <ostream>
+
+#include "ayd/io/table.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/util/strings.hpp"
+
+namespace ayd::tool {
+
+int cmd_platforms(const std::vector<std::string>& args, std::ostream& out) {
+  cli::ArgParser parser("ayd platforms",
+                        "list the built-in platform presets (paper Table II, "
+                        "measured for the SCR library study)");
+  parser.add_flag("scenarios",
+                  "also print the resolved cost models for all six Table "
+                  "III scenarios");
+  if (parse_or_help(parser, args, out)) return 0;
+
+  io::Table table({"Platform", "lambda_ind", "f", "s", "P", "C_P (s)",
+                   "V_P (s)", "node MTBF", "platform MTBF"});
+  table.set_align(0, io::Align::kLeft);
+  for (const model::Platform& p : model::all_platforms()) {
+    table.add_row({p.name, util::format_sig(p.lambda_ind, 3),
+                   util::format_sig(p.fail_stop_fraction, 4),
+                   util::format_sig(1.0 - p.fail_stop_fraction, 4),
+                   util::format_sig(p.measured_procs, 4),
+                   util::format_sig(p.measured_checkpoint, 4),
+                   util::format_sig(p.measured_verification, 4),
+                   util::format_duration(1.0 / p.lambda_ind),
+                   util::format_duration(1.0 / (p.lambda_ind *
+                                                p.measured_procs))});
+  }
+  out << table.to_string();
+
+  if (parser.flag("scenarios")) {
+    out << "\n";
+    io::Table models({"Platform", "Scenario", "C_P = R_P", "V_P"});
+    models.set_align(0, io::Align::kLeft);
+    models.set_align(2, io::Align::kLeft);
+    models.set_align(3, io::Align::kLeft);
+    for (const model::Platform& p : model::all_platforms()) {
+      for (const model::Scenario s : model::all_scenarios()) {
+        const model::ResilienceCosts costs = model::resolve(p, s);
+        models.add_row({p.name, model::scenario_name(s),
+                        costs.checkpoint.describe(),
+                        costs.verification.describe()});
+      }
+    }
+    out << models.to_string();
+  }
+  return 0;
+}
+
+}  // namespace ayd::tool

@@ -1,0 +1,152 @@
+// `ayd sweep` — one-variable parameter sweeps over the optimal pattern:
+// the programmable versions of the paper's Figures 3-7. Each row gives the
+// first-order and numerical optima at one value of the swept variable;
+// --csv dumps the series for plotting.
+
+#include "ayd/tool/commands.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <vector>
+
+#include "ayd/core/first_order.hpp"
+#include "ayd/core/optimizer.hpp"
+#include "ayd/io/csv.hpp"
+#include "ayd/io/table.hpp"
+#include "ayd/util/error.hpp"
+#include "ayd/util/strings.hpp"
+
+namespace ayd::tool {
+
+namespace {
+
+enum class Variable { kLambda, kAlpha, kProcs, kDowntime };
+
+Variable variable_from_string(const std::string& s) {
+  if (s == "lambda") return Variable::kLambda;
+  if (s == "alpha") return Variable::kAlpha;
+  if (s == "procs") return Variable::kProcs;
+  if (s == "downtime") return Variable::kDowntime;
+  throw util::CliError("unknown sweep variable: " + s +
+                       " (expected lambda, alpha, procs, downtime)");
+}
+
+/// The sweep grid: logarithmic for scale-free variables (lambda, alpha,
+/// procs), linear for downtime, honouring an explicit --log/--linear.
+std::vector<double> make_grid(double from, double to, int points,
+                              bool log_spacing) {
+  AYD_REQUIRE(points >= 2, "a sweep needs at least two points");
+  AYD_REQUIRE(to > from, "sweep range must satisfy --to > --from");
+  if (log_spacing) {
+    AYD_REQUIRE(from > 0.0, "log-spaced sweeps need --from > 0");
+  }
+  std::vector<double> grid(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / (points - 1);
+    grid[static_cast<std::size_t>(i)] =
+        log_spacing ? from * std::pow(to / from, t)
+                    : from + (to - from) * t;
+  }
+  return grid;
+}
+
+}  // namespace
+
+int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
+  cli::ArgParser parser(
+      "ayd sweep",
+      "sweep one variable and tabulate the optimal pattern at each value "
+      "(generalises the paper's Figures 3-7)");
+  add_system_options(parser);
+  parser.add_option("var", "lambda",
+                    "swept variable: lambda, alpha, procs, downtime");
+  parser.add_option("from", "1e-12", "lower end of the sweep");
+  parser.add_option("to", "1e-8", "upper end of the sweep");
+  parser.add_option("points", "5", "number of grid points");
+  parser.add_flag("linear", "force linear spacing (default: log spacing "
+                            "for lambda/alpha/procs, linear for downtime)");
+  parser.add_option("max-procs", "1e7",
+                    "upper edge of the numerical allocation search");
+  parser.add_option("csv", "", "also write the series to this CSV file");
+  if (parse_or_help(parser, args, out)) return 0;
+
+  const model::System base = system_from_args(parser);
+  const Variable var = variable_from_string(parser.option("var"));
+  const bool log_spacing =
+      !parser.flag("linear") && var != Variable::kDowntime;
+  const std::vector<double> grid =
+      make_grid(parser.option_double("from"), parser.option_double("to"),
+                static_cast<int>(parser.option_int("points")), log_spacing);
+  core::AllocationSearchOptions search;
+  search.max_procs = parser.option_double("max-procs");
+
+  print_system(base, out);
+  out << "sweeping " << parser.option("var") << " over ["
+      << util::format_sig(grid.front(), 4) << ", "
+      << util::format_sig(grid.back(), 4) << "], " << grid.size()
+      << " points\n\n";
+
+  io::Table table({parser.option("var"), "P* (FO)", "T* (FO)", "H (FO)",
+                   "P* (opt)", "T* (opt)", "H (opt)"});
+  std::vector<std::vector<std::string>> csv_rows;
+
+  for (const double x : grid) {
+    model::System sys = base;
+    double fixed_procs = 0.0;
+    switch (var) {
+      case Variable::kLambda: sys = base.with_lambda(x); break;
+      case Variable::kAlpha:
+        sys = base.with_speedup(model::Speedup::amdahl(x));
+        break;
+      case Variable::kProcs: fixed_procs = x; break;
+      case Variable::kDowntime: sys = base.with_downtime(x); break;
+    }
+
+    std::vector<std::string> row;
+    row.push_back(util::format_sig(x, 4));
+    if (fixed_procs > 0.0) {
+      // procs sweep: Theorem 1 vs exact period optimum at fixed P.
+      const double t_fo = core::optimal_period_first_order(sys, fixed_procs);
+      const core::PeriodOptimum num = core::optimal_period(sys, fixed_procs);
+      row.push_back(util::format_sig(fixed_procs, 4));
+      row.push_back(std::isfinite(t_fo) ? util::format_sig(t_fo, 4) : "-");
+      row.push_back(std::isfinite(t_fo)
+                        ? util::format_sig(core::optimal_overhead_fixed_procs(
+                                               sys, fixed_procs), 4)
+                        : "-");
+      row.push_back(util::format_sig(fixed_procs, 4));
+      row.push_back(util::format_sig(num.period, 4));
+      row.push_back(util::format_sig(num.overhead, 4));
+    } else {
+      const core::FirstOrderSolution fo = core::solve_first_order(sys);
+      const core::AllocationOptimum num =
+          core::optimal_allocation(sys, search);
+      if (fo.has_optimum) {
+        row.push_back(util::format_sig(fo.procs, 4));
+        row.push_back(util::format_sig(fo.period, 4));
+        row.push_back(util::format_sig(fo.overhead, 4));
+      } else {
+        row.insert(row.end(), {"-", "-", "-"});
+      }
+      row.push_back(util::format_sig(num.procs, 4));
+      row.push_back(util::format_sig(num.period, 4));
+      row.push_back(util::format_sig(num.overhead, 4));
+    }
+    table.add_row(row);
+    csv_rows.push_back(row);
+  }
+  out << table.to_string();
+
+  const std::string csv_path = parser.option("csv");
+  if (!csv_path.empty()) {
+    std::vector<std::vector<std::string>> all;
+    all.push_back({parser.option("var"), "procs_fo", "period_fo",
+                   "overhead_fo", "procs_opt", "period_opt", "overhead_opt"});
+    all.insert(all.end(), csv_rows.begin(), csv_rows.end());
+    io::write_csv_file(csv_path, all);
+    out << "(series written to " << csv_path << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace ayd::tool

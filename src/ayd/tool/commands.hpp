@@ -1,0 +1,72 @@
+// Internal command table of the `ayd` tool plus the helpers shared by the
+// subcommand implementations (system construction from flags, uniform
+// option groups). Not installed; include tool.hpp from outside.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ayd/cli/args.hpp"
+#include "ayd/model/system.hpp"
+#include "ayd/sim/runner.hpp"
+
+namespace ayd::tool {
+
+/// One subcommand: parses its own arguments (program name excluded) and
+/// writes to `out`. Errors are reported by throwing (run_tool catches).
+using CommandFn = int (*)(const std::vector<std::string>& args,
+                          std::ostream& out);
+
+struct Command {
+  const char* name;
+  const char* summary;
+  CommandFn fn;
+};
+
+/// All registered subcommands, in help order.
+[[nodiscard]] const std::vector<Command>& commands();
+
+int cmd_platforms(const std::vector<std::string>& args, std::ostream& out);
+int cmd_optimize(const std::vector<std::string>& args, std::ostream& out);
+int cmd_simulate(const std::vector<std::string>& args, std::ostream& out);
+int cmd_sweep(const std::vector<std::string>& args, std::ostream& out);
+int cmd_plan(const std::vector<std::string>& args, std::ostream& out);
+int cmd_protocols(const std::vector<std::string>& args, std::ostream& out);
+
+// -- Shared system-description options ---------------------------------
+
+/// Declares the option group that describes the system under study:
+///   --platform, --scenario, --alpha, --profile, --gamma, --downtime,
+///   --lambda, --fail-stop-fraction, and the custom cost coefficients
+///   --ckpt-const/--ckpt-inv/--ckpt-lin, --verif-const/--verif-inv.
+void add_system_options(cli::ArgParser& parser);
+
+/// Builds the System a parsed command line describes. Platform presets
+/// resolve their scenario cost models first; any explicit cost/rate
+/// option then overrides that piece. Throws util::CliError /
+/// util::InvalidArgument on inconsistent combinations.
+[[nodiscard]] model::System system_from_args(const cli::ArgParser& parser);
+
+/// Prints a one-paragraph description of the system (rates, costs at the
+/// reference processor count, profile) so every command's output records
+/// its inputs.
+void print_system(const model::System& sys, std::ostream& out);
+
+// -- Shared simulation options ------------------------------------------
+
+/// Declares --runs, --patterns, --seed, --des.
+void add_simulation_options(cli::ArgParser& parser);
+
+/// Reads them into ReplicationOptions.
+[[nodiscard]] sim::ReplicationOptions replication_from_args(
+    const cli::ArgParser& parser);
+
+/// Parses a subcommand argument vector with the standard help handling:
+/// returns true if --help was printed (caller should return 0).
+[[nodiscard]] bool parse_or_help(cli::ArgParser& parser,
+                                 const std::vector<std::string>& args,
+                                 std::ostream& out);
+
+}  // namespace ayd::tool

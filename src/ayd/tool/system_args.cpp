@@ -1,0 +1,181 @@
+// Shared option handling of the `ayd` tool: every subcommand describes the
+// system under study with the same flag vocabulary, either a platform
+// preset + Table III scenario (the paper's construction) or fully custom
+// rates and cost coefficients, with piecewise overrides allowed on top of
+// a preset.
+
+#include "ayd/tool/commands.hpp"
+
+#include <ostream>
+
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/util/contracts.hpp"
+#include "ayd/util/error.hpp"
+#include "ayd/util/strings.hpp"
+
+namespace ayd::tool {
+
+namespace {
+
+bool set(const cli::ArgParser& p, const std::string& name) {
+  return !p.option(name).empty();
+}
+
+}  // namespace
+
+void add_system_options(cli::ArgParser& parser) {
+  parser.add_option("platform", "hera",
+                    "platform preset (hera, atlas, coastal, coastal-ssd) "
+                    "or 'custom'");
+  parser.add_option("scenario", "3",
+                    "Table III resilience scenario (1-6); ignored when all "
+                    "costs are given explicitly");
+  parser.add_option("alpha", "0.1",
+                    "sequential fraction of the application (Amdahl / "
+                    "Gustafson profiles)");
+  parser.add_option("profile", "amdahl",
+                    "speedup profile: amdahl, gustafson, perfect, power");
+  parser.add_option("gamma", "0.8", "exponent of the power-law profile");
+  parser.add_option("downtime", "3600",
+                    "downtime D after a fail-stop error (seconds)");
+  parser.add_option("lambda", "",
+                    "override lambda_ind, the per-processor error rate "
+                    "(1/s; required with --platform=custom)");
+  parser.add_option("fail-stop-fraction", "",
+                    "override f, the fail-stop fraction of errors "
+                    "(required with --platform=custom)");
+  parser.add_option("ckpt-const", "",
+                    "checkpoint cost: constant coefficient a of "
+                    "C_P = a + b/P + cP (seconds)");
+  parser.add_option("ckpt-inv", "",
+                    "checkpoint cost: 1/P coefficient b (seconds)");
+  parser.add_option("ckpt-lin", "",
+                    "checkpoint cost: linear coefficient c (seconds)");
+  parser.add_option("verif-const", "",
+                    "verification cost: constant coefficient v of "
+                    "V_P = v + u/P (seconds)");
+  parser.add_option("verif-inv", "",
+                    "verification cost: 1/P coefficient u (seconds)");
+}
+
+model::System system_from_args(const cli::ArgParser& parser) {
+  const std::string platform_name =
+      util::to_lower(util::trim(parser.option("platform")));
+  const bool custom = platform_name == "custom";
+  const bool ckpt_given = set(parser, "ckpt-const") ||
+                          set(parser, "ckpt-inv") || set(parser, "ckpt-lin");
+  const bool verif_given =
+      set(parser, "verif-const") || set(parser, "verif-inv");
+
+  double lambda = 0.0;
+  double fail_stop_fraction = 0.0;
+  model::ResilienceCosts costs;
+
+  if (custom) {
+    if (!set(parser, "lambda") || !set(parser, "fail-stop-fraction")) {
+      throw util::CliError(
+          "--platform=custom requires --lambda and --fail-stop-fraction");
+    }
+    if (!ckpt_given) {
+      throw util::CliError(
+          "--platform=custom requires at least one of --ckpt-const, "
+          "--ckpt-inv, --ckpt-lin");
+    }
+  } else {
+    const model::Platform platform = model::platform_by_name(platform_name);
+    const model::Scenario scenario =
+        model::scenario_from_string(parser.option("scenario"));
+    lambda = platform.lambda_ind;
+    fail_stop_fraction = platform.fail_stop_fraction;
+    costs = model::resolve(platform, scenario);
+  }
+
+  if (set(parser, "lambda")) lambda = parser.option_double("lambda");
+  if (set(parser, "fail-stop-fraction")) {
+    fail_stop_fraction = parser.option_double("fail-stop-fraction");
+  }
+  const auto coeff = [&parser](const std::string& name) {
+    return set(parser, name) ? parser.option_double(name) : 0.0;
+  };
+  if (ckpt_given) {
+    const model::CostModel checkpoint(coeff("ckpt-const"), coeff("ckpt-inv"),
+                                      coeff("ckpt-lin"));
+    costs.checkpoint = checkpoint;
+    costs.recovery = checkpoint;  // R_P = C_P (same I/O), as in the paper
+  }
+  if (verif_given) {
+    costs.verification =
+        model::CostModel(coeff("verif-const"), coeff("verif-inv"), 0.0);
+  }
+
+  const std::string profile = util::to_lower(parser.option("profile"));
+  const double alpha = parser.option_double("alpha");
+  model::Speedup speedup = model::Speedup::amdahl(alpha);
+  if (profile == "amdahl") {
+    speedup = model::Speedup::amdahl(alpha);
+  } else if (profile == "gustafson") {
+    speedup = model::Speedup::gustafson(alpha);
+  } else if (profile == "perfect") {
+    speedup = model::Speedup::perfect();
+  } else if (profile == "power") {
+    speedup = model::Speedup::power_law(parser.option_double("gamma"));
+  } else {
+    throw util::CliError("unknown profile: " + profile +
+                         " (expected amdahl, gustafson, perfect, power)");
+  }
+
+  return {model::FailureModel(lambda, fail_stop_fraction), costs,
+          parser.option_double("downtime"), speedup};
+}
+
+void print_system(const model::System& sys, std::ostream& out) {
+  const model::FailureModel& failure = sys.failure();
+  const std::string mtbf =
+      failure.lambda_ind() > 0.0
+          ? util::format_duration(1.0 / failure.lambda_ind())
+          : "error-free";
+  out << "system: lambda_ind = " << util::format_sig(failure.lambda_ind(), 4)
+      << "/s (node MTBF " << mtbf << "), f = "
+      << util::format_sig(failure.fail_stop_fraction(), 4)
+      << ", s = " << util::format_sig(failure.silent_fraction(), 4)
+      << ", D = " << util::format_duration(sys.downtime()) << "\n"
+      << "costs:  C_P = R_P = " << sys.costs().checkpoint.describe()
+      << ",  V_P = " << sys.costs().verification.describe() << "\n"
+      << "profile: " << sys.speedup_model().name() << "\n";
+}
+
+void add_simulation_options(cli::ArgParser& parser) {
+  parser.add_option("runs", "120", "independent simulation replicas");
+  parser.add_option("patterns", "160", "patterns per replica");
+  parser.add_option("seed", "172826646", "RNG seed");
+  parser.add_flag("des",
+                  "use the event-queue reference simulator instead of the "
+                  "fast sampler");
+}
+
+sim::ReplicationOptions replication_from_args(const cli::ArgParser& parser) {
+  sim::ReplicationOptions opt;
+  opt.replicas = static_cast<std::size_t>(parser.option_uint("runs"));
+  opt.patterns_per_replica =
+      static_cast<std::size_t>(parser.option_uint("patterns"));
+  opt.seed = parser.option_uint("seed");
+  opt.backend = parser.flag("des") ? sim::Backend::kDes : sim::Backend::kFast;
+  return opt;
+}
+
+bool parse_or_help(cli::ArgParser& parser,
+                   const std::vector<std::string>& args, std::ostream& out) {
+  std::vector<const char*> argv;
+  argv.reserve(args.size() + 1);
+  argv.push_back("ayd");
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  parser.parse(static_cast<int>(argv.size()), argv.data());
+  if (parser.help_requested()) {
+    out << parser.help();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ayd::tool

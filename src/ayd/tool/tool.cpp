@@ -1,0 +1,80 @@
+// Dispatch and top-level help of the `ayd` tool.
+
+#include "ayd/tool/tool.hpp"
+
+#include <exception>
+#include <ostream>
+
+#include "ayd/tool/commands.hpp"
+#include "ayd/util/version.hpp"
+
+namespace ayd::tool {
+
+const std::vector<Command>& commands() {
+  static const std::vector<Command> kCommands = {
+      {"platforms", "list the built-in Table II platform presets",
+       &cmd_platforms},
+      {"optimize",
+       "optimal checkpointing period and processor allocation "
+       "(first-order and numerical)",
+       &cmd_optimize},
+      {"simulate", "replicated simulation of a checkpointing pattern",
+       &cmd_simulate},
+      {"sweep", "sweep lambda / alpha / procs / downtime and tabulate optima",
+       &cmd_sweep},
+      {"plan", "application-level capacity planning (makespan, checkpoints)",
+       &cmd_plan},
+      {"protocols",
+       "compare VC, multi-verification and two-level protocols",
+       &cmd_protocols},
+  };
+  return kCommands;
+}
+
+namespace {
+
+void print_usage(std::ostream& out) {
+  out << "ayd " << util::version_string()
+      << " — optimal checkpointing under fail-stop and silent errors\n"
+      << "reproduces: " << util::paper_citation() << "\n\n"
+      << "usage: ayd <command> [options]   (ayd <command> --help for "
+         "details)\n\ncommands:\n";
+  for (const Command& c : commands()) {
+    out << "  ";
+    out.width(10);
+    out.setf(std::ios::left, std::ios::adjustfield);
+    out << c.name;
+    out.unsetf(std::ios::adjustfield);
+    out << " " << c.summary << "\n";
+  }
+}
+
+}  // namespace
+
+int run_tool(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  try {
+    if (args.empty() || args[0] == "help" || args[0] == "--help" ||
+        args[0] == "-h") {
+      print_usage(out);
+      return args.empty() ? 1 : 0;
+    }
+    if (args[0] == "--version" || args[0] == "version") {
+      out << "ayd " << util::version_string() << "\n";
+      return 0;
+    }
+    for (const Command& c : commands()) {
+      if (args[0] == c.name) {
+        const std::vector<std::string> rest(args.begin() + 1, args.end());
+        return c.fn(rest, out);
+      }
+    }
+    err << "error: unknown command '" << args[0] << "' (see `ayd help`)\n";
+    return 1;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace ayd::tool

@@ -1,0 +1,28 @@
+// The `ayd` command-line tool: the library's analysis and simulation
+// packaged for interactive use and scripting.
+//
+// Subcommands (see `ayd help`):
+//   platforms  — list the built-in Table II platform presets
+//   optimize   — optimal checkpointing period and processor allocation
+//   simulate   — replicated simulation of a given pattern
+//   sweep      — parameter sweeps (lambda / alpha / procs / downtime)
+//   plan       — application-level capacity planning (makespan, #ckpts)
+//
+// The tool is a library function so tests can drive it end-to-end with
+// captured streams; apps/ayd_main.cpp is the thin binary wrapper.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ayd::tool {
+
+/// Runs the tool on `args` (excluding the program name), writing normal
+/// output to `out` and error messages to `err`. Returns the process exit
+/// code: 0 on success (including --help), 1 on any error. Never throws.
+int run_tool(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err);
+
+}  // namespace ayd::tool

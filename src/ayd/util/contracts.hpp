@@ -1,0 +1,57 @@
+// Contract-checking macros.
+//
+// AYD_REQUIRE  — precondition on a public API; throws InvalidArgument.
+// AYD_ENSURE   — internal invariant / postcondition; throws LogicError.
+// AYD_REQUIRE_FINITE — convenience precondition that a floating-point
+//                      argument is finite.
+//
+// Contracts are always on (they guard user input and numerical sanity, and
+// their cost is negligible next to the numerical work in this library).
+// They throw rather than abort so tests can assert on violations.
+
+#pragma once
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "ayd/util/error.hpp"
+
+namespace ayd::util::detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+
+[[noreturn]] inline void throw_ensure(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw LogicError(os.str());
+}
+
+}  // namespace ayd::util::detail
+
+#define AYD_REQUIRE(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::ayd::util::detail::throw_require(#cond, __FILE__, __LINE__,     \
+                                         (msg));                        \
+    }                                                                   \
+  } while (false)
+
+#define AYD_ENSURE(cond, msg)                                           \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::ayd::util::detail::throw_ensure(#cond, __FILE__, __LINE__,      \
+                                        (msg));                         \
+    }                                                                   \
+  } while (false)
+
+#define AYD_REQUIRE_FINITE(value)                                       \
+  AYD_REQUIRE(std::isfinite(value), #value " must be finite")

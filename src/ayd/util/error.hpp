@@ -1,0 +1,61 @@
+// Exception hierarchy for the AYD library.
+//
+// All library errors derive from ayd::util::Error so callers can catch one
+// type. Preconditions on public APIs throw InvalidArgument; internal
+// invariant violations throw LogicError; numerical failures (non-convergence,
+// overflow of an intermediate that cannot be recovered) throw NumericalError.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ayd::util {
+
+/// Base class of every exception thrown by the AYD library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant of the library was violated (a bug in AYD itself).
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed: no convergence, empty bracket, overflow that
+/// could not be handled in log space, etc.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// A stochastic simulation exceeded its resource bound (e.g. a pattern whose
+/// per-attempt success probability is so small that it would re-execute
+/// practically forever). Indicates pathological input parameters rather than
+/// a bug; callers should reduce the error rate or the pattern length.
+class SimulationDiverged : public Error {
+ public:
+  explicit SimulationDiverged(const std::string& what) : Error(what) {}
+};
+
+/// Reading or writing a file / stream failed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Command-line arguments could not be parsed.
+class CliError : public Error {
+ public:
+  explicit CliError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace ayd::util

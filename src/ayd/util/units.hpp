@@ -1,0 +1,34 @@
+// Time-unit helpers.
+//
+// The whole library works in SI seconds (double). These helpers make call
+// sites that express platform parameters (one-hour downtime, century MTBF)
+// readable, and convert back for display.
+
+#pragma once
+
+namespace ayd::util {
+
+inline constexpr double kSecondsPerMinute = 60.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+/// Julian year (365.25 days), the conventional value for MTBF arithmetic.
+inline constexpr double kSecondsPerYear = 365.25 * kSecondsPerDay;
+
+[[nodiscard]] constexpr double minutes(double m) {
+  return m * kSecondsPerMinute;
+}
+[[nodiscard]] constexpr double hours(double h) { return h * kSecondsPerHour; }
+[[nodiscard]] constexpr double days(double d) { return d * kSecondsPerDay; }
+[[nodiscard]] constexpr double years(double y) { return y * kSecondsPerYear; }
+
+[[nodiscard]] constexpr double to_hours(double seconds) {
+  return seconds / kSecondsPerHour;
+}
+[[nodiscard]] constexpr double to_days(double seconds) {
+  return seconds / kSecondsPerDay;
+}
+[[nodiscard]] constexpr double to_years(double seconds) {
+  return seconds / kSecondsPerYear;
+}
+
+}  // namespace ayd::util

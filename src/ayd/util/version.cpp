@@ -1,0 +1,12 @@
+#include "ayd/util/version.hpp"
+
+namespace ayd::util {
+
+const char* version_string() { return "1.0.0"; }
+
+const char* paper_citation() {
+  return "A. Cavelan, J. Li, Y. Robert, H. Sun, \"When Amdahl Meets "
+         "Young/Daly\", IEEE Cluster 2016";
+}
+
+}  // namespace ayd::util

@@ -1,0 +1,17 @@
+// Library version and provenance strings, shown by example/bench binaries.
+
+#pragma once
+
+namespace ayd::util {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+
+/// "1.0.0"
+[[nodiscard]] const char* version_string();
+
+/// One-line description of the reproduced paper.
+[[nodiscard]] const char* paper_citation();
+
+}  // namespace ayd::util

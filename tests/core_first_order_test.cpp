@@ -1,0 +1,227 @@
+#include "ayd/core/first_order.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "ayd/core/optimizer.hpp"
+#include "ayd/core/overhead.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+
+namespace ayd::core {
+namespace {
+
+using model::Scenario;
+using model::System;
+
+TEST(Theorem1, PeriodFormula) {
+  // T*_P = sqrt((V+C)/(λf/2 + λs)); hand-evaluate on Hera scenario 3.
+  const System sys = System::from_platform(model::hera(), Scenario::kS3);
+  const double p = 512.0;
+  const double lf = sys.fail_stop_rate(p);
+  const double ls = sys.silent_rate(p);
+  const double expected = std::sqrt((300.0 + 15.4) / (lf / 2.0 + ls));
+  EXPECT_NEAR(optimal_period_first_order(sys, p), expected, 1e-9 * expected);
+}
+
+TEST(Theorem1, StationaryPointOfFirstOrderOverhead) {
+  const System sys = System::from_platform(model::atlas(), Scenario::kS1);
+  const double p = 1024.0;
+  const double t_star = optimal_period_first_order(sys, p);
+  const double h_star = first_order_overhead(sys, {t_star, p});
+  for (const double factor : {0.5, 0.9, 1.1, 2.0}) {
+    EXPECT_GT(first_order_overhead(sys, {t_star * factor, p}), h_star)
+        << "factor=" << factor;
+  }
+}
+
+TEST(Theorem1, MatchesNumericalOptimumOfExactOverhead) {
+  // The first-order period drops O(λ²) terms and the downtime, so at
+  // realistic platform scales it lands within a few percent of the exact
+  // numerical optimum; the paper's own accuracy claim (Figure 3(c)) is
+  // that the *achieved overhead* differs by less than 0.2%.
+  for (const auto& platform : model::all_platforms()) {
+    const System sys = System::from_platform(platform, Scenario::kS3);
+    const double p = platform.measured_procs;
+    const double t_fo = optimal_period_first_order(sys, p);
+    const PeriodOptimum num = optimal_period(sys, p);
+    EXPECT_NEAR(t_fo, num.period, 0.10 * num.period) << platform.name;
+    // Overheads agree much tighter (flat objective near the optimum).
+    EXPECT_NEAR(pattern_overhead(sys, {t_fo, p}), num.overhead,
+                2e-3 * num.overhead)
+        << platform.name;
+  }
+}
+
+TEST(Theorem1, OverheadFormulaEquation8) {
+  const System sys = System::from_platform(model::hera(), Scenario::kS3);
+  const double p = 512.0;
+  const double lf = sys.fail_stop_rate(p);
+  const double ls = sys.silent_rate(p);
+  const double expected =
+      sys.error_free_overhead(p) *
+      (1.0 + 2.0 * std::sqrt((lf / 2.0 + ls) * (300.0 + 15.4)));
+  EXPECT_NEAR(optimal_overhead_fixed_procs(sys, p), expected,
+              1e-12 * expected);
+}
+
+TEST(Theorem1, ErrorFreePlatformNeverCheckpoints) {
+  const System sys(model::FailureModel::error_free(),
+                   model::resolve(model::hera(), Scenario::kS3), 3600.0,
+                   model::Speedup::amdahl(0.1));
+  EXPECT_TRUE(std::isinf(optimal_period_first_order(sys, 512.0)));
+}
+
+TEST(Theorem2, ClosedFormOnHeraScenario1) {
+  const System sys = System::from_platform(model::hera(), Scenario::kS1);
+  const FirstOrderSolution sol = solve_first_order(sys);
+  ASSERT_TRUE(sol.has_optimum);
+  EXPECT_EQ(sol.analysis_case, model::FirstOrderCase::kLinearCheckpoint);
+
+  const double c = 300.0 / 512.0;
+  const double wl = sys.failure().weighted_lambda();
+  const double alpha = 0.1;
+  EXPECT_NEAR(sol.procs,
+              std::pow(1.0 / (c * wl), 0.25) *
+                  std::sqrt((1.0 - alpha) / (2.0 * alpha)),
+              1e-9 * sol.procs);
+  EXPECT_NEAR(sol.period, std::sqrt(c / wl), 1e-9 * sol.period);
+  EXPECT_NEAR(sol.overhead,
+              alpha + 2.0 * std::pow(4.0 * alpha * alpha * (1.0 - alpha) *
+                                         (1.0 - alpha) * c * wl,
+                                     0.25),
+              1e-12);
+}
+
+TEST(Theorem2, PeriodIndependentOfAlpha) {
+  // In case 1 the optimal period depends only on c and the rates — not on
+  // the sequential fraction (visible in Figure 4(b), scenario 1).
+  const System a = System::from_platform(model::hera(), Scenario::kS1, 0.1);
+  const System b =
+      System::from_platform(model::hera(), Scenario::kS1, 0.001);
+  EXPECT_DOUBLE_EQ(solve_first_order(a).period, solve_first_order(b).period);
+}
+
+TEST(Theorem3, ClosedFormOnCoastalScenario3) {
+  const System sys = System::from_platform(model::coastal(), Scenario::kS3);
+  const FirstOrderSolution sol = solve_first_order(sys);
+  ASSERT_TRUE(sol.has_optimum);
+  EXPECT_EQ(sol.analysis_case, model::FirstOrderCase::kConstantCost);
+
+  const double d = 1051.0 + 4.5;
+  const double wl = sys.failure().weighted_lambda();
+  const double alpha = 0.1;
+  EXPECT_NEAR(sol.procs,
+              std::pow(1.0 / (d * wl), 1.0 / 3.0) *
+                  std::pow((1.0 - alpha) / alpha, 2.0 / 3.0),
+              1e-9 * sol.procs);
+  EXPECT_NEAR(sol.period,
+              std::pow(d * d / wl, 1.0 / 3.0) *
+                  std::pow(alpha / (1.0 - alpha), 1.0 / 3.0),
+              1e-9 * sol.period);
+  EXPECT_NEAR(
+      sol.overhead,
+      alpha + 3.0 * std::pow(alpha * alpha * (1.0 - alpha) * d * wl,
+                             1.0 / 3.0),
+      1e-12);
+}
+
+TEST(Theorems, OverheadApproachesAlphaAsLambdaVanishes) {
+  for (const Scenario s : {Scenario::kS1, Scenario::kS3}) {
+    const System base = System::from_platform(model::hera(), s);
+    double prev_gap = 1e9;
+    for (const double lambda : {1e-8, 1e-10, 1e-12}) {
+      const FirstOrderSolution sol =
+          solve_first_order(base.with_lambda(lambda));
+      ASSERT_TRUE(sol.has_optimum);
+      const double gap = sol.overhead - 0.1;
+      EXPECT_GT(gap, 0.0);
+      EXPECT_LT(gap, prev_gap);
+      prev_gap = gap;
+    }
+  }
+}
+
+TEST(Theorems, LambdaScalingExponents) {
+  // P*(λ/10)/P*(λ) must equal 10^{1/4} (Thm 2) and 10^{1/3} (Thm 3);
+  // T* similarly 10^{1/2} and 10^{1/3}. This is the heart of the title
+  // result.
+  const System s1 = System::from_platform(model::hera(), Scenario::kS1);
+  const System s3 = System::from_platform(model::hera(), Scenario::kS3);
+
+  const auto ratio = [](const System& sys, double factor) {
+    const FirstOrderSolution hi =
+        solve_first_order(sys.with_lambda(1e-8));
+    const FirstOrderSolution lo =
+        solve_first_order(sys.with_lambda(1e-8 / factor));
+    return std::pair{lo.procs / hi.procs, lo.period / hi.period};
+  };
+
+  const auto [p_ratio_1, t_ratio_1] = ratio(s1, 10.0);
+  EXPECT_NEAR(p_ratio_1, std::pow(10.0, 0.25), 1e-9);
+  EXPECT_NEAR(t_ratio_1, std::pow(10.0, 0.5), 1e-9);
+
+  const auto [p_ratio_3, t_ratio_3] = ratio(s3, 10.0);
+  EXPECT_NEAR(p_ratio_3, std::pow(10.0, 1.0 / 3.0), 1e-9);
+  EXPECT_NEAR(t_ratio_3, std::pow(10.0, 1.0 / 3.0), 1e-9);
+}
+
+TEST(Case3, NoFirstOrderOptimum) {
+  const System sys = System::from_platform(model::hera(), Scenario::kS6);
+  const FirstOrderSolution sol = solve_first_order(sys);
+  EXPECT_FALSE(sol.has_optimum);
+  EXPECT_EQ(sol.analysis_case, model::FirstOrderCase::kDecreasingCost);
+  EXPECT_NE(sol.note.find("numerical"), std::string::npos);
+}
+
+TEST(Case4, PerfectlyParallelHasNoFirstOrderOptimum) {
+  const System sys =
+      System::from_platform(model::hera(), Scenario::kS1, /*alpha=*/0.0);
+  const FirstOrderSolution sol = solve_first_order(sys);
+  EXPECT_FALSE(sol.has_optimum);
+  EXPECT_NE(sol.note.find("perfectly parallel"), std::string::npos);
+}
+
+TEST(SolveFirstOrder, NonAmdahlProfilesRejectedGracefully) {
+  const System sys(model::hera().failure(),
+                   model::resolve(model::hera(), Scenario::kS1), 3600.0,
+                   model::Speedup::gustafson(0.1));
+  const FirstOrderSolution sol = solve_first_order(sys);
+  EXPECT_FALSE(sol.has_optimum);
+  EXPECT_NE(sol.note.find("Amdahl"), std::string::npos);
+}
+
+TEST(AsymptoticOrders, TableOfExponents) {
+  const auto case1 =
+      asymptotic_orders(model::FirstOrderCase::kLinearCheckpoint);
+  EXPECT_DOUBLE_EQ(case1.p_exponent, -0.25);
+  EXPECT_DOUBLE_EQ(case1.t_exponent, -0.5);
+  const auto case2 = asymptotic_orders(model::FirstOrderCase::kConstantCost);
+  EXPECT_NEAR(case2.p_exponent, -1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(case2.t_exponent, -1.0 / 3.0, 1e-15);
+
+  const auto a0_case1 =
+      asymptotic_orders_alpha0(model::FirstOrderCase::kLinearCheckpoint);
+  EXPECT_DOUBLE_EQ(a0_case1.p_exponent, -0.5);
+  const auto a0_case2 =
+      asymptotic_orders_alpha0(model::FirstOrderCase::kConstantCost);
+  EXPECT_DOUBLE_EQ(a0_case2.p_exponent, -1.0);
+  EXPECT_DOUBLE_EQ(a0_case2.t_exponent, 0.0);
+}
+
+TEST(VerificationCost, IrrelevantInCase1OptimalAllocation) {
+  // Theorem 2's note: with C = cP the verification cost does not appear
+  // in P* or T*. Doubling V must not change the closed form.
+  const model::Platform base = model::hera();
+  model::Platform doubled = base;
+  doubled.measured_verification *= 2.0;
+  const FirstOrderSolution a =
+      solve_first_order(System::from_platform(base, Scenario::kS1));
+  const FirstOrderSolution b =
+      solve_first_order(System::from_platform(doubled, Scenario::kS1));
+  EXPECT_DOUBLE_EQ(a.procs, b.procs);
+  EXPECT_DOUBLE_EQ(a.period, b.period);
+}
+
+}  // namespace
+}  // namespace ayd::core

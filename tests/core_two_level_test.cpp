@@ -1,0 +1,233 @@
+// Tests of the two-level checkpointing extension (core/two_level.hpp):
+// reduction to the base VC protocol at n = 1, the first-order formulas,
+// the closed-form segment plan, and the exact (T, n) optimum.
+
+#include "ayd/core/two_level.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "ayd/core/expected_time.hpp"
+#include "ayd/core/first_order.hpp"
+#include "ayd/core/overhead.hpp"
+#include "ayd/math/special.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/util/error.hpp"
+
+namespace ayd::core {
+namespace {
+
+using model::CostModel;
+using model::FailureModel;
+using model::ResilienceCosts;
+using model::Scenario;
+using model::Speedup;
+using model::System;
+
+System make_system(double lambda, double f, double c, double v, double d) {
+  ResilienceCosts costs{CostModel::constant(c), CostModel::constant(c),
+                        CostModel::constant(v)};
+  return System(FailureModel(lambda, f), costs, d, Speedup::amdahl(0.1));
+}
+
+TEST(TwoLevelExact, ReducesToBaseProtocolAtOneSegment) {
+  // With n = 1 and the level-1 recovery cost equal to the base recovery
+  // cost, the two-level semantics are exactly the VC protocol; the two
+  // exact expectations must agree to rounding.
+  const System base = make_system(2e-8, 0.3, 300.0, 20.0, 1800.0);
+  const TwoLevelSystem sys{base, base.costs().recovery};
+  for (const double t : {1000.0, 8000.0, 40000.0}) {
+    for (const double p : {64.0, 512.0, 4096.0}) {
+      const double two_level =
+          expected_two_level_time(sys, {t, p, 1});
+      const double reference = expected_pattern_time(base, {t, p});
+      EXPECT_NEAR(two_level, reference, 1e-9 * reference)
+          << "t=" << t << " p=" << p;
+    }
+  }
+}
+
+TEST(TwoLevelExact, ErrorFreeIsDeterministic) {
+  const System base = make_system(0.0, 0.0, 120.0, 10.0, 3600.0);
+  const TwoLevelSystem sys{base, CostModel::constant(4.0)};
+  // n segments: n·(w + V) + (n-1)·L1 + C2, with T = n·w.
+  const double t = 9000.0;
+  const int n = 3;
+  const double expected = t + 3.0 * 10.0 + 2.0 * 4.0 + 120.0;
+  EXPECT_NEAR(expected_two_level_time(sys, {t, 64.0, n}), expected, 1e-9);
+}
+
+TEST(TwoLevelExact, MoreSegmentsCutSilentRollbackCost) {
+  // Silent-only system: deeper segmentation strictly reduces the expected
+  // time as long as the extra boundaries (V + L1) stay small relative to
+  // the rollback savings.
+  const System base = make_system(4e-8, 0.0, 1000.0, 5.0, 0.0);
+  const TwoLevelSystem sys{base, CostModel::constant(5.0)};
+  const double t = 30000.0;
+  const double p = 512.0;
+  const double e1 = expected_two_level_time(sys, {t, p, 1});
+  const double e4 = expected_two_level_time(sys, {t, p, 4});
+  const double e16 = expected_two_level_time(sys, {t, p, 16});
+  EXPECT_LT(e4, e1);
+  EXPECT_LT(e16, e4);
+}
+
+TEST(TwoLevelExact, ExceedsFaultFreeFloor) {
+  const System base = make_system(5e-8, 0.5, 200.0, 15.0, 600.0);
+  const TwoLevelSystem sys = TwoLevelSystem::with_memory_level1(base);
+  for (const int n : {1, 2, 5, 13}) {
+    const double t = 20000.0;
+    const double p = 256.0;
+    const double floor = t + n * (15.0 + 15.0) - 15.0 /* last L1 -> C2 */ +
+                         200.0 - 15.0;
+    // floor = T + n·V + (n-1)·L1 + C2 (L1 == V here).
+    EXPECT_GE(expected_two_level_time(sys, {t, p, n}), floor) << n;
+  }
+}
+
+TEST(TwoLevelExact, OverflowReturnsInfinity) {
+  const System base = make_system(1e-3, 0.5, 300.0, 15.0, 3600.0);
+  const TwoLevelSystem sys = TwoLevelSystem::with_memory_level1(base);
+  EXPECT_TRUE(std::isinf(expected_two_level_time(sys, {1e9, 1e5, 4})));
+}
+
+TEST(TwoLevelExact, RejectsInvalidPatterns) {
+  const System base = make_system(1e-8, 0.5, 300.0, 15.0, 3600.0);
+  const TwoLevelSystem sys = TwoLevelSystem::with_memory_level1(base);
+  EXPECT_THROW((void)expected_two_level_time(sys, {0.0, 64.0, 1}),
+               util::InvalidArgument);
+  EXPECT_THROW((void)expected_two_level_time(sys, {100.0, 0.5, 1}),
+               util::InvalidArgument);
+  EXPECT_THROW((void)expected_two_level_time(sys, {100.0, 64.0, 0}),
+               util::InvalidArgument);
+}
+
+TEST(TwoLevelFirstOrder, MatchesExactForSmallRates) {
+  // Relative error of the first-order overhead must shrink ~linearly in λ.
+  const System base = make_system(1e-7, 0.4, 400.0, 25.0, 0.0);
+  const TwoLevelSystem hot = TwoLevelSystem::with_memory_level1(base);
+  const TwoLevelSystem cold{base.with_lambda(1e-9),
+                            base.costs().verification};
+  const TwoLevelPattern pat{20000.0, 128.0, 4};
+  const double err_hot =
+      std::abs(first_order_two_level_overhead(hot, pat) -
+               two_level_overhead(hot, pat)) /
+      two_level_overhead(hot, pat);
+  const double err_cold =
+      std::abs(first_order_two_level_overhead(cold, pat) -
+               two_level_overhead(cold, pat)) /
+      two_level_overhead(cold, pat);
+  EXPECT_LT(err_cold, err_hot / 20.0);
+  EXPECT_LT(err_cold, 1e-3);
+}
+
+TEST(TwoLevelFirstOrder, OptimalPeriodIsStationary) {
+  const System base = make_system(3e-8, 0.25, 600.0, 30.0, 3600.0);
+  const TwoLevelSystem sys = TwoLevelSystem::with_memory_level1(base);
+  for (const int n : {1, 3, 9}) {
+    const double t_star = optimal_period_two_level(sys, 512.0, n);
+    const double h_star =
+        first_order_two_level_overhead(sys, {t_star, 512.0, n});
+    for (const double factor : {0.6, 0.9, 1.1, 1.7}) {
+      EXPECT_GT(first_order_two_level_overhead(
+                    sys, {t_star * factor, 512.0, n}),
+                h_star)
+          << "n=" << n << " factor=" << factor;
+    }
+  }
+}
+
+TEST(TwoLevelFirstOrder, PeriodReducesToTheorem1AtOneSegment) {
+  // With n = 1 the first-order period must be sqrt((V+L+C)/(λf/2+λs)) —
+  // Theorem 1 with the level-1 cost folded into the segment boundary.
+  const System base = make_system(2e-8, 0.3, 300.0, 20.0, 3600.0);
+  const TwoLevelSystem sys{base, CostModel::zero()};
+  // Zero level-1 cost: exactly Theorem 1.
+  EXPECT_NEAR(optimal_period_two_level(sys, 512.0, 1),
+              optimal_period_first_order(base, 512.0), 1e-9);
+}
+
+TEST(TwoLevelPlan, ClosedFormSegmentCount) {
+  const System base = make_system(2e-8, 0.2, 1000.0, 10.0, 3600.0);
+  const TwoLevelSystem sys{base, CostModel::constant(10.0)};
+  const TwoLevelPlan plan = optimal_two_level_plan(sys, 512.0);
+  // n* = sqrt(2·λs·(C−L) / (λf·(V+L))) = sqrt(2·0.8·990/(0.2·20)).
+  EXPECT_NEAR(plan.segments_continuous, std::sqrt(396.0), 1e-9);
+  // Rounded to the better first-order neighbour of 19.9.
+  EXPECT_GE(plan.segments, 19);
+  EXPECT_LE(plan.segments, 20);
+}
+
+TEST(TwoLevelPlan, MoreSilentErrorsMeanMoreSegments) {
+  const System base = make_system(2e-8, 0.5, 1000.0, 10.0, 3600.0);
+  const TwoLevelSystem balanced{base, CostModel::constant(10.0)};
+  const TwoLevelSystem silent_heavy{
+      make_system(2e-8, 0.05, 1000.0, 10.0, 3600.0),
+      CostModel::constant(10.0)};
+  EXPECT_GT(optimal_two_level_plan(silent_heavy, 512.0).segments,
+            optimal_two_level_plan(balanced, 512.0).segments);
+}
+
+TEST(TwoLevelPlan, RequiresFailStopErrors) {
+  const System base = make_system(2e-8, 0.0, 1000.0, 10.0, 3600.0);
+  const TwoLevelSystem sys{base, CostModel::constant(10.0)};
+  EXPECT_THROW((void)optimal_two_level_plan(sys, 512.0),
+               util::InvalidArgument);
+}
+
+TEST(TwoLevelOptimum, AgreesWithFirstOrderPlanAtModerateRates) {
+  const model::Platform hera = model::hera();
+  const System base = System::from_platform(hera, Scenario::kS3);
+  const TwoLevelSystem sys = TwoLevelSystem::with_memory_level1(base);
+  const TwoLevelPlan plan = optimal_two_level_plan(sys, hera.measured_procs);
+  const TwoLevelOptimum opt =
+      optimal_two_level_pattern(sys, hera.measured_procs);
+  EXPECT_TRUE(opt.converged);
+  EXPECT_NEAR(opt.segments, plan.segments, 2.0);
+  EXPECT_NEAR(opt.period, plan.period, 0.25 * plan.period);
+  // The exact optimum can only be at or below the first-order prediction
+  // evaluated exactly.
+  EXPECT_LE(opt.overhead,
+            two_level_overhead(
+                sys, {plan.period, hera.measured_procs, plan.segments}) +
+                1e-12);
+}
+
+TEST(TwoLevelOptimum, BeatsSingleLevelWhenSilentDominates) {
+  // The headline of the extension: on a silent-dominated platform the
+  // optimal two-level pattern has a strictly lower overhead than the
+  // optimal base VC pattern at the same allocation.
+  const model::Platform atlas = model::atlas();  // s = 0.9375
+  const System base = System::from_platform(atlas, Scenario::kS3);
+  const TwoLevelSystem sys = TwoLevelSystem::with_memory_level1(base);
+  const double p = atlas.measured_procs;
+  const TwoLevelOptimum two = optimal_two_level_pattern(sys, p);
+  const double single = optimal_overhead_fixed_procs(base, p);
+  EXPECT_GT(two.segments, 1);
+  EXPECT_LT(two.overhead, single);
+}
+
+class TwoLevelSegmentSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwoLevelSegmentSweep, FirstOrderPeriodTracksExactOptimum) {
+  const int n = GetParam();
+  const System base = make_system(1e-8, 0.3, 800.0, 12.0, 3600.0);
+  const TwoLevelSystem sys = TwoLevelSystem::with_memory_level1(base);
+  const double p = 1024.0;
+  const double t_fo = optimal_period_two_level(sys, p, n);
+  // Exact overhead at the first-order period is within 1% of the best
+  // exact overhead over a fine local scan.
+  const double h_fo = two_level_overhead(sys, {t_fo, p, n});
+  double h_best = h_fo;
+  for (double f = 0.5; f <= 2.0; f *= 1.02) {
+    h_best = std::min(h_best, two_level_overhead(sys, {t_fo * f, p, n}));
+  }
+  EXPECT_LT((h_fo - h_best) / h_best, 1e-2) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Segments, TwoLevelSegmentSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace ayd::core

@@ -1,0 +1,121 @@
+#include "ayd/exec/thread_pool.hpp"
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace ayd::exec {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitVoidTask) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran = true; }).get();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SizeMatchesRequestedThreads) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultUsesHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      (void)pool.submit([&done] { ++done; });
+    }
+  }  // destructor must wait for all 100
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(parallel_for(pool, 0, [](std::size_t) { FAIL(); }));
+}
+
+TEST(ParallelFor, FirstExceptionRethrown) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 100,
+                            [](std::size_t i) {
+                              if (i % 10 == 3) {
+                                throw std::runtime_error("task failed");
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelMap, ResultsInIndexOrder) {
+  ThreadPool pool(4);
+  const auto out =
+      parallel_map(pool, 257, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, WorksWithSingleThread) {
+  ThreadPool pool(1);
+  const auto out = parallel_map(pool, 10, [](std::size_t i) {
+    return static_cast<double>(i) * 0.5;
+  });
+  EXPECT_DOUBLE_EQ(out[9], 4.5);
+}
+
+TEST(ParallelFor, ActuallyRunsConcurrently) {
+  // With 2+ workers, two tasks that wait on each other can both make
+  // progress only if they run on different threads.
+  ThreadPool pool(2);
+  std::atomic<int> stage{0};
+  parallel_for(pool, 2, [&](std::size_t i) {
+    if (i == 0) {
+      ++stage;
+      while (stage.load() < 2) std::this_thread::yield();
+    } else {
+      while (stage.load() < 1) std::this_thread::yield();
+      ++stage;
+    }
+  });
+  EXPECT_EQ(stage.load(), 2);
+}
+
+TEST(ThreadPool, ManySmallTasksStress) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  parallel_for(pool, 20000, [&](std::size_t i) {
+    total += static_cast<long>(i % 7);
+  });
+  long expected = 0;
+  for (std::size_t i = 0; i < 20000; ++i) expected += static_cast<long>(i % 7);
+  EXPECT_EQ(total.load(), expected);
+}
+
+}  // namespace
+}  // namespace ayd::exec

@@ -1,0 +1,154 @@
+// End-to-end integration: the full pipeline the bench binaries run —
+// platform presets -> scenario resolution -> first-order + numerical
+// optima -> replicated simulation — checked for the paper's headline
+// qualitative results.
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "ayd/core/baselines.hpp"
+#include "ayd/core/first_order.hpp"
+#include "ayd/core/optimizer.hpp"
+#include "ayd/core/overhead.hpp"
+#include "ayd/exec/thread_pool.hpp"
+#include "ayd/model/application.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/sim/runner.hpp"
+
+namespace ayd {
+namespace {
+
+using core::Pattern;
+using model::Scenario;
+using model::System;
+
+TEST(EndToEnd, HeraScenario1FullPipeline) {
+  const System sys = System::from_platform(model::hera(), Scenario::kS1);
+
+  // 1. Closed form (Theorem 2).
+  const core::FirstOrderSolution fo = core::solve_first_order(sys);
+  ASSERT_TRUE(fo.has_optimum);
+
+  // 2. Numerical optimum agrees to a few percent in (P*, T*) and tighter
+  //    in overhead (paper Fig. 2, Hera, scenario 1: the first-order
+  //    prediction sits slightly below the exact optimum because the
+  //    expansion drops positive O(λ) terms and the downtime).
+  const core::AllocationOptimum num = core::optimal_allocation(sys);
+  EXPECT_NEAR(fo.procs, num.procs, 0.10 * num.procs);
+  EXPECT_NEAR(fo.period, num.period, 0.10 * num.period);
+  EXPECT_NEAR(fo.overhead, num.overhead, 0.02 * num.overhead);
+  EXPECT_LT(fo.overhead, num.overhead);  // under-, never over-estimates
+
+  // 3. The paper reports overheads around 0.11 for α = 0.1 on these
+  //    platforms; sanity-band the prediction.
+  EXPECT_GT(num.overhead, 0.10);
+  EXPECT_LT(num.overhead, 0.13);
+
+  // 4. Simulation at the first-order pattern reproduces the predicted
+  //    overhead.
+  exec::ThreadPool pool(2);
+  sim::ReplicationOptions opt;
+  opt.replicas = 60;
+  opt.patterns_per_replica = 80;
+  const sim::ReplicationResult r = sim::simulate_overhead(
+      sys, Pattern{fo.period, std::round(fo.procs)}, opt, &pool);
+  EXPECT_NEAR(r.overhead.mean, fo.overhead, 0.01);
+  const double z = (r.overhead.mean - r.analytic_overhead) /
+                   std::max(r.overhead.stderr_mean, 1e-12);
+  EXPECT_LT(std::abs(z), 5.0);
+}
+
+TEST(EndToEnd, OptimalProcsOrderingAcrossScenarios) {
+  // Figure 2: P* grows as the checkpoint cost scales better with P —
+  // scenario 1 (C = cP) < scenario 3 (C = a) < scenario 5 (C = b/P).
+  const System s1 = System::from_platform(model::hera(), Scenario::kS1);
+  const System s3 = System::from_platform(model::hera(), Scenario::kS3);
+  const System s5 = System::from_platform(model::hera(), Scenario::kS5);
+  core::AllocationSearchOptions opt;
+  opt.max_procs = 1e8;
+  const double p1 = core::optimal_allocation(s1, opt).procs;
+  const double p3 = core::optimal_allocation(s3, opt).procs;
+  const double p5 = core::optimal_allocation(s5, opt).procs;
+  EXPECT_LT(p1, p3);
+  EXPECT_LT(p3, p5);
+}
+
+TEST(EndToEnd, SmallerAlphaMeansMoreProcessors) {
+  // Figure 4(a): as α decreases the optimal allocation grows.
+  double prev = 0.0;
+  for (const double alpha : {0.1, 0.01, 0.001}) {
+    const System sys =
+        System::from_platform(model::hera(), Scenario::kS1, alpha);
+    const core::FirstOrderSolution fo = core::solve_first_order(sys);
+    ASSERT_TRUE(fo.has_optimum);
+    EXPECT_GT(fo.procs, prev) << "alpha=" << alpha;
+    prev = fo.procs;
+  }
+}
+
+TEST(EndToEnd, SilentBlindPlannerPaysMeasurableOverhead) {
+  // The motivating ablation: planning with a fail-stop-only model and
+  // executing under both error sources must cost more than the VC optimum,
+  // in simulation, beyond statistical noise.
+  const System sys = System::from_platform(model::hera(), Scenario::kS3);
+  const double p = 512.0;
+  const double t_blind = core::silent_blind_period(sys, p);
+  const core::PeriodOptimum vc = core::optimal_period(sys, p);
+
+  sim::ReplicationOptions opt;
+  opt.replicas = 80;
+  opt.patterns_per_replica = 60;
+  const sim::ReplicationResult blind =
+      sim::simulate_overhead(sys, {t_blind, p}, opt);
+  const sim::ReplicationResult tuned =
+      sim::simulate_overhead(sys, {vc.period, p}, opt);
+  EXPECT_GT(blind.overhead.mean, tuned.overhead.mean);
+}
+
+TEST(EndToEnd, MakespanPredictionForApplication) {
+  // A 30-day (sequential) application on Coastal with in-memory
+  // checkpointing: expected makespan = H(pattern)·W_total and the
+  // error-free baseline is H(P)·W_total.
+  const System sys = System::from_platform(model::coastal(), Scenario::kS5);
+  const model::Application app{"fusion-sim", 30.0 * 86400.0, 1024.0};
+  const core::AllocationOptimum opt = core::optimal_allocation(sys);
+  const Pattern pattern{opt.period, opt.procs};
+  const double makespan = core::expected_makespan(sys, pattern, app);
+  const double error_free =
+      model::error_free_makespan(app, sys.error_free_overhead(opt.procs));
+  EXPECT_GT(makespan, error_free);
+  EXPECT_LT(makespan, 1.5 * error_free);
+  const double patterns = model::pattern_count(app, pattern.period,
+                                               sys.speedup(pattern.procs));
+  EXPECT_GT(patterns, 1.0);
+}
+
+TEST(EndToEnd, DowntimeBarelyMovesTheOptimum) {
+  // Figure 7: the first-order optimum ignores D and stays close to the
+  // numerical optimum even for a 3-hour downtime.
+  const System base = System::from_platform(model::hera(), Scenario::kS1);
+  const core::FirstOrderSolution fo = core::solve_first_order(base);
+  for (const double d : {0.0, 3.0 * 3600.0}) {
+    const System sys = base.with_downtime(d);
+    const core::AllocationOptimum num = core::optimal_allocation(sys);
+    const double h_fo = core::pattern_overhead(
+        sys, Pattern{fo.period, std::round(fo.procs)});
+    EXPECT_LT((h_fo - num.overhead) / num.overhead, 0.01) << "D=" << d;
+  }
+}
+
+TEST(EndToEnd, GustafsonProfileThroughNumericalOptimiser) {
+  // Extension (paper §V): non-Amdahl profile goes through the generic
+  // numerical path; weak scaling tolerates far more processors.
+  const System amdahl = System::from_platform(model::hera(), Scenario::kS1);
+  const System gustafson = amdahl.with_speedup(model::Speedup::gustafson(0.1));
+  core::AllocationSearchOptions opt;
+  opt.max_procs = 1e6;
+  const core::AllocationOptimum a = core::optimal_allocation(amdahl, opt);
+  const core::AllocationOptimum g = core::optimal_allocation(gustafson, opt);
+  EXPECT_GT(g.procs, a.procs);
+}
+
+}  // namespace
+}  // namespace ayd

@@ -1,0 +1,114 @@
+#include "ayd/io/json.hpp"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "ayd/util/error.hpp"
+
+namespace ayd::io {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("name", "hera");
+  w.kv("procs", std::int64_t{512});
+  w.kv("lambda", 1.5);
+  w.kv("ok", true);
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"name":"hera","procs":512,"lambda":1.5,"ok":true})");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("series");
+  w.begin_array();
+  w.value(1.0);
+  w.value(2.0);
+  w.begin_object();
+  w.kv("x", std::int64_t{3});
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"series":[1,2,{"x":3}]})");
+}
+
+TEST(JsonWriter, StringEscaping) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value("line\nbreak \"quoted\" back\\slash \t");
+  w.end_array();
+  EXPECT_EQ(os.str(), "[\"line\\nbreak \\\"quoted\\\" back\\\\slash \\t\"]");
+}
+
+TEST(JsonWriter, ControlCharactersEscapedAsUnicode) {
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(JsonWriter, ExplicitNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("missing");
+  w.null();
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"missing":null})");
+}
+
+TEST(JsonWriter, PrettyPrinting) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/true);
+  w.begin_object();
+  w.kv("a", std::int64_t{1});
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonWriter, DoublePrecisionRoundTrips) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value(1.69e-8);
+  w.end_array();
+  const std::string out = os.str();
+  const double parsed = std::stod(out.substr(1, out.size() - 2));
+  EXPECT_DOUBLE_EQ(parsed, 1.69e-8);
+}
+
+TEST(JsonWriter, MisuseDetected) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  // Value without key inside object:
+  EXPECT_THROW(w.value(1.0), util::Error);
+  w.key("k");
+  // Two keys in a row:
+  EXPECT_THROW(w.key("k2"), util::Error);
+  w.value(1.0);
+  // Mismatched close:
+  EXPECT_THROW(w.end_array(), util::Error);
+}
+
+TEST(JsonWriter, KeyOutsideObjectRejected) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  EXPECT_THROW(w.key("k"), util::Error);
+}
+
+}  // namespace
+}  // namespace ayd::io

@@ -1,0 +1,127 @@
+#include "ayd/math/minimize.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "ayd/util/error.hpp"
+
+namespace ayd::math {
+namespace {
+
+TEST(GoldenSection, QuadraticMinimum) {
+  const auto r =
+      golden_section([](double x) { return (x - 3.0) * (x - 3.0); }, 0.0,
+                     10.0);
+  EXPECT_NEAR(r.x, 3.0, 1e-7);
+  EXPECT_NEAR(r.fx, 0.0, 1e-12);
+}
+
+TEST(GoldenSection, NonSmoothObjective) {
+  const auto r = golden_section([](double x) { return std::abs(x - 0.7); },
+                                -1.0, 2.0);
+  EXPECT_NEAR(r.x, 0.7, 1e-7);
+}
+
+TEST(GoldenSection, MonotoneConvergesToBoundary) {
+  const auto r = golden_section([](double x) { return -x; }, 0.0, 5.0);
+  EXPECT_NEAR(r.x, 5.0, 1e-5);
+  EXPECT_TRUE(r.at_boundary);
+}
+
+TEST(BrentMinimize, QuadraticIsFast) {
+  const auto r = brent_minimize(
+      [](double x) { return 2.0 * (x - 1.5) * (x - 1.5) + 4.0; }, -10.0,
+      10.0);
+  EXPECT_TRUE(r.converged);
+  // A derivative-free minimiser can locate the argmin only to ~sqrt(eps)
+  // relative precision (the objective is flat to machine precision there).
+  EXPECT_NEAR(r.x, 1.5, 1e-7);
+  EXPECT_NEAR(r.fx, 4.0, 1e-12);
+  EXPECT_LT(r.evaluations, 40);
+}
+
+TEST(BrentMinimize, TrigObjective) {
+  // min of x + 2 cos(x) on [0, 3]: derivative 1 - 2 sin(x) = 0 at
+  // x = pi - asin(1/2) = 2.617993877991494 (the interior minimum).
+  const auto r = brent_minimize([](double x) { return x + 2.0 * std::cos(x); },
+                                1.0, 3.0);
+  EXPECT_NEAR(r.x, 2.617993877991494, 1e-7);
+}
+
+TEST(BrentMinimize, BeatsGoldenOnSmoothFunctions) {
+  const auto f = [](double x) { return std::pow(x - 2.0, 4) + x; };
+  const auto g = golden_section(f, -5.0, 5.0);
+  const auto b = brent_minimize(f, -5.0, 5.0);
+  EXPECT_NEAR(b.fx, g.fx, 1e-6);
+  EXPECT_LE(b.evaluations, g.evaluations);
+}
+
+TEST(BracketMinimum, FindsValidTriple) {
+  const auto f = [](double x) { return (x - 7.0) * (x - 7.0); };
+  const Bracket br = bracket_minimum(f, 0.0, 1.0, -100.0, 100.0);
+  ASSERT_TRUE(br.valid);
+  EXPECT_LT(br.lo, br.mid);
+  EXPECT_LT(br.mid, br.hi);
+  EXPECT_LE(f(br.mid), f(br.lo));
+  EXPECT_LT(f(br.mid), f(br.hi));
+  EXPECT_LE(br.lo, 7.0);
+  EXPECT_GE(br.hi, 7.0);
+}
+
+TEST(BracketMinimum, MonotoneReportsInvalidAtLimit) {
+  const Bracket br =
+      bracket_minimum([](double x) { return -x; }, 0.0, 1.0, -10.0, 10.0);
+  EXPECT_FALSE(br.valid);
+  EXPECT_DOUBLE_EQ(br.mid, 10.0);
+}
+
+TEST(MinimizeWithHint, UsesHintAndFindsInteriorMinimum) {
+  const auto f = [](double x) { return std::cosh(x - 4.0); };
+  const auto r = minimize_with_hint(f, -50.0, 50.0, 3.5);
+  EXPECT_NEAR(r.x, 4.0, 1e-7);
+  EXPECT_FALSE(r.at_boundary);
+}
+
+TEST(MinimizeWithHint, BadHintStillConverges) {
+  const auto f = [](double x) { return (x - 4.0) * (x - 4.0); };
+  const auto r = minimize_with_hint(f, -50.0, 50.0, -49.0);
+  EXPECT_NEAR(r.x, 4.0, 1e-6);
+}
+
+TEST(MinimizeWithHint, MonotoneObjectiveHitsBoundary) {
+  const auto r =
+      minimize_with_hint([](double x) { return std::exp(-x); }, 0.0, 20.0,
+                         1.0);
+  EXPECT_NEAR(r.x, 20.0, 1e-3);
+  EXPECT_TRUE(r.at_boundary);
+}
+
+TEST(MinimizeWithHint, RejectsEmptyDomain) {
+  EXPECT_THROW(
+      (void)minimize_with_hint([](double x) { return x; }, 1.0, 1.0, 1.0),
+      util::InvalidArgument);
+}
+
+// The overhead objectives this library minimises look like
+// a/T + b·T + const (Theorem 1): check the minimiser recovers the
+// analytic optimum sqrt(a/b) across magnitudes.
+class YoungDalyShape : public ::testing::TestWithParam<double> {};
+
+TEST_P(YoungDalyShape, RecoversSqrtRatio) {
+  const double a = GetParam();
+  const double b = 3.7e-6;
+  const auto f = [a, b](double logt) {
+    const double t = std::exp(logt);
+    return a / t + b * t;
+  };
+  const auto r = minimize_with_hint(f, std::log(1e-3), std::log(1e12),
+                                    std::log(1.0));
+  EXPECT_NEAR(std::exp(r.x), std::sqrt(a / b), std::sqrt(a / b) * 1e-5)
+      << "a=" << a;
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, YoungDalyShape,
+                         ::testing::Values(1e-2, 1.0, 300.0, 2500.0, 1e6));
+
+}  // namespace
+}  // namespace ayd::math

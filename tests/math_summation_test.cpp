@@ -1,0 +1,87 @@
+#include "ayd/math/summation.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <vector>
+
+namespace ayd::math {
+namespace {
+
+TEST(KahanSum, BasicAccumulation) {
+  KahanSum s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.value(), 6.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(KahanSum, EmptyIsZero) {
+  const KahanSum s;
+  EXPECT_DOUBLE_EQ(s.value(), 0.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(KahanSum, RecoversCancellationNaiveSumLoses) {
+  // 1.0 + 1e-16 repeated: naive summation never advances past 1.0.
+  KahanSum s;
+  s.add(1.0);
+  double naive = 1.0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    s.add(1e-16);
+    naive += 1e-16;
+  }
+  EXPECT_DOUBLE_EQ(naive, 1.0);  // demonstrates the naive failure
+  EXPECT_NEAR(s.value(), 1.0 + kN * 1e-16, 1e-18);
+}
+
+TEST(KahanSum, NeumaierHandlesLargeThenSmall) {
+  // Classic Neumaier test: [1, 1e100, 1, -1e100] sums to 2.
+  KahanSum s;
+  s.add(1.0);
+  s.add(1e100);
+  s.add(1.0);
+  s.add(-1e100);
+  EXPECT_DOUBLE_EQ(s.value(), 2.0);
+}
+
+TEST(KahanSum, MergePreservesTotalAndCount) {
+  KahanSum a, b, whole;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = std::sin(i) * 1e10 + 1e-6;
+    (i % 2 == 0 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.value(), whole.value(), std::abs(whole.value()) * 1e-15);
+}
+
+TEST(CompensatedSum, SpanInterface) {
+  const std::vector<double> xs{0.1, 0.2, 0.3, 0.4};
+  EXPECT_NEAR(compensated_sum(xs), 1.0, 1e-15);
+}
+
+TEST(CompensatedMean, EmptyAndBasic) {
+  EXPECT_DOUBLE_EQ(compensated_mean({}), 0.0);
+  const std::vector<double> xs{2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(compensated_mean(xs), 4.0);
+}
+
+TEST(CompensatedSum, IllConditionedAlternatingSeries) {
+  // Σ (-1)^i · i over i < 2n is -n; add tiny noise terms that a naive sum
+  // absorbs incorrectly.
+  std::vector<double> xs;
+  constexpr int kN = 1000;
+  for (int i = 0; i < 2 * kN; ++i) {
+    xs.push_back((i % 2 == 0 ? 1.0 : -1.0) * i * 1e8);
+    xs.push_back(1e-8);
+  }
+  // Pairwise (even − odd) differences leave −kN·1e8, plus the noise terms.
+  const double expected = -static_cast<double>(kN) * 1e8 + 2.0 * kN * 1e-8;
+  EXPECT_NEAR(compensated_sum(xs), expected, 1e-7);
+}
+
+}  // namespace
+}  // namespace ayd::math

@@ -1,0 +1,73 @@
+#include "ayd/model/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ayd/util/error.hpp"
+
+namespace ayd::model {
+namespace {
+
+TEST(CostModel, GeneralFormEvaluation) {
+  const CostModel m(10.0, 100.0, 0.5);
+  EXPECT_DOUBLE_EQ(m.cost(1.0), 10.0 + 100.0 + 0.5);
+  EXPECT_DOUBLE_EQ(m.cost(10.0), 10.0 + 10.0 + 5.0);
+  EXPECT_DOUBLE_EQ(m.cost(1000.0), 10.0 + 0.1 + 500.0);
+}
+
+TEST(CostModel, Factories) {
+  EXPECT_DOUBLE_EQ(CostModel::constant(439.0).cost(1024.0), 439.0);
+  EXPECT_DOUBLE_EQ(CostModel::linear(0.5859375).cost(512.0), 300.0);
+  EXPECT_DOUBLE_EQ(CostModel::inverse(153600.0).cost(512.0), 300.0);
+  EXPECT_TRUE(CostModel::zero().is_zero());
+}
+
+TEST(CostModel, CoefficientAccessors) {
+  const CostModel m(1.0, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(m.constant_coeff(), 1.0);
+  EXPECT_DOUBLE_EQ(m.inverse_coeff(), 2.0);
+  EXPECT_DOUBLE_EQ(m.linear_coeff(), 3.0);
+}
+
+TEST(CostModel, AdditionIsComponentwise) {
+  const CostModel c = CostModel::inverse(100.0);
+  const CostModel v = CostModel::constant(15.4);
+  const CostModel sum = c + v;
+  EXPECT_DOUBLE_EQ(sum.constant_coeff(), 15.4);
+  EXPECT_DOUBLE_EQ(sum.inverse_coeff(), 100.0);
+  EXPECT_DOUBLE_EQ(sum.linear_coeff(), 0.0);
+  EXPECT_DOUBLE_EQ(sum.cost(10.0), c.cost(10.0) + v.cost(10.0));
+}
+
+TEST(CostModel, RejectsNegativeAndNonFinite) {
+  EXPECT_THROW(CostModel(-1.0, 0.0, 0.0), util::InvalidArgument);
+  EXPECT_THROW(CostModel(0.0, -1.0, 0.0), util::InvalidArgument);
+  EXPECT_THROW(CostModel(0.0, 0.0, -1.0), util::InvalidArgument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(CostModel(nan, 0.0, 0.0), util::InvalidArgument);
+}
+
+TEST(CostModel, RejectsSubUnitProcessorCount) {
+  EXPECT_THROW((void)CostModel::constant(1.0).cost(0.0),
+               util::InvalidArgument);
+}
+
+TEST(CostModel, Describe) {
+  EXPECT_EQ(CostModel::zero().describe(), "0");
+  EXPECT_EQ(CostModel::constant(439.0).describe(), "439");
+  EXPECT_EQ(CostModel::linear(0.5).describe(), "0.5*P");
+  EXPECT_EQ(CostModel::inverse(100.0).describe(), "100/P");
+  EXPECT_EQ(CostModel(1.0, 2.0, 3.0).describe(), "1 + 2/P + 3*P");
+}
+
+TEST(CostModel, MonotonicityPerShape) {
+  // Constant: flat; inverse: decreasing; linear: increasing.
+  EXPECT_DOUBLE_EQ(CostModel::constant(5.0).cost(2.0),
+                   CostModel::constant(5.0).cost(2000.0));
+  EXPECT_GT(CostModel::inverse(5.0).cost(2.0),
+            CostModel::inverse(5.0).cost(2000.0));
+  EXPECT_LT(CostModel::linear(5.0).cost(2.0),
+            CostModel::linear(5.0).cost(2000.0));
+}
+
+}  // namespace
+}  // namespace ayd::model

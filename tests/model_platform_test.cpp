@@ -1,0 +1,79 @@
+#include "ayd/model/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ayd/util/error.hpp"
+
+namespace ayd::model {
+namespace {
+
+// Table II of the paper, pinned verbatim.
+
+TEST(Platforms, HeraTableII) {
+  const Platform p = hera();
+  EXPECT_EQ(p.name, "Hera");
+  EXPECT_DOUBLE_EQ(p.lambda_ind, 1.69e-8);
+  EXPECT_DOUBLE_EQ(p.fail_stop_fraction, 0.2188);
+  EXPECT_DOUBLE_EQ(p.measured_procs, 512.0);
+  EXPECT_DOUBLE_EQ(p.measured_checkpoint, 300.0);
+  EXPECT_DOUBLE_EQ(p.measured_verification, 15.4);
+}
+
+TEST(Platforms, AtlasTableII) {
+  const Platform p = atlas();
+  EXPECT_DOUBLE_EQ(p.lambda_ind, 1.62e-8);
+  EXPECT_DOUBLE_EQ(p.fail_stop_fraction, 0.0625);
+  EXPECT_DOUBLE_EQ(p.measured_procs, 1024.0);
+  EXPECT_DOUBLE_EQ(p.measured_checkpoint, 439.0);
+  EXPECT_DOUBLE_EQ(p.measured_verification, 9.1);
+}
+
+TEST(Platforms, CoastalTableII) {
+  const Platform p = coastal();
+  EXPECT_DOUBLE_EQ(p.lambda_ind, 2.34e-9);
+  EXPECT_DOUBLE_EQ(p.fail_stop_fraction, 0.1667);
+  EXPECT_DOUBLE_EQ(p.measured_procs, 2048.0);
+  EXPECT_DOUBLE_EQ(p.measured_checkpoint, 1051.0);
+  EXPECT_DOUBLE_EQ(p.measured_verification, 4.5);
+}
+
+TEST(Platforms, CoastalSsdTableII) {
+  const Platform p = coastal_ssd();
+  EXPECT_DOUBLE_EQ(p.lambda_ind, 2.34e-9);
+  EXPECT_DOUBLE_EQ(p.measured_checkpoint, 2500.0);
+  EXPECT_DOUBLE_EQ(p.measured_verification, 180.0);
+}
+
+TEST(Platforms, SilentFractionsMatchTableII) {
+  // Table II lists s explicitly; our model derives it as 1 - f.
+  EXPECT_NEAR(1.0 - hera().fail_stop_fraction, 0.7812, 1e-12);
+  EXPECT_NEAR(1.0 - atlas().fail_stop_fraction, 0.9375, 1e-12);
+  EXPECT_NEAR(1.0 - coastal().fail_stop_fraction, 0.8333, 1e-12);
+}
+
+TEST(Platforms, AllInPaperOrder) {
+  const auto all = all_platforms();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "Hera");
+  EXPECT_EQ(all[1].name, "Atlas");
+  EXPECT_EQ(all[2].name, "Coastal");
+  EXPECT_EQ(all[3].name, "Coastal SSD");
+}
+
+TEST(Platforms, LookupByNameCaseInsensitive) {
+  EXPECT_EQ(platform_by_name("hera").name, "Hera");
+  EXPECT_EQ(platform_by_name(" Atlas ").name, "Atlas");
+  EXPECT_EQ(platform_by_name("COASTAL SSD").name, "Coastal SSD");
+  EXPECT_EQ(platform_by_name("coastal_ssd").name, "Coastal SSD");
+  EXPECT_THROW((void)platform_by_name("titan"), util::InvalidArgument);
+}
+
+TEST(Platforms, FailureModelProjection) {
+  const Platform p = hera();
+  const FailureModel fm = p.failure();
+  EXPECT_DOUBLE_EQ(fm.lambda_ind(), 1.69e-8);
+  EXPECT_DOUBLE_EQ(fm.fail_stop_fraction(), 0.2188);
+}
+
+}  // namespace
+}  // namespace ayd::model

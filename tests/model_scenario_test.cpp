@@ -1,0 +1,137 @@
+#include "ayd/model/scenario.hpp"
+
+#include <gtest/gtest.h>
+#include <tuple>
+
+#include "ayd/model/platform.hpp"
+#include "ayd/util/error.hpp"
+
+namespace ayd::model {
+namespace {
+
+TEST(Scenarios, AllSixInOrder) {
+  const auto all = all_scenarios();
+  ASSERT_EQ(all.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(scenario_number(all[static_cast<std::size_t>(i)]), i + 1);
+  }
+}
+
+TEST(Scenarios, ParseAcceptsNumberAndPrefix) {
+  EXPECT_EQ(scenario_from_string("1"), Scenario::kS1);
+  EXPECT_EQ(scenario_from_string("s3"), Scenario::kS3);
+  EXPECT_EQ(scenario_from_string(" S6 "), Scenario::kS6);
+  EXPECT_THROW((void)scenario_from_string("7"), util::InvalidArgument);
+  EXPECT_THROW((void)scenario_from_string("abc"), util::InvalidArgument);
+}
+
+TEST(Scenarios, DescriptionsMatchTableIII) {
+  EXPECT_EQ(scenario_description(Scenario::kS1), "C=cP,  V=v");
+  EXPECT_EQ(scenario_description(Scenario::kS6), "C=b/P, V=u/P");
+}
+
+// Table III structure: the shape of C and V per scenario.
+TEST(Resolve, ShapesMatchTableIII) {
+  const Platform p = hera();
+  {
+    const auto rc = resolve(p, Scenario::kS1);
+    EXPECT_GT(rc.checkpoint.linear_coeff(), 0.0);
+    EXPECT_DOUBLE_EQ(rc.checkpoint.constant_coeff(), 0.0);
+    EXPECT_GT(rc.verification.constant_coeff(), 0.0);
+  }
+  {
+    const auto rc = resolve(p, Scenario::kS2);
+    EXPECT_GT(rc.checkpoint.linear_coeff(), 0.0);
+    EXPECT_GT(rc.verification.inverse_coeff(), 0.0);
+    EXPECT_DOUBLE_EQ(rc.verification.constant_coeff(), 0.0);
+  }
+  {
+    const auto rc = resolve(p, Scenario::kS3);
+    EXPECT_GT(rc.checkpoint.constant_coeff(), 0.0);
+    EXPECT_DOUBLE_EQ(rc.checkpoint.linear_coeff(), 0.0);
+  }
+  {
+    const auto rc = resolve(p, Scenario::kS5);
+    EXPECT_GT(rc.checkpoint.inverse_coeff(), 0.0);
+    EXPECT_DOUBLE_EQ(rc.checkpoint.constant_coeff(), 0.0);
+  }
+  {
+    const auto rc = resolve(p, Scenario::kS6);
+    EXPECT_GT(rc.checkpoint.inverse_coeff(), 0.0);
+    EXPECT_GT(rc.verification.inverse_coeff(), 0.0);
+  }
+}
+
+// The fitted coefficients must reproduce the measured costs at the
+// measured processor count — for every platform and every scenario.
+class ResolveFitsMeasurement
+    : public ::testing::TestWithParam<std::tuple<int, Scenario>> {};
+
+TEST_P(ResolveFitsMeasurement, ReproducesTableIIValuesAtMeasuredP) {
+  const Platform platform =
+      all_platforms()[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  const Scenario scenario = std::get<1>(GetParam());
+  const ResilienceCosts rc = resolve(platform, scenario);
+  const double p = platform.measured_procs;
+  EXPECT_NEAR(rc.checkpoint.cost(p), platform.measured_checkpoint,
+              1e-9 * platform.measured_checkpoint);
+  EXPECT_NEAR(rc.verification.cost(p), platform.measured_verification,
+              1e-9 * platform.measured_verification);
+  // Recovery mirrors checkpoint (same I/O), per the paper.
+  EXPECT_DOUBLE_EQ(rc.recovery.cost(p), rc.checkpoint.cost(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatformsAllScenarios, ResolveFitsMeasurement,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::ValuesIn(all_scenarios())));
+
+TEST(Resolve, HeraScenario1Coefficients) {
+  // c = 300/512, v = 15.4 — hand-checked projection.
+  const auto rc = resolve(hera(), Scenario::kS1);
+  EXPECT_NEAR(rc.checkpoint.linear_coeff(), 300.0 / 512.0, 1e-15);
+  EXPECT_DOUBLE_EQ(rc.verification.constant_coeff(), 15.4);
+}
+
+TEST(Classify, ScenarioToCaseMapping) {
+  const Platform p = atlas();
+  // Scenarios 1-2: case 1 with coefficient c.
+  for (const Scenario s : {Scenario::kS1, Scenario::kS2}) {
+    const CaseInfo info = classify(resolve(p, s));
+    EXPECT_EQ(info.first_order_case, FirstOrderCase::kLinearCheckpoint);
+    EXPECT_NEAR(info.coefficient, 439.0 / 1024.0, 1e-12);
+  }
+  // Scenarios 3-5: case 2 with coefficient d = constant part of C+V.
+  {
+    const CaseInfo info = classify(resolve(p, Scenario::kS3));
+    EXPECT_EQ(info.first_order_case, FirstOrderCase::kConstantCost);
+    EXPECT_NEAR(info.coefficient, 439.0 + 9.1, 1e-12);
+  }
+  {
+    const CaseInfo info = classify(resolve(p, Scenario::kS4));
+    EXPECT_EQ(info.first_order_case, FirstOrderCase::kConstantCost);
+    EXPECT_NEAR(info.coefficient, 439.0, 1e-12);
+  }
+  {
+    // Scenario 5: d comes from the verification constant only.
+    const CaseInfo info = classify(resolve(p, Scenario::kS5));
+    EXPECT_EQ(info.first_order_case, FirstOrderCase::kConstantCost);
+    EXPECT_NEAR(info.coefficient, 9.1, 1e-12);
+  }
+  // Scenario 6: case 3, h = b + u.
+  {
+    const CaseInfo info = classify(resolve(p, Scenario::kS6));
+    EXPECT_EQ(info.first_order_case, FirstOrderCase::kDecreasingCost);
+    EXPECT_NEAR(info.coefficient, (439.0 + 9.1) * 1024.0, 1e-9);
+  }
+}
+
+TEST(ResilienceCosts, CombinedIsComponentwiseSum) {
+  const auto rc = resolve(coastal(), Scenario::kS3);
+  const CostModel combined = rc.combined();
+  EXPECT_DOUBLE_EQ(combined.cost(100.0),
+                   rc.checkpoint.cost(100.0) + rc.verification.cost(100.0));
+}
+
+}  // namespace
+}  // namespace ayd::model

@@ -1,0 +1,111 @@
+#include "ayd/model/speedup.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "ayd/util/error.hpp"
+
+namespace ayd::model {
+namespace {
+
+TEST(Amdahl, OneProcessorHasUnitSpeedup) {
+  EXPECT_DOUBLE_EQ(Speedup::amdahl(0.1).speedup(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Speedup::amdahl(0.0).speedup(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Speedup::amdahl(1.0).speedup(1.0), 1.0);
+}
+
+TEST(Amdahl, BoundedByInverseAlpha) {
+  const Speedup s = Speedup::amdahl(0.1);
+  EXPECT_LT(s.speedup(1e12), 10.0);
+  EXPECT_NEAR(s.speedup(1e12), 10.0, 1e-9);
+}
+
+TEST(Amdahl, KnownValue) {
+  // S(P) = 1/(α + (1-α)/P); α=0.1, P=9: 1/(0.1 + 0.1) = 5.
+  EXPECT_DOUBLE_EQ(Speedup::amdahl(0.1).speedup(9.0), 5.0);
+}
+
+TEST(Amdahl, StrictlyIncreasingInP) {
+  const Speedup s = Speedup::amdahl(0.05);
+  double prev = s.speedup(1.0);
+  for (double p = 2.0; p <= 1e6; p *= 10.0) {
+    const double cur = s.speedup(p);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Amdahl, AlphaZeroIsPerfect) {
+  const Speedup a = Speedup::amdahl(0.0);
+  const Speedup p = Speedup::perfect();
+  for (const double procs : {1.0, 7.0, 512.0, 1e6}) {
+    EXPECT_DOUBLE_EQ(a.speedup(procs), p.speedup(procs));
+  }
+}
+
+TEST(Amdahl, FullySequentialNeverSpeedsUp) {
+  const Speedup s = Speedup::amdahl(1.0);
+  EXPECT_DOUBLE_EQ(s.speedup(4096.0), 1.0);
+}
+
+TEST(Amdahl, RejectsOutOfRangeAlpha) {
+  EXPECT_THROW((void)Speedup::amdahl(-0.1), util::InvalidArgument);
+  EXPECT_THROW((void)Speedup::amdahl(1.1), util::InvalidArgument);
+}
+
+TEST(Overhead, IsReciprocalOfSpeedup) {
+  const Speedup s = Speedup::amdahl(0.1);
+  for (const double p : {1.0, 10.0, 512.0}) {
+    EXPECT_DOUBLE_EQ(s.overhead(p), 1.0 / s.speedup(p));
+    // H(P) = α + (1-α)/P directly.
+    EXPECT_NEAR(s.overhead(p), 0.1 + 0.9 / p, 1e-15);
+  }
+}
+
+TEST(Gustafson, LinearScaledSpeedup) {
+  const Speedup s = Speedup::gustafson(0.2);
+  EXPECT_DOUBLE_EQ(s.speedup(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.speedup(10.0), 0.2 + 0.8 * 10.0);
+}
+
+TEST(PowerLaw, Exponent) {
+  const Speedup s = Speedup::power_law(0.5);
+  EXPECT_DOUBLE_EQ(s.speedup(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.speedup(100.0), 10.0);
+  EXPECT_THROW((void)Speedup::power_law(0.0), util::InvalidArgument);
+  EXPECT_THROW((void)Speedup::power_law(1.5), util::InvalidArgument);
+}
+
+TEST(Custom, FunctionIsUsed) {
+  const Speedup s =
+      Speedup::custom([](double p) { return std::sqrt(p); }, "sqrt");
+  EXPECT_DOUBLE_EQ(s.speedup(16.0), 4.0);
+  EXPECT_EQ(s.name(), "sqrt");
+}
+
+TEST(Custom, NonPositiveOutputRejectedAtUse) {
+  const Speedup s = Speedup::custom([](double) { return 0.0; }, "bad");
+  EXPECT_THROW((void)s.speedup(2.0), util::InvalidArgument);
+}
+
+TEST(SequentialFraction, PerKind) {
+  EXPECT_EQ(Speedup::amdahl(0.3).sequential_fraction(), 0.3);
+  EXPECT_EQ(Speedup::perfect().sequential_fraction(), 0.0);
+  EXPECT_EQ(Speedup::gustafson(0.25).sequential_fraction(), 0.25);
+  EXPECT_FALSE(Speedup::power_law(0.5).sequential_fraction().has_value());
+}
+
+TEST(AmdahlFamily, Classification) {
+  EXPECT_TRUE(Speedup::amdahl(0.1).is_amdahl_family());
+  EXPECT_TRUE(Speedup::perfect().is_amdahl_family());
+  EXPECT_FALSE(Speedup::gustafson(0.1).is_amdahl_family());
+  EXPECT_FALSE(Speedup::power_law(0.9).is_amdahl_family());
+}
+
+TEST(Speedup, RejectsSubUnitProcessorCount) {
+  EXPECT_THROW((void)Speedup::amdahl(0.1).speedup(0.5),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ayd::model

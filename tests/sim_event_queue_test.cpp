@@ -1,0 +1,109 @@
+#include "ayd/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ayd/util/error.hpp"
+
+namespace ayd::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  (void)q.push(3.0, EventType::kFailStop);
+  (void)q.push(1.0, EventType::kPhaseEnd);
+  (void)q.push(2.0, EventType::kSilent);
+  EXPECT_DOUBLE_EQ(q.pop()->time, 1.0);
+  EXPECT_DOUBLE_EQ(q.pop()->time, 2.0);
+  EXPECT_DOUBLE_EQ(q.pop()->time, 3.0);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EventQueue, TiesBrokenByInsertionOrder) {
+  EventQueue q;
+  const auto first = q.push(5.0, EventType::kSilent);
+  const auto second = q.push(5.0, EventType::kFailStop);
+  EXPECT_EQ(q.pop()->id, first);
+  EXPECT_EQ(q.pop()->id, second);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  const auto a = q.push(1.0, EventType::kPhaseEnd);
+  (void)q.push(2.0, EventType::kFailStop);
+  q.cancel(a);
+  const auto e = q.pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e->time, 2.0);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  (void)q.push(1.0, EventType::kPhaseEnd);
+  q.cancel(999);
+  EXPECT_TRUE(q.pop().has_value());
+}
+
+TEST(EventQueue, PeekDoesNotRemove) {
+  EventQueue q;
+  (void)q.push(4.0, EventType::kSilent);
+  EXPECT_DOUBLE_EQ(q.peek()->time, 4.0);
+  EXPECT_DOUBLE_EQ(q.peek()->time, 4.0);
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PeekSkipsCancelledHead) {
+  EventQueue q;
+  const auto a = q.push(1.0, EventType::kPhaseEnd);
+  (void)q.push(2.0, EventType::kSilent);
+  q.cancel(a);
+  EXPECT_DOUBLE_EQ(q.peek()->time, 2.0);
+}
+
+TEST(EventQueue, LiveSizeTracksCancellations) {
+  EventQueue q;
+  const auto a = q.push(1.0, EventType::kPhaseEnd);
+  (void)q.push(2.0, EventType::kPhaseEnd);
+  EXPECT_EQ(q.live_size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.live_size(), 1u);
+}
+
+TEST(EventQueue, ClearRemovesEverything) {
+  EventQueue q;
+  (void)q.push(1.0, EventType::kPhaseEnd);
+  (void)q.push(2.0, EventType::kPhaseEnd);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EventQueue, IdsAreUniqueAndIncreasing) {
+  EventQueue q;
+  const auto a = q.push(1.0, EventType::kPhaseEnd);
+  const auto b = q.push(0.5, EventType::kPhaseEnd);
+  EXPECT_LT(a, b);  // ids reflect insertion order, not time order
+}
+
+TEST(EventQueue, RejectsNegativeTime) {
+  EventQueue q;
+  EXPECT_THROW((void)q.push(-1.0, EventType::kPhaseEnd),
+               util::InvalidArgument);
+}
+
+TEST(EventQueue, InfinityTimeOrdersLast) {
+  EventQueue q;
+  (void)q.push(std::numeric_limits<double>::infinity(),
+               EventType::kFailStop);
+  (void)q.push(10.0, EventType::kPhaseEnd);
+  EXPECT_DOUBLE_EQ(q.pop()->time, 10.0);
+}
+
+TEST(EventTypeName, AllNamed) {
+  EXPECT_EQ(event_type_name(EventType::kFailStop), "fail-stop");
+  EXPECT_EQ(event_type_name(EventType::kSilent), "silent");
+  EXPECT_EQ(event_type_name(EventType::kPhaseEnd), "phase-end");
+}
+
+}  // namespace
+}  // namespace ayd::sim

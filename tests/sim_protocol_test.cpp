@@ -1,0 +1,181 @@
+#include "ayd/sim/protocol.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/stats/running.hpp"
+
+namespace ayd::sim {
+namespace {
+
+using model::CostModel;
+using model::FailureModel;
+using model::ResilienceCosts;
+using model::Speedup;
+using model::System;
+
+System make_system(double lambda, double f, double c, double v, double d) {
+  ResilienceCosts costs{CostModel::constant(c), CostModel::constant(c),
+                        CostModel::constant(v)};
+  return System(FailureModel(lambda, f), costs, d, Speedup::amdahl(0.1));
+}
+
+TEST(DesProtocol, ErrorFreePatternIsExact) {
+  const System sys = make_system(0.0, 0.0, 120.0, 30.0, 3600.0);
+  DesProtocolSimulator simulator(sys, {5000.0, 64.0});
+  rng::RngStream rng(1);
+  const PatternStats s = simulator.simulate_pattern(rng);
+  EXPECT_DOUBLE_EQ(s.wall_time, 5000.0 + 30.0 + 120.0);
+  EXPECT_EQ(s.attempts, 1u);
+  EXPECT_EQ(s.fail_stop_errors, 0u);
+  EXPECT_EQ(s.silent_detections, 0u);
+}
+
+TEST(FastProtocol, ErrorFreePatternIsExact) {
+  const System sys = make_system(0.0, 0.0, 120.0, 30.0, 3600.0);
+  FastProtocolSimulator simulator(sys, {5000.0, 64.0});
+  rng::RngStream rng(1);
+  const PatternStats s = simulator.simulate_pattern(rng);
+  EXPECT_DOUBLE_EQ(s.wall_time, 5000.0 + 30.0 + 120.0);
+  EXPECT_EQ(s.attempts, 1u);
+}
+
+TEST(DesProtocol, AttemptAccountingInvariant) {
+  // attempts == 1 + (non-recovery fail-stops) + silent detections, because
+  // each of those triggers exactly one full re-execution while recovery
+  // fail-stops only repeat the recovery.
+  // lambda*P*(T+V) ~ 0.5 so errors are frequent but completion is feasible.
+  const System sys = make_system(1e-7, 0.4, 300.0, 30.0, 1800.0);
+  DesProtocolSimulator simulator(sys, {20000.0, 256.0});
+  rng::RngStream rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const PatternStats s = simulator.simulate_pattern(rng);
+    EXPECT_EQ(s.attempts, 1u + (s.fail_stop_errors - s.recovery_fail_stops) +
+                              s.silent_detections)
+        << "pattern " << i;
+  }
+}
+
+TEST(FastProtocol, AttemptAccountingInvariant) {
+  const System sys = make_system(1e-7, 0.4, 300.0, 30.0, 1800.0);
+  FastProtocolSimulator simulator(sys, {20000.0, 256.0});
+  rng::RngStream rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const PatternStats s = simulator.simulate_pattern(rng);
+    EXPECT_EQ(s.attempts, 1u + (s.fail_stop_errors - s.recovery_fail_stops) +
+                              s.silent_detections)
+        << "pattern " << i;
+  }
+}
+
+TEST(Protocols, WallTimeNeverBelowFaultFreeTime) {
+  const System sys = make_system(2e-7, 0.3, 150.0, 15.0, 600.0);
+  DesProtocolSimulator des(sys, {10000.0, 128.0});
+  FastProtocolSimulator fast(sys, {10000.0, 128.0});
+  rng::RngStream r1(3), r2(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(des.simulate_pattern(r1).wall_time, 10000.0 + 15.0 + 150.0);
+    EXPECT_GE(fast.simulate_pattern(r2).wall_time, 10000.0 + 15.0 + 150.0);
+  }
+}
+
+TEST(DesProtocol, SilentOnlySystemDetectsEverySilentError) {
+  // f = 0: no fail-stop errors, so nothing can mask a silent error and
+  // recovery never fails.
+  const System sys = make_system(3e-8, 0.0, 100.0, 10.0, 3600.0);
+  DesProtocolSimulator simulator(sys, {30000.0, 512.0});
+  rng::RngStream rng(11);
+  PatternStats totals;
+  for (int i = 0; i < 300; ++i) totals.merge(simulator.simulate_pattern(rng));
+  EXPECT_EQ(totals.fail_stop_errors, 0u);
+  EXPECT_EQ(totals.masked_silent, 0u);
+  EXPECT_GT(totals.silent_detections, 0u);
+  // Every detection costs exactly T + V (+R) — check total accounting.
+  const double expected_wall =
+      static_cast<double>(totals.attempts) * (30000.0 + 10.0) +
+      static_cast<double>(totals.silent_detections) * 100.0 +
+      300.0 * 100.0;  // final checkpoints
+  EXPECT_NEAR(totals.wall_time, expected_wall, 1e-6 * expected_wall);
+}
+
+TEST(FastProtocol, FailStopOnlySystemHasNoSilentActivity) {
+  const System sys = make_system(3e-8, 1.0, 100.0, 10.0, 60.0);
+  FastProtocolSimulator simulator(sys, {30000.0, 512.0});
+  rng::RngStream rng(13);
+  PatternStats totals;
+  for (int i = 0; i < 300; ++i) totals.merge(simulator.simulate_pattern(rng));
+  EXPECT_GT(totals.fail_stop_errors, 0u);
+  EXPECT_EQ(totals.silent_detections, 0u);
+  EXPECT_EQ(totals.masked_silent, 0u);
+}
+
+TEST(DesProtocol, DowntimeChargedPerFailStop) {
+  // With V = 0 and C = 0 and R = 0 every fail-stop costs its lost time
+  // plus exactly D; verify wall >= fail_stops * D.
+  ResilienceCosts costs{CostModel::zero(), CostModel::zero(),
+                        CostModel::zero()};
+  const System sys(FailureModel(1e-7, 1.0), costs, 1000.0,
+                   Speedup::amdahl(0.1));
+  DesProtocolSimulator simulator(sys, {5000.0, 512.0});
+  rng::RngStream rng(17);
+  for (int i = 0; i < 50; ++i) {
+    const PatternStats s = simulator.simulate_pattern(rng);
+    EXPECT_GE(s.wall_time,
+              static_cast<double>(s.fail_stop_errors) * 1000.0 + 5000.0);
+  }
+}
+
+TEST(DesProtocol, TraceAccountsForAllWallTime) {
+  const System sys = make_system(2e-7, 0.5, 200.0, 20.0, 900.0);
+  DesProtocolSimulator simulator(sys, {15000.0, 256.0});
+  rng::RngStream rng(23);
+  Trace trace;
+  double clock = 0.0;
+  PatternStats totals;
+  for (int i = 0; i < 20; ++i) {
+    const PatternStats s = simulator.simulate_pattern(rng, &trace, clock);
+    clock += s.wall_time;
+    totals.merge(s);
+  }
+  // Segments must tile the full wall time exactly.
+  double sum = 0.0;
+  for (const Segment& seg : trace.segments()) sum += seg.duration();
+  EXPECT_NEAR(sum, totals.wall_time, 1e-6 * totals.wall_time);
+  // Downtime glyph time == fail_stops * D.
+  EXPECT_NEAR(trace.time_in(SegmentKind::kDowntime),
+              static_cast<double>(totals.fail_stop_errors) * 900.0, 1e-6);
+  // Successful verifications: at least one per pattern.
+  EXPECT_GE(trace.time_in(SegmentKind::kVerify),
+            20.0 * 20.0 - 1e-9);
+}
+
+TEST(DesProtocol, MaskedSilentOnlyWithBothErrorTypes) {
+  const System sys = make_system(2e-7, 0.5, 50.0, 5.0, 100.0);
+  DesProtocolSimulator simulator(sys, {20000.0, 512.0});
+  rng::RngStream rng(29);
+  PatternStats totals;
+  for (int i = 0; i < 500; ++i) totals.merge(simulator.simulate_pattern(rng));
+  // At these rates silent errors strike often and fail-stops mask a
+  // fraction of them.
+  EXPECT_GT(totals.masked_silent, 0u);
+  EXPECT_GT(totals.silent_detections, 0u);
+}
+
+TEST(Protocols, DeterministicGivenSeed) {
+  const System sys = make_system(1e-7, 0.4, 300.0, 30.0, 1800.0);
+  DesProtocolSimulator a(sys, {20000.0, 256.0});
+  DesProtocolSimulator b(sys, {20000.0, 256.0});
+  rng::RngStream ra(99), rb(99);
+  for (int i = 0; i < 50; ++i) {
+    const PatternStats sa = a.simulate_pattern(ra);
+    const PatternStats sb = b.simulate_pattern(rb);
+    EXPECT_DOUBLE_EQ(sa.wall_time, sb.wall_time);
+    EXPECT_EQ(sa.fail_stop_errors, sb.fail_stop_errors);
+    EXPECT_EQ(sa.silent_detections, sb.silent_detections);
+  }
+}
+
+}  // namespace
+}  // namespace ayd::sim

@@ -1,0 +1,86 @@
+#include "ayd/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ayd/util/error.hpp"
+
+namespace ayd::sim {
+namespace {
+
+TEST(Trace, AccumulatesSegmentsInOrder) {
+  Trace t;
+  t.add(0.0, 10.0, SegmentKind::kCompute);
+  t.add(10.0, 12.0, SegmentKind::kVerify);
+  t.add(12.0, 15.0, SegmentKind::kCheckpoint);
+  EXPECT_EQ(t.segments().size(), 3u);
+  EXPECT_DOUBLE_EQ(t.total_time(), 15.0);
+}
+
+TEST(Trace, TimeInKind) {
+  Trace t;
+  t.add(0.0, 10.0, SegmentKind::kCompute);
+  t.add(10.0, 11.0, SegmentKind::kDowntime);
+  t.add(11.0, 13.0, SegmentKind::kRecovery);
+  t.add(13.0, 23.0, SegmentKind::kCompute);
+  EXPECT_DOUBLE_EQ(t.time_in(SegmentKind::kCompute), 20.0);
+  EXPECT_DOUBLE_EQ(t.time_in(SegmentKind::kRecovery), 2.0);
+  EXPECT_DOUBLE_EQ(t.time_in(SegmentKind::kVerify), 0.0);
+}
+
+TEST(Trace, ZeroLengthSegmentsIgnored) {
+  Trace t;
+  t.add(5.0, 5.0, SegmentKind::kVerify);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Trace, RejectsOutOfOrderAppends) {
+  Trace t;
+  t.add(0.0, 10.0, SegmentKind::kCompute);
+  EXPECT_THROW(t.add(5.0, 8.0, SegmentKind::kVerify),
+               util::InvalidArgument);
+  EXPECT_THROW(t.add(20.0, 15.0, SegmentKind::kVerify),
+               util::InvalidArgument);
+}
+
+TEST(Trace, RenderContainsGlyphsAndLegend) {
+  Trace t;
+  t.add(0.0, 50.0, SegmentKind::kCompute);
+  t.add(50.0, 60.0, SegmentKind::kCheckpoint);
+  const std::string out = t.render_timeline(50);
+  EXPECT_NE(out.find('='), std::string::npos);
+  EXPECT_NE(out.find('C'), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("checkpoint"), std::string::npos);
+}
+
+TEST(Trace, RenderEmptyTrace) {
+  const Trace t;
+  EXPECT_NE(t.render_timeline().find("empty"), std::string::npos);
+}
+
+TEST(Trace, RenderPicksDominantKindPerBucket) {
+  Trace t;
+  // 90% compute, 10% downtime: with 10 buckets, exactly one D bucket.
+  t.add(0.0, 90.0, SegmentKind::kCompute);
+  t.add(90.0, 100.0, SegmentKind::kDowntime);
+  const std::string line = t.render_timeline(10);
+  const std::size_t d_count =
+      static_cast<std::size_t>(std::count(line.begin(), line.end(), 'D'));
+  EXPECT_GE(d_count, 1u);  // at least the downtime bucket (+1 in legend)
+  EXPECT_LE(d_count, 2u);
+}
+
+TEST(SegmentKind, NamesAndGlyphsDistinct) {
+  std::set<char> glyphs;
+  std::set<std::string> names;
+  for (int k = 0; k <= static_cast<int>(SegmentKind::kDowntime); ++k) {
+    const auto kind = static_cast<SegmentKind>(k);
+    glyphs.insert(segment_kind_glyph(kind));
+    names.insert(segment_kind_name(kind));
+  }
+  EXPECT_EQ(glyphs.size(), 6u);
+  EXPECT_EQ(names.size(), 6u);
+}
+
+}  // namespace
+}  // namespace ayd::sim

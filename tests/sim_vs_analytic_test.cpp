@@ -1,0 +1,165 @@
+// The paper's central validation, inverted into a test: the simulator's
+// mean pattern time and overhead must match Proposition 1 within
+// statistical error, and the two simulator back-ends must agree with each
+// other.
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <tuple>
+
+#include "ayd/core/expected_time.hpp"
+#include "ayd/core/first_order.hpp"
+#include "ayd/core/overhead.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/sim/runner.hpp"
+
+namespace ayd::sim {
+namespace {
+
+using core::Pattern;
+using model::Scenario;
+using model::System;
+
+/// z-score of the simulated mean against the analytic expectation.
+double z_score(const stats::Summary& s, double expected) {
+  return (s.mean - expected) / std::max(s.stderr_mean, 1e-300);
+}
+
+class SimMatchesProp1
+    : public ::testing::TestWithParam<std::tuple<int, Scenario>> {};
+
+TEST_P(SimMatchesProp1, MeanPatternTimeWithinFiveSigma) {
+  const model::Platform platform =
+      model::all_platforms()[static_cast<std::size_t>(
+          std::get<0>(GetParam()))];
+  const Scenario scenario = std::get<1>(GetParam());
+  const System sys = System::from_platform(platform, scenario);
+  // Theorem-1 period at the measured processor count: a realistic
+  // operating point where errors actually strike.
+  const double p = platform.measured_procs;
+  const Pattern pattern{core::optimal_period_first_order(sys, p), p};
+
+  ReplicationOptions opt;
+  opt.replicas = 60;
+  opt.patterns_per_replica = 80;
+  opt.seed = 0xFEED + static_cast<std::uint64_t>(scenario);
+  const ReplicationResult r = simulate_overhead(sys, pattern, opt);
+
+  EXPECT_LT(std::abs(z_score(r.pattern_time, r.analytic_pattern_time)), 5.0)
+      << platform.name << " scenario " << model::scenario_name(scenario)
+      << ": simulated " << r.pattern_time.mean << " vs analytic "
+      << r.analytic_pattern_time;
+  EXPECT_LT(std::abs(z_score(r.overhead, r.analytic_overhead)), 5.0)
+      << platform.name << " scenario " << model::scenario_name(scenario);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatformsAllScenarios, SimMatchesProp1,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::ValuesIn(model::all_scenarios())));
+
+TEST(SimMatchesProp1Des, EngineBackendAgreesWithFormula) {
+  const System sys = System::from_platform(model::hera(), Scenario::kS3);
+  const Pattern pattern{core::optimal_period_first_order(sys, 512.0), 512.0};
+  ReplicationOptions opt;
+  opt.replicas = 40;
+  opt.patterns_per_replica = 60;
+  opt.backend = Backend::kDes;
+  const ReplicationResult r = simulate_overhead(sys, pattern, opt);
+  EXPECT_LT(std::abs(z_score(r.pattern_time, r.analytic_pattern_time)), 5.0);
+}
+
+TEST(Backends, FastAndDesAgreeStatistically) {
+  // Same system, independent seeds: the two means must agree within the
+  // combined standard error.
+  const System sys = System::from_platform(model::hera(), Scenario::kS1);
+  const Pattern pattern{core::optimal_period_first_order(sys, 512.0), 512.0};
+  ReplicationOptions fast_opt, des_opt;
+  fast_opt.replicas = des_opt.replicas = 50;
+  fast_opt.patterns_per_replica = des_opt.patterns_per_replica = 60;
+  fast_opt.seed = 101;
+  des_opt.seed = 202;
+  des_opt.backend = Backend::kDes;
+  const ReplicationResult fast = simulate_overhead(sys, pattern, fast_opt);
+  const ReplicationResult des = simulate_overhead(sys, pattern, des_opt);
+  const double combined_se =
+      std::sqrt(fast.overhead.stderr_mean * fast.overhead.stderr_mean +
+                des.overhead.stderr_mean * des.overhead.stderr_mean);
+  EXPECT_LT(std::abs(fast.overhead.mean - des.overhead.mean),
+            5.0 * combined_se);
+}
+
+TEST(HighErrorRegime, FormulaStillMatchesSimulation) {
+  // Crank λ up so that nearly every pattern suffers errors: Prop. 1 is
+  // exact (not first-order), so the agreement must survive.
+  const System sys =
+      System::from_platform(model::hera(), Scenario::kS3).with_lambda(3e-7);
+  const Pattern pattern{5000.0, 2048.0};
+  ReplicationOptions opt;
+  opt.replicas = 80;
+  opt.patterns_per_replica = 50;
+  const ReplicationResult r = simulate_overhead(sys, pattern, opt);
+  EXPECT_GT(r.fail_stops_per_pattern + r.silent_detections_per_pattern, 0.5);
+  EXPECT_LT(std::abs(z_score(r.pattern_time, r.analytic_pattern_time)), 5.0)
+      << "simulated " << r.pattern_time.mean << " analytic "
+      << r.analytic_pattern_time;
+}
+
+TEST(ErrorTelemetry, RatesMatchPoissonExpectations) {
+  // With rate λs and per-attempt exposure T, silent errors strike an
+  // attempt with probability 1 − e^{−λs·T}; masked + detected counts per
+  // attempt must land close to that.
+  const System sys = System::from_platform(model::atlas(), Scenario::kS3);
+  const double p = 1024.0;
+  const double t = 20000.0;
+  ReplicationOptions opt;
+  opt.replicas = 60;
+  opt.patterns_per_replica = 60;
+  const ReplicationResult r = simulate_overhead(sys, {t, p}, opt);
+  const double q_silent = -std::expm1(-sys.silent_rate(p) * t);
+  const double struck_per_attempt =
+      (r.silent_detections_per_pattern + r.masked_silent_per_pattern) /
+      r.attempts_per_pattern;
+  EXPECT_NEAR(struck_per_attempt, q_silent, 0.15 * q_silent + 0.002);
+}
+
+TEST(Replication, DeterministicAcrossThreadCounts) {
+  const System sys = System::from_platform(model::coastal(), Scenario::kS5);
+  const Pattern pattern{core::optimal_period_first_order(sys, 2048.0),
+                        2048.0};
+  ReplicationOptions opt;
+  opt.replicas = 16;
+  opt.patterns_per_replica = 20;
+  exec::ThreadPool one(1);
+  exec::ThreadPool four(4);
+  const ReplicationResult serial = simulate_overhead(sys, pattern, opt);
+  const ReplicationResult p1 = simulate_overhead(sys, pattern, opt, &one);
+  const ReplicationResult p4 = simulate_overhead(sys, pattern, opt, &four);
+  EXPECT_DOUBLE_EQ(serial.overhead.mean, p1.overhead.mean);
+  EXPECT_DOUBLE_EQ(serial.overhead.mean, p4.overhead.mean);
+  EXPECT_DOUBLE_EQ(serial.pattern_time.mean, p4.pattern_time.mean);
+}
+
+TEST(Replication, SeedChangesResults) {
+  const System sys = System::from_platform(model::hera(), Scenario::kS1);
+  const Pattern pattern{3000.0, 512.0};
+  ReplicationOptions a, b;
+  a.replicas = b.replicas = 10;
+  a.patterns_per_replica = b.patterns_per_replica = 20;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(simulate_overhead(sys, pattern, a).overhead.mean,
+            simulate_overhead(sys, pattern, b).overhead.mean);
+}
+
+TEST(Replication, OptionsValidated) {
+  const System sys = System::from_platform(model::hera(), Scenario::kS1);
+  ReplicationOptions opt;
+  opt.replicas = 0;
+  EXPECT_THROW((void)simulate_overhead(sys, {100.0, 2.0}, opt),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ayd::sim

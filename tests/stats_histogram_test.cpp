@@ -1,0 +1,90 @@
+#include "ayd/stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ayd/util/error.hpp"
+
+namespace ayd::stats {
+namespace {
+
+TEST(Histogram, BinningEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);    // first bin (inclusive low edge)
+  h.add(9.999);  // last bin
+  h.add(5.0);    // bin 5
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge is exclusive -> overflow
+  h.add(2.0);
+  h.add(0.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, NanCountsAsUnderflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.underflow(), 1u);
+}
+
+TEST(Histogram, BinBoundsReported) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+  EXPECT_THROW((void)h.bin_lo(4), util::InvalidArgument);
+}
+
+TEST(Histogram, FractionOfInRange) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  h.add(0.26);
+  h.add(0.75);
+  h.add(5.0);  // overflow: excluded from fractions
+  EXPECT_DOUBLE_EQ(h.fraction(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 1.0 / 3.0);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(0.0, 1.0, 2), b(0.0, 1.0, 2);
+  a.add(0.1);
+  b.add(0.2);
+  b.add(0.9);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_EQ(a.count(1), 1u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(Histogram, MergeRejectsDifferentBinning) {
+  Histogram a(0.0, 1.0, 2), b(0.0, 2.0, 2), c(0.0, 1.0, 3);
+  EXPECT_THROW(a.merge(b), util::InvalidArgument);
+  EXPECT_THROW(a.merge(c), util::InvalidArgument);
+}
+
+TEST(Histogram, RenderShowsBarsAndCounts) {
+  Histogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 10; ++i) h.add(0.5);
+  h.add(1.5);
+  const std::string out = h.render(20);
+  EXPECT_NE(out.find("####################"), std::string::npos);  // peak bar
+  EXPECT_NE(out.find(" 10"), std::string::npos);
+  EXPECT_NE(out.find(" 1"), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), util::InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ayd::stats

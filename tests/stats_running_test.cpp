@@ -1,0 +1,84 @@
+#include "ayd/stats/running.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <vector>
+
+namespace ayd::stats {
+namespace {
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.population_variance(), 4.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, StderrShrinksWithSqrtN) {
+  RunningStats small, large;
+  for (int i = 0; i < 100; ++i) small.add(i % 2 == 0 ? 1.0 : -1.0);
+  for (int i = 0; i < 10000; ++i) large.add(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_NEAR(small.stderr_mean() / large.stderr_mean(), 10.0, 0.1);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, whole;
+  for (int i = 0; i < 500; ++i) {
+    const double x = std::sin(0.1 * i) * 10.0 + i * 0.01;
+    (i < 200 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats b = a;
+  b.merge(empty);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  RunningStats c = empty;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(RunningStats, NumericallyStableAroundLargeOffset) {
+  // Welford must not lose the variance of values near a huge mean.
+  RunningStats s;
+  const double offset = 1e9;
+  for (const double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ayd::stats

@@ -1,0 +1,413 @@
+// End-to-end tests of the `ayd` command-line tool, driven through
+// tool::run_tool with captured streams (the binary in apps/ is a thin
+// wrapper around exactly this entry point).
+
+#include "ayd/tool/tool.hpp"
+
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ayd::tool {
+namespace {
+
+struct ToolRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+ToolRun run(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_tool(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// -- Dispatch and help ---------------------------------------------------
+
+TEST(ToolDispatch, NoArgumentsPrintsUsageAndFails) {
+  const ToolRun r = run({});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_TRUE(contains(r.out, "usage: ayd"));
+}
+
+TEST(ToolDispatch, HelpSucceeds) {
+  for (const std::string arg : {"help", "--help", "-h"}) {
+    const ToolRun r = run({arg});
+    EXPECT_EQ(r.code, 0) << arg;
+    EXPECT_TRUE(contains(r.out, "commands:")) << arg;
+    EXPECT_TRUE(contains(r.out, "optimize")) << arg;
+  }
+}
+
+TEST(ToolDispatch, VersionPrintsSemver) {
+  const ToolRun r = run({"--version"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_TRUE(contains(r.out, "ayd 1."));
+}
+
+TEST(ToolDispatch, UnknownCommandFailsWithMessage) {
+  const ToolRun r = run({"frobnicate"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_TRUE(contains(r.err, "unknown command"));
+  EXPECT_TRUE(r.out.empty());
+}
+
+TEST(ToolDispatch, EveryCommandHasWorkingHelp) {
+  for (const std::string cmd : {"platforms", "optimize", "simulate", "sweep",
+                                "plan", "protocols"}) {
+    const ToolRun r = run({cmd, "--help"});
+    EXPECT_EQ(r.code, 0) << cmd;
+    EXPECT_TRUE(contains(r.out, "--help")) << cmd;
+  }
+}
+
+TEST(ToolDispatch, UnknownOptionIsAnError) {
+  const ToolRun r = run({"optimize", "--no-such-option=3"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_TRUE(contains(r.err, "error:"));
+}
+
+// -- platforms -----------------------------------------------------------
+
+TEST(ToolPlatforms, ListsAllFourPresets) {
+  const ToolRun r = run({"platforms"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  for (const std::string name : {"Hera", "Atlas", "Coastal", "Coastal SSD"}) {
+    EXPECT_TRUE(contains(r.out, name)) << name;
+  }
+  // Table II numbers survive round-trip formatting.
+  EXPECT_TRUE(contains(r.out, "1.69e-08"));
+  EXPECT_TRUE(contains(r.out, "2500"));
+}
+
+TEST(ToolPlatforms, ScenarioFlagPrintsCostModels) {
+  const ToolRun r = run({"platforms", "--scenarios"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "0.5859*P"));  // Hera scenario 1 fit
+  EXPECT_TRUE(contains(r.out, "C_P = R_P"));
+}
+
+// -- optimize ------------------------------------------------------------
+
+TEST(ToolOptimize, HeraScenario1MatchesKnownOptimum) {
+  const ToolRun r = run({"optimize", "--platform=hera", "--scenario=1"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  // Figure 2 values: P* (FO) ~ 219, T* (FO) ~ 6239, H ~ 0.108-0.109.
+  EXPECT_TRUE(contains(r.out, "218.9"));
+  EXPECT_TRUE(contains(r.out, "6239"));
+  EXPECT_TRUE(contains(r.out, "Theorem 2"));
+}
+
+TEST(ToolOptimize, Scenario6HasNoFirstOrderRow) {
+  const ToolRun r = run({"optimize", "--platform=hera", "--scenario=6"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  // First-order row shows placeholders; the numerical row is real.
+  EXPECT_TRUE(contains(r.out, "first-order (Thm 2/3)"));
+  EXPECT_TRUE(contains(r.out, "numerical"));
+  EXPECT_TRUE(contains(r.out, "no first-order") ||
+              contains(r.out, "note:"));
+}
+
+TEST(ToolOptimize, FixedProcsUsesTheorem1) {
+  const ToolRun r =
+      run({"optimize", "--platform=hera", "--scenario=3", "--procs=512"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "Theorem 1"));
+  EXPECT_TRUE(contains(r.out, "P fixed at 512"));
+  // T* = sqrt((V+C)/(lf/2+ls)) = 6240.9... for Hera/s3 at P=512.
+  EXPECT_TRUE(contains(r.out, "6240"));
+}
+
+TEST(ToolOptimize, CustomSystemFullySpecified) {
+  const ToolRun r = run({"optimize", "--platform=custom", "--lambda=1e-8",
+                         "--fail-stop-fraction=0.5", "--ckpt-const=200",
+                         "--verif-const=20", "--alpha=0.05"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "C_P = R_P = 200"));
+  EXPECT_TRUE(contains(r.out, "Theorem 3"));  // constant-cost case
+}
+
+TEST(ToolOptimize, CustomWithoutLambdaFails) {
+  const ToolRun r =
+      run({"optimize", "--platform=custom", "--ckpt-const=100"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_TRUE(contains(r.err, "--lambda"));
+}
+
+TEST(ToolOptimize, CustomWithoutCostsFails) {
+  const ToolRun r = run({"optimize", "--platform=custom", "--lambda=1e-8",
+                         "--fail-stop-fraction=0.3"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_TRUE(contains(r.err, "ckpt"));
+}
+
+TEST(ToolOptimize, CostOverrideOnPreset) {
+  // Override just the checkpoint cost on top of the Hera preset: the
+  // verification cost must still come from the scenario resolution.
+  const ToolRun r = run({"optimize", "--platform=hera", "--scenario=3",
+                         "--ckpt-const=600"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "C_P = R_P = 600"));
+  EXPECT_TRUE(contains(r.out, "V_P = 15.4"));
+}
+
+TEST(ToolOptimize, CostOverrideReplacesTheWholeModel) {
+  // Passing any --ckpt-* coefficient replaces the preset's whole
+  // checkpoint model (unset coefficients become zero), it does not merge:
+  // Hera scenario 1 has C = 0.5859*P; overriding with --ckpt-const alone
+  // must drop the linear term.
+  const ToolRun r = run({"optimize", "--platform=hera", "--scenario=1",
+                         "--ckpt-const=250"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "C_P = R_P = 250"));
+  EXPECT_FALSE(contains(r.out, "0.5859"));
+}
+
+TEST(ToolOptimize, LambdaOverrideOnPreset) {
+  const ToolRun r = run({"optimize", "--platform=hera", "--scenario=1",
+                         "--lambda=1e-10"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "1e-10"));
+  // Lower rate -> more processors than the stock Hera optimum (~207).
+  EXPECT_TRUE(contains(r.out, "Theorem 2"));
+}
+
+TEST(ToolOptimize, GustafsonProfileRunsNumerically) {
+  const ToolRun r = run({"optimize", "--platform=hera", "--scenario=3",
+                         "--profile=gustafson", "--max-procs=1e5"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "gustafson"));
+  // Gustafson is not Amdahl-family: no closed form, numerical row only.
+  EXPECT_TRUE(contains(r.out, "numerical"));
+}
+
+TEST(ToolOptimize, UnknownPlatformFails) {
+  const ToolRun r = run({"optimize", "--platform=k-computer"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_TRUE(contains(r.err, "unknown platform"));
+}
+
+TEST(ToolOptimize, UnknownProfileFails) {
+  const ToolRun r = run({"optimize", "--profile=magic"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_TRUE(contains(r.err, "unknown profile"));
+}
+
+TEST(ToolOptimize, JsonRecordIsWellFormedJoint) {
+  const ToolRun r =
+      run({"optimize", "--platform=hera", "--scenario=1", "--json"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "\"first_order\""));
+  EXPECT_TRUE(contains(r.out, "\"numerical\""));
+  EXPECT_TRUE(contains(r.out, "\"has_optimum\": true"));
+  EXPECT_TRUE(contains(r.out, "\"lambda_ind\""));
+  // No human-readable table in JSON mode.
+  EXPECT_FALSE(contains(r.out, "Solution"));
+}
+
+TEST(ToolOptimize, JsonRecordFixedProcsHasAllThreeSolutions) {
+  const ToolRun r = run({"optimize", "--platform=hera", "--scenario=3",
+                         "--procs=512", "--json"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "\"higher_order\""));
+  EXPECT_TRUE(contains(r.out, "\"procs\": 512"));
+}
+
+// -- simulate ------------------------------------------------------------
+
+TEST(ToolSimulate, AgreesWithAnalyticPrediction) {
+  const ToolRun r =
+      run({"simulate", "--platform=hera", "--scenario=3", "--procs=512",
+           "--runs=40", "--patterns=60", "--seed=7"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "execution overhead"));
+  EXPECT_TRUE(contains(r.out, "agreement: z ="));
+  EXPECT_TRUE(contains(r.out, "fast sampler"));
+}
+
+TEST(ToolSimulate, DesBackendSelectable) {
+  const ToolRun r =
+      run({"simulate", "--platform=hera", "--scenario=3", "--procs=256",
+           "--runs=10", "--patterns=20", "--des"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "DES engine"));
+}
+
+TEST(ToolSimulate, ExplicitPatternIsEchoed) {
+  const ToolRun r =
+      run({"simulate", "--platform=atlas", "--scenario=1", "--procs=1024",
+           "--period=5000", "--runs=10", "--patterns=20"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "T = 5000"));
+  EXPECT_TRUE(contains(r.out, "P = 1024"));
+}
+
+TEST(ToolSimulate, DeterministicForSameSeed) {
+  const std::vector<std::string> args = {
+      "simulate", "--platform=hera", "--scenario=1", "--procs=128",
+      "--runs=12", "--patterns=30", "--seed=99"};
+  const ToolRun a = run(args);
+  const ToolRun b = run(args);
+  ASSERT_EQ(a.code, 0);
+  EXPECT_EQ(a.out, b.out);
+}
+
+TEST(ToolSimulate, SeedChangesTheSample) {
+  std::vector<std::string> args = {
+      "simulate", "--platform=hera", "--scenario=1", "--procs=128",
+      "--runs=12", "--patterns=30", "--seed=1"};
+  const ToolRun a = run(args);
+  args.back() = "--seed=2";
+  const ToolRun b = run(args);
+  EXPECT_NE(a.out, b.out);
+}
+
+// -- sweep ---------------------------------------------------------------
+
+TEST(ToolSweep, LambdaSweepShowsScalingLaw) {
+  const ToolRun r =
+      run({"sweep", "--var=lambda", "--from=1e-10", "--to=1e-8",
+           "--points=3", "--platform=hera", "--scenario=1"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "1e-10"));
+  EXPECT_TRUE(contains(r.out, "1e-08"));
+  EXPECT_TRUE(contains(r.out, "P* (FO)"));
+}
+
+TEST(ToolSweep, ProcsSweepUsesFixedAllocationMode) {
+  const ToolRun r =
+      run({"sweep", "--var=procs", "--from=200", "--to=800", "--points=3",
+           "--platform=hera", "--scenario=3", "--linear"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "200"));
+  EXPECT_TRUE(contains(r.out, "800"));
+}
+
+TEST(ToolSweep, AlphaSweepHandsOffToNumericalAtAlphaEdge) {
+  const ToolRun r =
+      run({"sweep", "--var=alpha", "--from=1e-4", "--to=1e-1", "--points=4",
+           "--platform=hera", "--scenario=3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "0.0001"));
+}
+
+TEST(ToolSweep, DowntimeSweepIsLinear) {
+  const ToolRun r =
+      run({"sweep", "--var=downtime", "--from=0", "--to=10800", "--points=3",
+           "--platform=hera", "--scenario=1"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "5400"));  // linear midpoint, not geometric
+}
+
+TEST(ToolSweep, CsvDumpRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/ayd_sweep_test.csv";
+  const ToolRun r =
+      run({"sweep", "--var=lambda", "--from=1e-10", "--to=1e-9", "--points=2",
+           "--platform=hera", "--scenario=1", "--csv=" + path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_TRUE(contains(header, "overhead_opt"));
+}
+
+TEST(ToolSweep, RejectsBadRange) {
+  const ToolRun r = run({"sweep", "--var=lambda", "--from=1e-8",
+                         "--to=1e-10", "--points=3"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_TRUE(contains(r.err, "error:"));
+}
+
+TEST(ToolSweep, RejectsUnknownVariable) {
+  const ToolRun r = run({"sweep", "--var=temperature"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_TRUE(contains(r.err, "unknown sweep variable"));
+}
+
+TEST(ToolSweep, RejectsSinglePointGrid) {
+  const ToolRun r = run({"sweep", "--var=lambda", "--from=1e-10",
+                         "--to=1e-9", "--points=1"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_TRUE(contains(r.err, "two points"));
+}
+
+// -- protocols -----------------------------------------------------------
+
+TEST(ToolProtocols, ComparesAllThreeProtocols) {
+  const ToolRun r = run({"protocols", "--platform=atlas", "--scenario=3",
+                         "--procs=256", "--runs=15", "--patterns=30"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "VC (verify + checkpoint)"));
+  EXPECT_TRUE(contains(r.out, "multi-verification"));
+  EXPECT_TRUE(contains(r.out, "two-level checkpointing"));
+  EXPECT_TRUE(contains(r.out, "H simulated"));
+}
+
+TEST(ToolProtocols, TwoLevelWinsOnSilentDominatedPlatform) {
+  // Atlas (s = 0.9375): the two-level predicted overhead must be the
+  // smallest of the three. Parse the "H predicted" column order by
+  // checking the two-level row's value is below the VC row's.
+  const ToolRun r = run({"protocols", "--platform=atlas", "--scenario=3",
+                         "--procs=512", "--runs=5", "--patterns=10"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const auto vc_pos = r.out.find("VC (verify + checkpoint)");
+  const auto two_pos = r.out.find("two-level checkpointing");
+  ASSERT_NE(vc_pos, std::string::npos);
+  ASSERT_NE(two_pos, std::string::npos);
+  // Extract the predicted-overhead cells (4th column) of both rows.
+  const auto cell = [&](std::size_t row_start) {
+    std::istringstream row(
+        r.out.substr(row_start, r.out.find('\n', row_start) - row_start));
+    std::string tok;
+    std::vector<std::string> cells;
+    while (row >> tok) cells.push_back(tok);
+    // "...name tokens... n T H_pred H_sim ±ci": H_pred is cells[-3].
+    return std::stod(cells[cells.size() - 3]);
+  };
+  EXPECT_LT(cell(two_pos), cell(vc_pos));
+}
+
+// -- plan ----------------------------------------------------------------
+
+TEST(ToolPlan, ReportsMakespanAndCheckpointCount) {
+  const ToolRun r = run({"plan", "--platform=coastal", "--scenario=3",
+                         "--work=1e8", "--name=climate-run"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "climate-run"));
+  EXPECT_TRUE(contains(r.out, "optimal plan:"));
+  EXPECT_TRUE(contains(r.out, "checkpoints"));
+  EXPECT_TRUE(contains(r.out, "P* (optimal)"));
+  EXPECT_TRUE(contains(r.out, "vs optimal"));
+}
+
+TEST(ToolPlan, OverAllocationIsReportedSlower) {
+  const ToolRun r =
+      run({"plan", "--platform=hera", "--scenario=1", "--work=1e7"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  // The 4x-overallocated row must show a positive makespan delta.
+  const auto pos = r.out.find("4 x P*");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string row = r.out.substr(pos, r.out.find('\n', pos) - pos);
+  EXPECT_TRUE(contains(row, "+")) << row;
+}
+
+TEST(ToolPlan, MaxProcsCapsTheAllocation) {
+  const ToolRun r = run({"plan", "--platform=hera", "--scenario=1",
+                         "--work=1e7", "--max-procs=64"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "P* = 64"));
+  EXPECT_TRUE(contains(r.out, "boundary"));
+}
+
+}  // namespace
+}  // namespace ayd::tool
