@@ -10,9 +10,11 @@
 #include "bench_common.hpp"
 
 #include "ayd/core/first_order.hpp"
+#include "ayd/engine/engine.hpp"
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
 #include "ayd/sim/runner.hpp"
+#include "ayd/util/strings.hpp"
 
 namespace {
 
@@ -36,39 +38,53 @@ int main(int argc, char** argv) {
       [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
         const model::Scenario scenario =
             model::scenario_from_string(args.option("scenario"));
-        io::Table table({"Platform", "H fast", "H DES", "patterns/s fast",
-                         "patterns/s DES", "speedup"});
-        table.set_align(0, io::Align::kLeft);
-        for (const auto& platform : model::all_platforms()) {
-          const model::System sys =
-              model::System::from_platform(platform, scenario);
-          const double p = platform.measured_procs;
-          const core::Pattern pattern{
-              core::optimal_period_first_order(sys, p), p};
 
-          sim::ReplicationOptions fast_opt = ctx.replication();
-          fast_opt.backend = sim::Backend::kFast;
-          sim::ReplicationOptions des_opt = ctx.replication();
-          des_opt.backend = sim::Backend::kDes;
+        engine::GridSpec grid;
+        grid.platforms(model::all_platforms());
 
-          const auto t0 = std::chrono::steady_clock::now();
-          const sim::ReplicationResult fast =
-              sim::simulate_overhead(sys, pattern, fast_opt);
-          const double fast_time = seconds_since(t0);
+        // Timing ablation: points run serially (no pool) so the measured
+        // patterns/s are not distorted by co-scheduled points.
+        const auto records =
+            engine::run_grid(grid, nullptr, [&](const engine::Point& pt) {
+              const model::System sys =
+                  model::System::from_platform(*pt.platform, scenario);
+              const double p = pt.platform->measured_procs;
+              const core::Pattern pattern{
+                  core::optimal_period_first_order(sys, p), p};
 
-          const auto t1 = std::chrono::steady_clock::now();
-          const sim::ReplicationResult des =
-              sim::simulate_overhead(sys, pattern, des_opt);
-          const double des_time = seconds_since(t1);
+              sim::ReplicationOptions fast_opt = ctx.replication();
+              fast_opt.backend = sim::Backend::kFast;
+              sim::ReplicationOptions des_opt = ctx.replication();
+              des_opt.backend = sim::Backend::kDes;
 
-          const auto n = static_cast<double>(fast.total_patterns);
-          table.add_row(
-              {platform.name, bench::mean_ci_cell(fast.overhead, 4),
-               bench::mean_ci_cell(des.overhead, 4),
-               util::format_si(n / fast_time, 3),
-               util::format_si(n / des_time, 3),
-               util::format_sig(des_time / fast_time, 3) + "x"});
-        }
+              const auto t0 = std::chrono::steady_clock::now();
+              const sim::ReplicationResult fast =
+                  sim::simulate_overhead(sys, pattern, fast_opt);
+              const double fast_time = seconds_since(t0);
+
+              const auto t1 = std::chrono::steady_clock::now();
+              const sim::ReplicationResult des =
+                  sim::simulate_overhead(sys, pattern, des_opt);
+              const double des_time = seconds_since(t1);
+
+              const auto n = static_cast<double>(fast.total_patterns);
+              engine::Record r;
+              r.set("Platform", pt.platform->name);
+              r.set("H fast", engine::mean_ci_cell(fast.overhead, 4));
+              r.set("H DES", engine::mean_ci_cell(des.overhead, 4));
+              r.set("patterns/s fast", util::format_si(n / fast_time, 3));
+              r.set("patterns/s DES", util::format_si(n / des_time, 3));
+              r.set("speedup", des_time / fast_time);
+              return r;
+            });
+
+        engine::TableSink table({{"Platform", "", 4, "", io::Align::kLeft},
+                                 {"H fast"},
+                                 {"H DES"},
+                                 {"patterns/s fast"},
+                                 {"patterns/s DES"},
+                                 {"speedup", "", 3, "x"}});
+        engine::emit(records, {&table});
         std::printf("%s", table.to_string().c_str());
         std::printf(
             "\nThe two back-ends sample the same stochastic process; their "

@@ -5,15 +5,13 @@
 // Daly's (2006) higher-order series, on every platform and across the
 // error-rate sweep of Figure 5.
 
-#include <cmath>
 #include <cstdio>
 
 #include "bench_common.hpp"
 
-#include "ayd/core/first_order.hpp"
-#include "ayd/core/optimizer.hpp"
 #include "ayd/core/overhead.hpp"
 #include "ayd/core/young_daly.hpp"
+#include "ayd/engine/engine.hpp"
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
 
@@ -27,56 +25,73 @@ int main(int argc, char** argv) {
       [](cli::ArgParser& p) {
         p.add_option("scenario", "3", "Table III scenario (1-6)");
       },
-      [](const cli::ArgParser& args, const cli::ExperimentContext&) {
+      [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
         const model::Scenario scenario =
             model::scenario_from_string(args.option("scenario"));
+        auto pool = ctx.make_pool();
 
-        std::printf("per-platform at the measured allocation:\n");
-        io::Table table({"Platform", "T (Thm 1)", "T (Daly-style)",
-                         "T (exact)", "errT Thm1", "errT Daly",
-                         "dH Thm1", "dH Daly"});
-        table.set_align(0, io::Align::kLeft);
-        for (const auto& platform : model::all_platforms()) {
-          const model::System sys =
-              model::System::from_platform(platform, scenario);
-          const double p = platform.measured_procs;
+        // All-analytic evaluation shared by both sweeps.
+        const auto evaluate = [&](const model::System& sys, double p) {
           const double t1 = core::optimal_period_first_order(sys, p);
           const double td = core::daly_period_vc(sys, p);
           const core::PeriodOptimum num = core::optimal_period(sys, p);
-          const double h1 = core::pattern_overhead(sys, {t1, p});
-          const double hd = core::pattern_overhead(sys, {td, p});
-          table.add_row(
-              {platform.name, util::format_sig(t1, 4),
-               util::format_sig(td, 4), util::format_sig(num.period, 4),
-               util::format_sig(100.0 * (t1 / num.period - 1.0), 2) + "%",
-               util::format_sig(100.0 * (td / num.period - 1.0), 2) + "%",
-               util::format_sig(h1 - num.overhead, 2),
-               util::format_sig(hd - num.overhead, 2)});
-        }
+          engine::Record r;
+          r.set("t_thm1", t1);
+          r.set("t_daly", td);
+          r.set("t_exact", num.period);
+          r.set("errT_thm1", 100.0 * (t1 / num.period - 1.0));
+          r.set("errT_daly", 100.0 * (td / num.period - 1.0));
+          r.set("dH_thm1",
+                core::pattern_overhead(sys, {t1, p}) - num.overhead);
+          r.set("dH_daly",
+                core::pattern_overhead(sys, {td, p}) - num.overhead);
+          return r;
+        };
+
+        std::printf("per-platform at the measured allocation:\n");
+        engine::GridSpec platform_grid;
+        platform_grid.platforms(model::all_platforms());
+        const auto platform_records = engine::run_grid(
+            platform_grid, pool.get(), [&](const engine::Point& pt) {
+              const model::System sys =
+                  model::System::from_platform(*pt.platform, scenario);
+              engine::Record r =
+                  evaluate(sys, pt.platform->measured_procs);
+              r.set("Platform", pt.platform->name);
+              return r;
+            });
+        engine::TableSink table({{"Platform", "", 4, "", io::Align::kLeft},
+                                 {"T (Thm 1)", "t_thm1", 4},
+                                 {"T (Daly-style)", "t_daly", 4},
+                                 {"T (exact)", "t_exact", 4},
+                                 {"errT Thm1", "errT_thm1", 2, "%"},
+                                 {"errT Daly", "errT_daly", 2, "%"},
+                                 {"dH Thm1", "dH_thm1", 2},
+                                 {"dH Daly", "dH_daly", 2}});
+        engine::emit(platform_records, {&table});
         std::printf("%s\n", table.to_string().c_str());
 
         std::printf("Hera, error-rate sweep (the correction matters at "
                     "high lambda and vanishes as lambda -> 0):\n");
-        io::Table sweep({"lambda", "errT Thm1", "errT Daly", "dH Thm1",
-                         "dH Daly"});
         const model::System base =
             model::System::from_platform(model::hera(), scenario);
-        for (const double lam : {1e-10, 1e-9, 1e-8, 1e-7, 1e-6}) {
-          const model::System sys = base.with_lambda(lam);
-          const double p = model::hera().measured_procs;
-          const double t1 = core::optimal_period_first_order(sys, p);
-          const double td = core::daly_period_vc(sys, p);
-          const core::PeriodOptimum num = core::optimal_period(sys, p);
-          sweep.add_row(
-              {util::format_sig(lam, 3),
-               util::format_sig(100.0 * (t1 / num.period - 1.0), 2) + "%",
-               util::format_sig(100.0 * (td / num.period - 1.0), 2) + "%",
-               util::format_sig(
-                   core::pattern_overhead(sys, {t1, p}) - num.overhead, 2),
-               util::format_sig(
-                   core::pattern_overhead(sys, {td, p}) - num.overhead,
-                   2)});
-        }
+        engine::GridSpec sweep_grid;
+        sweep_grid.axis(engine::Axis::list(
+            "lambda", {1e-10, 1e-9, 1e-8, 1e-7, 1e-6}));
+        const auto sweep_records = engine::run_grid(
+            sweep_grid, pool.get(), [&](const engine::Point& pt) {
+              engine::Record r =
+                  evaluate(engine::apply_axes(base, pt),
+                           model::hera().measured_procs);
+              r.set("lambda", pt.var("lambda"));
+              return r;
+            });
+        engine::TableSink sweep({{"lambda", "", 3},
+                                 {"errT Thm1", "errT_thm1", 2, "%"},
+                                 {"errT Daly", "errT_daly", 2, "%"},
+                                 {"dH Thm1", "dH_thm1", 2},
+                                 {"dH Daly", "dH_daly", 2}});
+        engine::emit(sweep_records, {&sweep});
         std::printf("%s", sweep.to_string().c_str());
         std::printf(
             "\nWith silent errors absent the Daly-style series reduces "

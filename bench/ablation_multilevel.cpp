@@ -9,12 +9,12 @@
 // error and beat the single-verification optimum.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 
-#include "ayd/core/first_order.hpp"
 #include "ayd/core/multi_verification.hpp"
-#include "ayd/core/optimizer.hpp"
+#include "ayd/engine/engine.hpp"
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
 #include "ayd/sim/multi_protocol.hpp"
@@ -34,41 +34,64 @@ int main(int argc, char** argv) {
       [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
         const model::Scenario scenario =
             model::scenario_from_string(args.option("scenario"));
-        const auto pool = ctx.make_pool();
+        auto pool = ctx.make_pool();
 
-        io::Table table({"Platform", "n* (FO)", "n* (opt)", "T* (n=1)",
-                         "T* (n*)", "H sim (n=1)", "H sim (n*)", "gain"});
-        table.set_align(0, io::Align::kLeft);
+        engine::GridSpec grid;
+        grid.platforms(model::all_platforms());
 
-        for (const auto& platform : model::all_platforms()) {
-          const model::System sys =
-              model::System::from_platform(platform, scenario);
-          const double p = platform.measured_procs;
+        engine::EvalSpec spec;
+        spec.numerical = true;
+        spec.simulate_numerical = true;
+        spec.replication = ctx.replication();
 
-          // Base VC protocol: numerically optimal single-verification T.
-          const core::PeriodOptimum base = core::optimal_period(sys, p);
-          const sim::ReplicationResult base_sim = sim::simulate_overhead(
-              sys, {base.period, p}, ctx.replication(), pool.get());
+        // Only four grid points: keep the points serial and let each
+        // simulation fan its replicas out over the whole pool instead.
+        const auto records =
+            engine::run_grid(grid, nullptr, [&](const engine::Point& pt) {
+              const model::System sys =
+                  model::System::from_platform(*pt.platform, scenario);
+              const double p = pt.platform->measured_procs;
 
-          // Multi-verification: first-order plan and exact optimum.
-          const core::VerificationPlan plan =
-              core::optimal_verification_plan(sys, p);
-          const core::MultiOptimum multi = core::optimal_multi_pattern(sys, p);
-          const sim::ReplicationResult multi_sim = sim::simulate_multi_overhead(
-              sys, {multi.period, p, multi.segments}, ctx.replication(),
-              pool.get());
+              // Base VC protocol: numerically optimal single-verif T.
+              const engine::PointEval base =
+                  engine::evaluate_point(sys, spec, p, pool.get());
 
-          const double gain =
-              (base_sim.overhead.mean - multi_sim.overhead.mean) /
-              base_sim.overhead.mean;
-          table.add_row({platform.name, std::to_string(plan.segments),
-                         std::to_string(multi.segments),
-                         util::format_sig(base.period, 4),
-                         util::format_sig(multi.period, 4),
-                         bench::mean_ci_cell(base_sim.overhead, 4),
-                         bench::mean_ci_cell(multi_sim.overhead, 4),
-                         util::format_sig(100.0 * gain, 3) + "%"});
-        }
+              // Multi-verification: first-order plan and exact optimum.
+              const core::VerificationPlan plan =
+                  core::optimal_verification_plan(sys, p);
+              const core::MultiOptimum multi =
+                  core::optimal_multi_pattern(sys, p);
+              const sim::ReplicationResult multi_sim =
+                  sim::simulate_multi_overhead(
+                      sys, {multi.period, p, multi.segments},
+                      ctx.replication(), pool.get());
+
+              const double gain = (base.sim_numerical->overhead.mean -
+                                   multi_sim.overhead.mean) /
+                                  base.sim_numerical->overhead.mean;
+              engine::Record r;
+              r.set("Platform", pt.platform->name);
+              r.set("n* (FO)", std::to_string(plan.segments));
+              r.set("n* (opt)", std::to_string(multi.segments));
+              r.set("T* (n=1)", base.period->period);
+              r.set("T* (n*)", multi.period);
+              r.set("H sim (n=1)",
+                    engine::mean_ci_cell(base.sim_numerical->overhead, 4));
+              r.set("H sim (n*)",
+                    engine::mean_ci_cell(multi_sim.overhead, 4));
+              r.set("gain", 100.0 * gain);
+              return r;
+            });
+
+        engine::TableSink table({{"Platform", "", 4, "", io::Align::kLeft},
+                                 {"n* (FO)"},
+                                 {"n* (opt)"},
+                                 {"T* (n=1)", "", 4},
+                                 {"T* (n*)", "", 4},
+                                 {"H sim (n=1)"},
+                                 {"H sim (n*)"},
+                                 {"gain", "", 3, "%"}});
+        engine::emit(records, {&table});
         std::printf("%s", table.to_string().c_str());
         std::printf(
             "\nWith n = 1 the multi-pattern reduces to Theorem 1 exactly; "

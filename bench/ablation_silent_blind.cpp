@@ -9,8 +9,7 @@
 
 #include "bench_common.hpp"
 
-#include "ayd/core/baselines.hpp"
-#include "ayd/core/optimizer.hpp"
+#include "ayd/engine/engine.hpp"
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
 #include "ayd/sim/runner.hpp"
@@ -27,29 +26,52 @@ int main(int argc, char** argv) {
         const model::Scenario scenario =
             model::scenario_from_string(args.option("scenario"));
         auto pool = ctx.make_pool();
-        io::Table table({"Platform", "P", "T blind", "T VC", "H sim blind",
-                         "H sim VC", "penalty"});
-        table.set_align(0, io::Align::kLeft);
-        for (const auto& platform : model::all_platforms()) {
-          const model::System sys =
-              model::System::from_platform(platform, scenario);
-          const double p = platform.measured_procs;
-          const double t_blind = core::silent_blind_period(sys, p);
-          const core::PeriodOptimum vc = core::optimal_period(sys, p);
-          const sim::ReplicationResult blind = sim::simulate_overhead(
-              sys, {t_blind, p}, ctx.replication(), pool.get());
-          const sim::ReplicationResult tuned = sim::simulate_overhead(
-              sys, {vc.period, p}, ctx.replication(), pool.get());
-          const double penalty_pct =
-              100.0 * (blind.overhead.mean - tuned.overhead.mean) /
-              tuned.overhead.mean;
-          table.add_row({platform.name, util::format_sig(p, 4),
-                         util::format_sig(t_blind, 4),
-                         util::format_sig(vc.period, 4),
-                         bench::mean_ci_cell(blind.overhead, 4),
-                         bench::mean_ci_cell(tuned.overhead, 4),
-                         util::format_sig(penalty_pct, 3) + "%"});
-        }
+
+        engine::GridSpec grid;
+        grid.platforms(model::all_platforms());
+
+        engine::EvalSpec spec;
+        spec.numerical = true;
+        spec.simulate_numerical = true;
+        spec.baseline_silent_blind = true;
+        spec.replication = ctx.replication();
+
+        // Only four grid points: keep the points serial and let each
+        // simulation fan its replicas out over the whole pool instead.
+        const auto records =
+            engine::run_grid(grid, nullptr, [&](const engine::Point& pt) {
+              const model::System sys =
+                  model::System::from_platform(*pt.platform, scenario);
+              const double p = pt.platform->measured_procs;
+              const engine::PointEval ev =
+                  engine::evaluate_point(sys, spec, p, pool.get());
+              const sim::ReplicationResult blind = sim::simulate_overhead(
+                  sys, {*ev.silent_blind_period, p}, ctx.replication(),
+                  pool.get());
+              const double penalty_pct =
+                  100.0 * (blind.overhead.mean -
+                           ev.sim_numerical->overhead.mean) /
+                  ev.sim_numerical->overhead.mean;
+              engine::Record r;
+              r.set("Platform", pt.platform->name);
+              r.set("P", p);
+              r.set("T blind", *ev.silent_blind_period);
+              r.set("T VC", ev.period->period);
+              r.set("H sim blind", engine::mean_ci_cell(blind.overhead, 4));
+              r.set("H sim VC",
+                    engine::mean_ci_cell(ev.sim_numerical->overhead, 4));
+              r.set("penalty", penalty_pct);
+              return r;
+            });
+
+        engine::TableSink table({{"Platform", "", 4, "", io::Align::kLeft},
+                                 {"P"},
+                                 {"T blind"},
+                                 {"T VC"},
+                                 {"H sim blind"},
+                                 {"H sim VC"},
+                                 {"penalty", "", 3, "%"}});
+        engine::emit(records, {&table});
         std::printf("%s", table.to_string().c_str());
         std::printf(
             "\nThe blind period over-shoots (it underestimates the error "

@@ -8,7 +8,7 @@
 #include "bench_common.hpp"
 
 #include "ayd/core/baselines.hpp"
-#include "ayd/core/optimizer.hpp"
+#include "ayd/engine/engine.hpp"
 #include "ayd/math/special.hpp"
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
@@ -22,33 +22,51 @@ int main(int argc, char** argv) {
       [](cli::ArgParser& p) {
         p.add_option("platform", "hera", "platform preset");
       },
-      [](const cli::ArgParser& args, const cli::ExperimentContext&) {
+      [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
         const model::Platform platform =
             model::platform_by_name(args.option("platform"));
-        io::Table table({"Scn", "P* nested", "P* Jin", "H nested", "H Jin",
-                         "rel diff", "outer evals", "Jin rounds"});
-        for (const auto scenario : model::all_scenarios()) {
-          const model::System sys =
-              model::System::from_platform(platform, scenario);
-          core::AllocationSearchOptions nested_opt;
-          nested_opt.refine_integer = false;
-          nested_opt.max_procs = 1e7;
-          const core::AllocationOptimum nested =
-              core::optimal_allocation(sys, nested_opt);
-          core::JinRelaxationOptions jin_opt;
-          jin_opt.max_procs = 1e7;
-          const core::JinRelaxationResult jin = core::jin_relaxation(sys, jin_opt);
-          table.add_row(
-              {model::scenario_name(scenario),
-               util::format_sig(nested.procs_continuous, 5),
-               util::format_sig(jin.procs, 5),
-               util::format_sig(nested.overhead, 6),
-               util::format_sig(jin.overhead, 6),
-               util::format_sig(
-                   math::rel_diff(nested.overhead, jin.overhead), 2),
-               util::format_sig(nested.outer_evaluations, 3),
-               util::format_sig(jin.rounds, 3)});
-        }
+        auto pool = ctx.make_pool();
+
+        engine::GridSpec grid;
+        grid.scenarios(model::all_scenarios());
+
+        engine::EvalSpec spec;
+        spec.numerical = true;
+        spec.search.refine_integer = false;
+        spec.search.max_procs = 1e7;
+
+        const auto records =
+            engine::run_grid(grid, pool.get(), [&](const engine::Point& pt) {
+              const model::System sys =
+                  model::System::from_platform(platform, *pt.scenario);
+              const engine::PointEval ev = engine::evaluate_point(sys, spec);
+              core::JinRelaxationOptions jin_opt;
+              jin_opt.max_procs = 1e7;
+              const core::JinRelaxationResult jin =
+                  core::jin_relaxation(sys, jin_opt);
+              engine::Record r;
+              r.set("Scn", model::scenario_name(*pt.scenario));
+              r.set("nested_procs", ev.allocation->procs_continuous);
+              r.set("jin_procs", jin.procs);
+              r.set("nested_overhead", ev.allocation->overhead);
+              r.set("jin_overhead", jin.overhead);
+              r.set("rel_diff",
+                    math::rel_diff(ev.allocation->overhead, jin.overhead));
+              r.set("outer_evals",
+                    static_cast<double>(ev.allocation->outer_evaluations));
+              r.set("jin_rounds", static_cast<double>(jin.rounds));
+              return r;
+            });
+
+        engine::TableSink table({{"Scn"},
+                                 {"P* nested", "nested_procs", 5},
+                                 {"P* Jin", "jin_procs", 5},
+                                 {"H nested", "nested_overhead", 6},
+                                 {"H Jin", "jin_overhead", 6},
+                                 {"rel diff", "rel_diff", 2},
+                                 {"outer evals", "outer_evals", 3},
+                                 {"Jin rounds", "jin_rounds", 3}});
+        engine::emit(records, {&table});
         std::printf("%s", table.to_string().c_str());
         std::printf(
             "\nBoth solvers minimise the same exact objective; overhead "

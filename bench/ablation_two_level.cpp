@@ -7,17 +7,19 @@
 // §V "multi-level resilience protocols" future work.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 
 #include "ayd/core/multi_verification.hpp"
-#include "ayd/core/optimizer.hpp"
 #include "ayd/core/two_level.hpp"
+#include "ayd/engine/engine.hpp"
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
 #include "ayd/sim/multi_protocol.hpp"
 #include "ayd/sim/runner.hpp"
 #include "ayd/sim/two_level_protocol.hpp"
+#include "ayd/util/strings.hpp"
 
 int main(int argc, char** argv) {
   using namespace ayd;
@@ -32,49 +34,69 @@ int main(int argc, char** argv) {
       [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
         const model::Scenario scenario =
             model::scenario_from_string(args.option("scenario"));
-        const auto pool = ctx.make_pool();
+        auto pool = ctx.make_pool();
 
-        io::Table table({"Platform", "H VC", "n mv", "H multi-verif",
-                         "n 2L", "H two-level", "gain mv", "gain 2L"});
-        table.set_align(0, io::Align::kLeft);
+        engine::GridSpec grid;
+        grid.platforms(model::all_platforms());
 
-        for (const auto& platform : model::all_platforms()) {
-          const model::System sys =
-              model::System::from_platform(platform, scenario);
-          const double p = platform.measured_procs;
+        engine::EvalSpec spec;
+        spec.numerical = true;
+        spec.simulate_numerical = true;
+        spec.replication = ctx.replication();
 
-          const core::PeriodOptimum base = core::optimal_period(sys, p);
-          const sim::ReplicationResult base_sim = sim::simulate_overhead(
-              sys, {base.period, p}, ctx.replication(), pool.get());
+        // Only four grid points: keep the points serial and let each
+        // simulation fan its replicas out over the whole pool instead.
+        const auto records =
+            engine::run_grid(grid, nullptr, [&](const engine::Point& pt) {
+              const model::System sys =
+                  model::System::from_platform(*pt.platform, scenario);
+              const double p = pt.platform->measured_procs;
 
-          const core::MultiOptimum mv = core::optimal_multi_pattern(sys, p);
-          const sim::ReplicationResult mv_sim = sim::simulate_multi_overhead(
-              sys, {mv.period, p, mv.segments}, ctx.replication(),
-              pool.get());
+              const engine::PointEval base =
+                  engine::evaluate_point(sys, spec, p, pool.get());
 
-          const core::TwoLevelSystem two_sys =
-              core::TwoLevelSystem::with_memory_level1(sys);
-          const core::TwoLevelOptimum two =
-              core::optimal_two_level_pattern(two_sys, p);
-          const sim::ReplicationResult two_sim =
-              sim::simulate_two_level_overhead(
-                  two_sys, {two.period, p, two.segments}, ctx.replication(),
-                  pool.get());
+              const core::MultiOptimum mv = core::optimal_multi_pattern(sys, p);
+              const sim::ReplicationResult mv_sim =
+                  sim::simulate_multi_overhead(
+                      sys, {mv.period, p, mv.segments}, ctx.replication(),
+                      pool.get());
 
-          const auto gain = [&](double h) {
-            return util::format_sig(
-                       100.0 * (base_sim.overhead.mean - h) /
-                           base_sim.overhead.mean, 3) + "%";
-          };
-          table.add_row({platform.name,
-                         bench::mean_ci_cell(base_sim.overhead, 4),
-                         std::to_string(mv.segments),
-                         bench::mean_ci_cell(mv_sim.overhead, 4),
-                         std::to_string(two.segments),
-                         bench::mean_ci_cell(two_sim.overhead, 4),
-                         gain(mv_sim.overhead.mean),
-                         gain(two_sim.overhead.mean)});
-        }
+              const core::TwoLevelSystem two_sys =
+                  core::TwoLevelSystem::with_memory_level1(sys);
+              const core::TwoLevelOptimum two =
+                  core::optimal_two_level_pattern(two_sys, p);
+              const sim::ReplicationResult two_sim =
+                  sim::simulate_two_level_overhead(
+                      two_sys, {two.period, p, two.segments},
+                      ctx.replication(), pool.get());
+
+              const double base_mean = base.sim_numerical->overhead.mean;
+              const auto gain = [&](double h) {
+                return util::format_sig(
+                           100.0 * (base_mean - h) / base_mean, 3) + "%";
+              };
+              engine::Record r;
+              r.set("Platform", pt.platform->name);
+              r.set("H VC",
+                    engine::mean_ci_cell(base.sim_numerical->overhead, 4));
+              r.set("n mv", std::to_string(mv.segments));
+              r.set("H multi-verif", engine::mean_ci_cell(mv_sim.overhead, 4));
+              r.set("n 2L", std::to_string(two.segments));
+              r.set("H two-level", engine::mean_ci_cell(two_sim.overhead, 4));
+              r.set("gain mv", gain(mv_sim.overhead.mean));
+              r.set("gain 2L", gain(two_sim.overhead.mean));
+              return r;
+            });
+
+        engine::TableSink table({{"Platform", "", 4, "", io::Align::kLeft},
+                                 {"H VC"},
+                                 {"n mv"},
+                                 {"H multi-verif"},
+                                 {"n 2L"},
+                                 {"H two-level"},
+                                 {"gain mv"},
+                                 {"gain 2L"}});
+        engine::emit(records, {&table});
         std::printf("%s", table.to_string().c_str());
         std::printf(
             "\nTwo-level dominates multi-verification everywhere: both "

@@ -1,6 +1,8 @@
-// Helpers shared by the experiment binaries: formatting of simulation
-// summaries, uniform CSV dumping, and the standard main() wrapper that
-// turns CLI errors into readable messages.
+// Thin shim for the experiment binaries. Formatting of simulation
+// summaries and CSV dumping live in the engine's sink layer
+// (ayd/engine/sink.hpp); this header re-exports them under the historical
+// bench:: names and keeps the standard main() wrapper that turns CLI
+// errors into readable messages.
 
 #pragma once
 
@@ -12,22 +14,16 @@
 
 #include "ayd/cli/args.hpp"
 #include "ayd/cli/experiment.hpp"
-#include "ayd/io/csv.hpp"
-#include "ayd/io/table.hpp"
-#include "ayd/stats/summary.hpp"
-#include "ayd/util/strings.hpp"
+#include "ayd/engine/sink.hpp"
 
 namespace ayd::bench {
 
 /// "0.1123 ±0.0004" — the simulated-mean cell used across all tables.
-inline std::string mean_ci_cell(const stats::Summary& s, int digits = 4) {
-  return util::format_sig(s.mean, digits) + " ±" +
-         util::format_sig(s.ci.half_width(), 2);
-}
+using engine::mean_ci_cell;
 
-/// "—" placeholder used when a column does not apply (e.g. first-order
+/// "-" placeholder used when a column does not apply (e.g. first-order
 /// solution in scenario 6).
-inline const char* kNoValue = "-";
+inline const char* kNoValue = engine::kNoValue;
 
 /// Runs an experiment body with uniform option parsing / error handling.
 /// `setup` may add extra options before parsing. Returns process exit code.
@@ -58,15 +54,11 @@ inline int run_experiment_main(
 }
 
 /// Writes rows to ctx.csv_path when set (header first), else does nothing.
+/// Kept for out-of-tree users; in-tree benches feed an engine::CsvSink.
 inline void maybe_write_csv(const cli::ExperimentContext& ctx,
                             const std::vector<std::string>& header,
                             const std::vector<std::vector<std::string>>& rows) {
-  if (ctx.csv_path.empty()) return;
-  std::vector<std::vector<std::string>> all;
-  all.push_back(header);
-  all.insert(all.end(), rows.begin(), rows.end());
-  io::write_csv_file(ctx.csv_path, all);
-  std::printf("(series written to %s)\n", ctx.csv_path.c_str());
+  engine::write_series_csv(ctx.csv_path, header, rows);
 }
 
 }  // namespace ayd::bench

@@ -14,11 +14,10 @@
 
 #include "bench_common.hpp"
 
-#include "ayd/core/first_order.hpp"
-#include "ayd/core/optimizer.hpp"
+#include "ayd/engine/engine.hpp"
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
-#include "ayd/sim/runner.hpp"
+#include "ayd/util/strings.hpp"
 
 int main(int argc, char** argv) {
   using namespace ayd;
@@ -34,65 +33,78 @@ int main(int argc, char** argv) {
         const double alpha = args.option_double("alpha");
         const double downtime = args.option_double("downtime");
         auto pool = ctx.make_pool();
-        std::vector<std::vector<std::string>> csv_rows;
 
-        for (const auto& platform : model::all_platforms()) {
-          std::printf("== %s (alpha=%s, D=%ss) ==\n", platform.name.c_str(),
+        engine::GridSpec grid;
+        grid.platforms(model::all_platforms())
+            .scenarios(model::all_scenarios());
+
+        engine::EvalSpec spec;
+        spec.first_order = true;
+        spec.numerical = true;
+        spec.simulate_numerical = true;
+        spec.simulate_first_order = true;
+        spec.search.max_procs = 1e8;
+        spec.replication = ctx.replication();
+
+        const auto records =
+            engine::run_grid(grid, pool.get(), [&](const engine::Point& pt) {
+              const model::System sys = model::System::from_platform(
+                  *pt.platform, *pt.scenario, alpha, downtime);
+              const engine::PointEval ev = engine::evaluate_point(sys, spec);
+              engine::Record r;
+              r.set("platform", pt.platform->name);
+              r.set("scenario", model::scenario_name(*pt.scenario));
+              if (ev.first_order->has_optimum) {
+                r.set("fo_procs",
+                      std::max(1.0, std::round(ev.first_order->procs)));
+                r.set("fo_period", ev.first_order->period);
+                r.set("fo_overhead", ev.first_order->overhead);
+                r.set("fo_sim_cell",
+                      engine::mean_ci_cell(ev.sim_first_order->overhead));
+              }
+              r.set("opt_procs", ev.allocation->procs);
+              r.set("opt_period", ev.allocation->period);
+              r.set("opt_overhead", ev.allocation->overhead);
+              r.set("sim_cell",
+                    engine::mean_ci_cell(ev.sim_numerical->overhead));
+              r.set("sim_overhead", ev.sim_numerical->overhead.mean);
+              return r;
+            });
+
+        for (const auto& [name, group] :
+             engine::group_by(records, "platform")) {
+          std::printf("== %s (alpha=%s, D=%ss) ==\n", name.c_str(),
                       util::format_sig(alpha).c_str(),
                       util::format_sig(downtime).c_str());
-          io::Table table({"Scn", "P* (FO)", "T* (FO)", "H pred (FO)",
-                           "H sim (FO)", "P* (opt)", "T* (opt)",
-                           "H pred (opt)", "H sim (opt)"});
-          for (const auto scenario : model::all_scenarios()) {
-            const model::System sys = model::System::from_platform(
-                platform, scenario, alpha, downtime);
-
-            // Numerical optimum (the paper's "Optimal").
-            core::AllocationSearchOptions aopt;
-            aopt.max_procs = 1e8;
-            const core::AllocationOptimum opt =
-                core::optimal_allocation(sys, aopt);
-            const sim::ReplicationResult sim_opt = sim::simulate_overhead(
-                sys, {opt.period, opt.procs}, ctx.replication(), pool.get());
-
-            // First-order closed form (the paper's "First-order").
-            const core::FirstOrderSolution fo = core::solve_first_order(sys);
-            std::vector<std::string> row{model::scenario_name(scenario)};
-            std::string fo_p = bench::kNoValue, fo_t = bench::kNoValue,
-                        fo_h = bench::kNoValue, fo_sim = bench::kNoValue;
-            if (fo.has_optimum) {
-              const double procs = std::max(1.0, std::round(fo.procs));
-              const sim::ReplicationResult sim_fo = sim::simulate_overhead(
-                  sys, {fo.period, procs}, ctx.replication(), pool.get());
-              fo_p = util::format_sig(procs, 4);
-              fo_t = util::format_sig(fo.period, 4);
-              fo_h = util::format_sig(fo.overhead, 4);
-              fo_sim = bench::mean_ci_cell(sim_fo.overhead);
-            }
-            row.insert(row.end(),
-                       {fo_p, fo_t, fo_h, fo_sim,
-                        util::format_sig(opt.procs, 4),
-                        util::format_sig(opt.period, 4),
-                        util::format_sig(opt.overhead, 4),
-                        bench::mean_ci_cell(sim_opt.overhead)});
-            table.add_row(row);
-            csv_rows.push_back(
-                {platform.name, model::scenario_name(scenario), fo_p, fo_t,
-                 fo_h, util::format_sig(opt.procs, 6),
-                 util::format_sig(opt.period, 6),
-                 util::format_sig(opt.overhead, 6),
-                 util::format_sig(sim_opt.overhead.mean, 6)});
-          }
+          engine::TableSink table({{"Scn", "scenario"},
+                                   {"P* (FO)", "fo_procs", 4},
+                                   {"T* (FO)", "fo_period", 4},
+                                   {"H pred (FO)", "fo_overhead", 4},
+                                   {"H sim (FO)", "fo_sim_cell"},
+                                   {"P* (opt)", "opt_procs", 4},
+                                   {"T* (opt)", "opt_period", 4},
+                                   {"H pred (opt)", "opt_overhead", 4},
+                                   {"H sim (opt)", "sim_cell"}});
+          engine::emit(group, {&table});
           std::printf("%s\n", table.to_string().c_str());
         }
         std::printf(
             "Expected shape (paper): FO ≈ optimal in scenarios 1-4; "
             "scenario 5 FO slightly off (small constant cost); scenario 6 "
             "numerical only, with the largest P* and smallest T*.\n");
-        bench::maybe_write_csv(
-            ctx,
-            {"platform", "scenario", "fo_procs", "fo_period", "fo_overhead",
-             "opt_procs", "opt_period", "opt_overhead", "sim_overhead"},
-            csv_rows);
+
+        const std::vector<engine::ColumnSpec> series{
+            {"platform"},
+            {"scenario"},
+            {"fo_procs", "", 4},
+            {"fo_period", "", 4},
+            {"fo_overhead", "", 4},
+            {"opt_procs", "", 6},
+            {"opt_period", "", 6},
+            {"opt_overhead", "", 6},
+            {"sim_overhead", "", 6}};
+        engine::CsvSink csv(ctx.csv_path, series);
+        engine::JsonlSink jsonl(ctx.jsonl_path, series);
+        engine::emit(records, {&csv, &jsonl});
       });
 }

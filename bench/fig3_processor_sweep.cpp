@@ -12,12 +12,10 @@
 
 #include "bench_common.hpp"
 
-#include "ayd/core/first_order.hpp"
-#include "ayd/core/optimizer.hpp"
 #include "ayd/core/overhead.hpp"
+#include "ayd/engine/engine.hpp"
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
-#include "ayd/sim/runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace ayd;
@@ -33,47 +31,51 @@ int main(int argc, char** argv) {
       [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
         const model::Platform platform =
             model::platform_by_name(args.option("platform"));
-        const double p_min = args.option_double("p-min");
-        const double p_max = args.option_double("p-max");
-        const double p_step = args.option_double("p-step");
         auto pool = ctx.make_pool();
-        const auto scenarios = model::all_scenarios();
 
-        std::vector<std::string> header{"P"};
-        for (const auto s : scenarios) header.push_back("scn " + model::scenario_name(s));
+        engine::GridSpec grid;
+        grid.axis(engine::Axis::step("procs", args.option_double("p-min"),
+                                     args.option_double("p-max"),
+                                     args.option_double("p-step")))
+            .scenarios(model::all_scenarios());
 
-        io::Table period_table(header);
-        io::Table overhead_table(header);
-        io::Table gap_table(header);
-        std::vector<std::vector<std::string>> csv_rows;
+        engine::EvalSpec spec;
+        spec.first_order = true;
+        spec.numerical = true;
+        spec.simulate_first_order = true;
+        spec.replication = ctx.replication();
 
-        for (double p = p_min; p <= p_max + 1e-9; p += p_step) {
-          std::vector<std::string> period_row{util::format_sig(p, 5)};
-          std::vector<std::string> overhead_row = period_row;
-          std::vector<std::string> gap_row = period_row;
-          for (const auto scenario : scenarios) {
-            const model::System sys =
-                model::System::from_platform(platform, scenario);
-            const double t_fo = core::optimal_period_first_order(sys, p);
-            const core::PeriodOptimum num = core::optimal_period(sys, p);
-            const sim::ReplicationResult sim = sim::simulate_overhead(
-                sys, {t_fo, p}, ctx.replication(), pool.get());
-            const double h_fo = core::pattern_overhead(sys, {t_fo, p});
-            const double gap_pct =
-                100.0 * (h_fo - num.overhead) / num.overhead;
-            period_row.push_back(util::format_sig(t_fo, 4));
-            overhead_row.push_back(bench::mean_ci_cell(sim.overhead, 4));
-            gap_row.push_back(util::format_sig(gap_pct, 2) + "%");
-            csv_rows.push_back({util::format_sig(p, 6),
-                                model::scenario_name(scenario),
-                                util::format_sig(t_fo, 6),
-                                util::format_sig(sim.overhead.mean, 6),
-                                util::format_sig(gap_pct, 4)});
-          }
-          period_table.add_row(period_row);
-          overhead_table.add_row(overhead_row);
-          gap_table.add_row(gap_row);
-        }
+        const auto records =
+            engine::run_grid(grid, pool.get(), [&](const engine::Point& pt) {
+              const model::System sys =
+                  model::System::from_platform(platform, *pt.scenario);
+              const double p = pt.var("procs");
+              const engine::PointEval ev =
+                  engine::evaluate_point(sys, spec, p);
+              const double h_fo =
+                  core::pattern_overhead(sys, {*ev.fo_period, p});
+              engine::Record r;
+              r.set("procs", p);
+              r.set("scenario", model::scenario_name(*pt.scenario));
+              r.set("scn_label",
+                    "scn " + model::scenario_name(*pt.scenario));
+              r.set("fo_period", *ev.fo_period);
+              r.set("sim_cell",
+                    engine::mean_ci_cell(ev.sim_first_order->overhead, 4));
+              r.set("sim_overhead", ev.sim_first_order->overhead.mean);
+              r.set("gap_pct", 100.0 * (h_fo - ev.period->overhead) /
+                                   ev.period->overhead);
+              return r;
+            });
+
+        const io::Table period_table =
+            engine::pivot(records, {"P", "procs", 5}, "scn_label",
+                          {"", "fo_period", 4});
+        const io::Table overhead_table = engine::pivot(
+            records, {"P", "procs", 5}, "scn_label", {"", "sim_cell"});
+        const io::Table gap_table =
+            engine::pivot(records, {"P", "procs", 5}, "scn_label",
+                          {"", "gap_pct", 2, "%"});
 
         std::printf("(a) first-order optimal period T*_P (s), %s:\n%s\n",
                     platform.name.c_str(),
@@ -84,9 +86,15 @@ int main(int argc, char** argv) {
             "(c) overhead difference, first-order vs numerically optimal "
             "period (%% of optimal; paper reports <= 0.2%%):\n%s",
             gap_table.to_string().c_str());
-        bench::maybe_write_csv(
-            ctx, {"procs", "scenario", "fo_period", "sim_overhead",
-                  "gap_pct"},
-            csv_rows);
+
+        const std::vector<engine::ColumnSpec> series{
+            {"procs", "", 6},
+            {"scenario"},
+            {"fo_period", "", 6},
+            {"sim_overhead", "", 6},
+            {"gap_pct", "", 4}};
+        engine::CsvSink csv(ctx.csv_path, series);
+        engine::JsonlSink jsonl(ctx.jsonl_path, series);
+        engine::emit(records, {&csv, &jsonl});
       });
 }

@@ -12,11 +12,9 @@
 
 #include "bench_common.hpp"
 
-#include "ayd/core/first_order.hpp"
-#include "ayd/core/optimizer.hpp"
+#include "ayd/engine/engine.hpp"
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
-#include "ayd/sim/runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace ayd;
@@ -30,54 +28,72 @@ int main(int argc, char** argv) {
       [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
         const model::Platform platform =
             model::platform_by_name(args.option("platform"));
-        const double p_max = args.option_double("p-max");
         auto pool = ctx.make_pool();
-        const std::vector<double> alphas{0.0, 1e-4, 1e-3, 1e-2, 1e-1};
-        const std::vector<model::Scenario> scenarios{
-            model::Scenario::kS1, model::Scenario::kS3, model::Scenario::kS5};
-        std::vector<std::vector<std::string>> csv_rows;
 
-        for (const auto scenario : scenarios) {
-          std::printf("== scenario %s (%s) ==\n",
-                      model::scenario_name(scenario).c_str(),
+        engine::GridSpec grid;
+        grid.scenarios({model::Scenario::kS1, model::Scenario::kS3,
+                        model::Scenario::kS5})
+            .axis(engine::Axis::list("alpha",
+                                     {0.0, 1e-4, 1e-3, 1e-2, 1e-1}));
+
+        engine::EvalSpec spec;
+        spec.first_order = true;
+        spec.numerical = true;
+        spec.simulate_numerical = true;
+        spec.search.max_procs = args.option_double("p-max");
+        spec.replication = ctx.replication();
+        const engine::SystemSpec base{platform};
+
+        const auto records =
+            engine::run_grid(grid, pool.get(), [&](const engine::Point& pt) {
+              const model::System sys = engine::system_for_point(base, pt);
+              const engine::PointEval ev = engine::evaluate_point(sys, spec);
+              engine::Record r;
+              r.set("scenario", model::scenario_name(*pt.scenario));
+              r.set("alpha", pt.var("alpha"));
+              if (ev.first_order->has_optimum) {
+                r.set("fo_procs", std::max(1.0, ev.first_order->procs));
+                r.set("fo_period", ev.first_order->period);
+              }
+              r.set("opt_procs", ev.allocation->procs);
+              r.set("opt_period", ev.allocation->period);
+              r.set("opt_overhead", ev.allocation->overhead);
+              r.set("sim_cell",
+                    engine::mean_ci_cell(ev.sim_numerical->overhead, 4));
+              r.set("sim_overhead", ev.sim_numerical->overhead.mean);
+              return r;
+            });
+
+        for (const auto& [name, group] :
+             engine::group_by(records, "scenario")) {
+          const model::Scenario scenario = model::scenario_from_string(name);
+          std::printf("== scenario %s (%s) ==\n", name.c_str(),
                       model::scenario_description(scenario).c_str());
-          io::Table table({"alpha", "P* (FO)", "T* (FO)", "P* (opt)",
-                           "T* (opt)", "H pred (opt)", "H sim (opt)"});
-          for (const double alpha : alphas) {
-            const model::System sys =
-                model::System::from_platform(platform, scenario, alpha);
-            core::AllocationSearchOptions aopt;
-            aopt.max_procs = p_max;
-            const core::AllocationOptimum opt =
-                core::optimal_allocation(sys, aopt);
-            const sim::ReplicationResult sim = sim::simulate_overhead(
-                sys, {opt.period, opt.procs}, ctx.replication(), pool.get());
-            const core::FirstOrderSolution fo = core::solve_first_order(sys);
-            std::string fo_p = bench::kNoValue, fo_t = bench::kNoValue;
-            if (fo.has_optimum) {
-              fo_p = util::format_sig(std::max(1.0, fo.procs), 4);
-              fo_t = util::format_sig(fo.period, 4);
-            }
-            table.add_row({util::format_sig(alpha, 4), fo_p, fo_t,
-                           util::format_sig(opt.procs, 4),
-                           util::format_sig(opt.period, 4),
-                           util::format_sig(opt.overhead, 4),
-                           bench::mean_ci_cell(sim.overhead, 4)});
-            csv_rows.push_back({model::scenario_name(scenario),
-                                util::format_sig(alpha, 6), fo_p, fo_t,
-                                util::format_sig(opt.procs, 6),
-                                util::format_sig(opt.period, 6),
-                                util::format_sig(sim.overhead.mean, 6)});
-          }
+          engine::TableSink table({{"alpha", "", 4},
+                                   {"P* (FO)", "fo_procs", 4},
+                                   {"T* (FO)", "fo_period", 4},
+                                   {"P* (opt)", "opt_procs", 4},
+                                   {"T* (opt)", "opt_period", 4},
+                                   {"H pred (opt)", "opt_overhead", 4},
+                                   {"H sim (opt)", "sim_cell"}});
+          engine::emit(group, {&table});
           std::printf("%s\n", table.to_string().c_str());
         }
         std::printf(
             "Expected shape (paper): P* grows and overhead falls as alpha "
             "shrinks; T* barely moves in scenario 1; alpha=0 has no "
             "first-order solution yet a bounded numerical optimum.\n");
-        bench::maybe_write_csv(ctx,
-                               {"scenario", "alpha", "fo_procs", "fo_period",
-                                "opt_procs", "opt_period", "sim_overhead"},
-                               csv_rows);
+
+        const std::vector<engine::ColumnSpec> series{
+            {"scenario"},
+            {"alpha", "", 6},
+            {"fo_procs", "", 4},
+            {"fo_period", "", 4},
+            {"opt_procs", "", 6},
+            {"opt_period", "", 6},
+            {"sim_overhead", "", 6}};
+        engine::CsvSink csv(ctx.csv_path, series);
+        engine::JsonlSink jsonl(ctx.jsonl_path, series);
+        engine::emit(records, {&csv, &jsonl});
       });
 }

@@ -10,12 +10,20 @@
 
 #include "bench_common.hpp"
 
-#include "ayd/core/first_order.hpp"
-#include "ayd/core/optimizer.hpp"
+#include "ayd/engine/engine.hpp"
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
-#include "ayd/sim/runner.hpp"
 #include "ayd/stats/summary.hpp"
+#include "ayd/util/strings.hpp"
+
+namespace {
+
+std::vector<double> log10_of(std::vector<double> xs) {
+  for (double& x : xs) x = std::log10(x);
+  return xs;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ayd;
@@ -31,54 +39,65 @@ int main(int argc, char** argv) {
             model::platform_by_name(args.option("platform"));
         const double alpha = args.option_double("alpha");
         auto pool = ctx.make_pool();
-        const std::vector<double> lambdas{1e-12, 1e-11, 1e-10, 1e-9, 1e-8};
-        const std::vector<model::Scenario> scenarios{
-            model::Scenario::kS1, model::Scenario::kS3, model::Scenario::kS5};
-        std::vector<std::vector<std::string>> csv_rows;
 
-        for (const auto scenario : scenarios) {
-          const model::System base =
-              model::System::from_platform(platform, scenario, alpha);
+        engine::GridSpec grid;
+        grid.scenarios({model::Scenario::kS1, model::Scenario::kS3,
+                        model::Scenario::kS5})
+            .axis(engine::Axis::list("lambda",
+                                     {1e-12, 1e-11, 1e-10, 1e-9, 1e-8}));
+
+        engine::EvalSpec spec;
+        spec.first_order = true;
+        spec.numerical = true;
+        spec.simulate_numerical = true;
+        spec.search.max_procs = 1e10;
+        spec.replication = ctx.replication();
+        const engine::SystemSpec base{platform, model::Scenario::kS1, alpha};
+
+        const auto records =
+            engine::run_grid(grid, pool.get(), [&](const engine::Point& pt) {
+              const model::System sys = engine::system_for_point(base, pt);
+              const engine::PointEval ev = engine::evaluate_point(sys, spec);
+              engine::Record r;
+              r.set("scenario", model::scenario_name(*pt.scenario));
+              r.set("lambda", pt.var("lambda"));
+              if (ev.first_order->has_optimum) {
+                r.set("fo_procs", ev.first_order->procs);
+                r.set("fo_period", ev.first_order->period);
+                r.set("fo_overhead", ev.first_order->overhead);
+              }
+              r.set("opt_procs", ev.allocation->procs);
+              r.set("opt_period", ev.allocation->period);
+              r.set("sim_cell",
+                    engine::mean_ci_cell(ev.sim_numerical->overhead, 4));
+              r.set("sim_overhead", ev.sim_numerical->overhead.mean);
+              return r;
+            });
+
+        for (const auto& [name, group] :
+             engine::group_by(records, "scenario")) {
+          const model::Scenario scenario = model::scenario_from_string(name);
+          const model::System sys = model::System::from_platform(
+              platform, scenario, alpha);
           const auto orders = core::asymptotic_orders(
-              model::classify(base.costs()).first_order_case);
-          std::printf("== scenario %s (%s) ==\n",
-                      model::scenario_name(scenario).c_str(),
+              model::classify(sys.costs()).first_order_case);
+          std::printf("== scenario %s (%s) ==\n", name.c_str(),
                       model::scenario_description(scenario).c_str());
-          io::Table table({"lambda", "P* (FO)", "P* (opt)", "T* (FO)",
-                           "T* (opt)", "H pred (FO)", "H sim (opt)"});
-          std::vector<double> log_l, log_p, log_t;
-          for (const double lambda : lambdas) {
-            const model::System sys = base.with_lambda(lambda);
-            core::AllocationSearchOptions aopt;
-            aopt.max_procs = 1e10;
-            const core::AllocationOptimum opt =
-                core::optimal_allocation(sys, aopt);
-            const core::FirstOrderSolution fo = core::solve_first_order(sys);
-            const sim::ReplicationResult sim = sim::simulate_overhead(
-                sys, {opt.period, opt.procs}, ctx.replication(), pool.get());
-            table.add_row(
-                {util::format_sig(lambda, 3),
-                 fo.has_optimum ? util::format_sig(fo.procs, 4)
-                                : std::string(bench::kNoValue),
-                 util::format_sig(opt.procs, 4),
-                 fo.has_optimum ? util::format_sig(fo.period, 4)
-                                : std::string(bench::kNoValue),
-                 util::format_sig(opt.period, 4),
-                 fo.has_optimum ? util::format_sig(fo.overhead, 4)
-                                : std::string(bench::kNoValue),
-                 bench::mean_ci_cell(sim.overhead, 4)});
-            log_l.push_back(std::log10(lambda));
-            log_p.push_back(std::log10(opt.procs));
-            log_t.push_back(std::log10(opt.period));
-            csv_rows.push_back({model::scenario_name(scenario),
-                                util::format_sig(lambda, 6),
-                                util::format_sig(opt.procs, 6),
-                                util::format_sig(opt.period, 6),
-                                util::format_sig(sim.overhead.mean, 6)});
-          }
+          engine::TableSink table({{"lambda", "", 3},
+                                   {"P* (FO)", "fo_procs", 4},
+                                   {"P* (opt)", "opt_procs", 4},
+                                   {"T* (FO)", "fo_period", 4},
+                                   {"T* (opt)", "opt_period", 4},
+                                   {"H pred (FO)", "fo_overhead", 4},
+                                   {"H sim (opt)", "sim_cell"}});
+          engine::emit(group, {&table});
           std::printf("%s", table.to_string().c_str());
-          const auto p_fit = stats::linear_fit(log_l, log_p);
-          const auto t_fit = stats::linear_fit(log_l, log_t);
+
+          const auto log_l = log10_of(engine::collect(group, "lambda"));
+          const auto p_fit = stats::linear_fit(
+              log_l, log10_of(engine::collect(group, "opt_procs")));
+          const auto t_fit = stats::linear_fit(
+              log_l, log10_of(engine::collect(group, "opt_period")));
           std::printf(
               "fitted slopes (numerical optimum): P* ~ lambda^%s (theory "
               "%s), T* ~ lambda^%s (theory %s)\n\n",
@@ -91,9 +110,15 @@ int main(int argc, char** argv) {
             "Expected shape (paper): scenario 1 slopes -1/4 and -1/2; "
             "scenarios 3 and 5 slopes -1/3 and -1/3; overhead tends to "
             "alpha as lambda -> 0.\n");
-        bench::maybe_write_csv(ctx,
-                               {"scenario", "lambda", "opt_procs",
-                                "opt_period", "sim_overhead"},
-                               csv_rows);
+
+        const std::vector<engine::ColumnSpec> series{
+            {"scenario"},
+            {"lambda", "", 6},
+            {"opt_procs", "", 6},
+            {"opt_period", "", 6},
+            {"sim_overhead", "", 6}};
+        engine::CsvSink csv(ctx.csv_path, series);
+        engine::JsonlSink jsonl(ctx.jsonl_path, series);
+        engine::emit(records, {&csv, &jsonl});
       });
 }

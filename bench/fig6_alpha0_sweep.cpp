@@ -9,12 +9,20 @@
 
 #include "bench_common.hpp"
 
-#include "ayd/core/first_order.hpp"
-#include "ayd/core/optimizer.hpp"
+#include "ayd/engine/engine.hpp"
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
-#include "ayd/sim/runner.hpp"
 #include "ayd/stats/summary.hpp"
+#include "ayd/util/strings.hpp"
+
+namespace {
+
+std::vector<double> log10_of(std::vector<double> xs) {
+  for (double& x : xs) x = std::log10(x);
+  return xs;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ayd;
@@ -28,50 +36,60 @@ int main(int argc, char** argv) {
       [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
         const model::Platform platform =
             model::platform_by_name(args.option("platform"));
-        const double p_max = args.option_double("p-max");
         auto pool = ctx.make_pool();
-        const std::vector<double> lambdas{1e-12, 1e-11, 1e-10, 1e-9, 1e-8};
-        const std::vector<model::Scenario> scenarios{
-            model::Scenario::kS1, model::Scenario::kS3, model::Scenario::kS5};
-        std::vector<std::vector<std::string>> csv_rows;
 
-        for (const auto scenario : scenarios) {
-          const model::System base = model::System::from_platform(
+        engine::GridSpec grid;
+        grid.scenarios({model::Scenario::kS1, model::Scenario::kS3,
+                        model::Scenario::kS5})
+            .axis(engine::Axis::list("lambda",
+                                     {1e-12, 1e-11, 1e-10, 1e-9, 1e-8}));
+
+        engine::EvalSpec spec;
+        spec.numerical = true;
+        spec.simulate_numerical = true;
+        spec.search.max_procs = args.option_double("p-max");
+        spec.replication = ctx.replication();
+        const engine::SystemSpec base{platform, model::Scenario::kS1,
+                                      /*alpha=*/0.0};
+
+        const auto records =
+            engine::run_grid(grid, pool.get(), [&](const engine::Point& pt) {
+              const model::System sys = engine::system_for_point(base, pt);
+              const engine::PointEval ev = engine::evaluate_point(sys, spec);
+              engine::Record r;
+              r.set("scenario", model::scenario_name(*pt.scenario));
+              r.set("lambda", pt.var("lambda"));
+              r.set("opt_procs", ev.allocation->procs);
+              r.set("opt_period", ev.allocation->period);
+              r.set("opt_overhead", ev.allocation->overhead);
+              r.set("sim_cell",
+                    engine::mean_ci_cell(ev.sim_numerical->overhead, 4));
+              r.set("sim_overhead", ev.sim_numerical->overhead.mean);
+              return r;
+            });
+
+        for (const auto& [name, group] :
+             engine::group_by(records, "scenario")) {
+          const model::Scenario scenario = model::scenario_from_string(name);
+          const model::System sys = model::System::from_platform(
               platform, scenario, /*alpha=*/0.0);
           const auto orders = core::asymptotic_orders_alpha0(
-              model::classify(base.costs()).first_order_case);
-          std::printf("== scenario %s (%s), alpha = 0 ==\n",
-                      model::scenario_name(scenario).c_str(),
+              model::classify(sys.costs()).first_order_case);
+          std::printf("== scenario %s (%s), alpha = 0 ==\n", name.c_str(),
                       model::scenario_description(scenario).c_str());
-          io::Table table({"lambda", "P* (opt)", "T* (opt)", "H pred (opt)",
-                           "H sim (opt)"});
-          std::vector<double> log_l, log_p, log_h;
-          for (const double lambda : lambdas) {
-            const model::System sys = base.with_lambda(lambda);
-            core::AllocationSearchOptions aopt;
-            aopt.max_procs = p_max;
-            const core::AllocationOptimum opt =
-                core::optimal_allocation(sys, aopt);
-            const sim::ReplicationResult sim = sim::simulate_overhead(
-                sys, {opt.period, opt.procs}, ctx.replication(), pool.get());
-            table.add_row({util::format_sig(lambda, 3),
-                           util::format_sig(opt.procs, 4),
-                           util::format_sig(opt.period, 4),
-                           util::format_sig(opt.overhead, 4),
-                           bench::mean_ci_cell(sim.overhead, 4)});
-            log_l.push_back(std::log10(lambda));
-            log_p.push_back(std::log10(opt.procs));
-            log_h.push_back(std::log10(opt.overhead));
-            csv_rows.push_back({model::scenario_name(scenario),
-                                util::format_sig(lambda, 6),
-                                util::format_sig(opt.procs, 6),
-                                util::format_sig(opt.period, 6),
-                                util::format_sig(opt.overhead, 6),
-                                util::format_sig(sim.overhead.mean, 6)});
-          }
+          engine::TableSink table({{"lambda", "", 3},
+                                   {"P* (opt)", "opt_procs", 4},
+                                   {"T* (opt)", "opt_period", 4},
+                                   {"H pred (opt)", "opt_overhead", 4},
+                                   {"H sim (opt)", "sim_cell"}});
+          engine::emit(group, {&table});
           std::printf("%s", table.to_string().c_str());
-          const auto p_fit = stats::linear_fit(log_l, log_p);
-          const auto h_fit = stats::linear_fit(log_l, log_h);
+
+          const auto log_l = log10_of(engine::collect(group, "lambda"));
+          const auto p_fit = stats::linear_fit(
+              log_l, log10_of(engine::collect(group, "opt_procs")));
+          const auto h_fit = stats::linear_fit(
+              log_l, log10_of(engine::collect(group, "opt_overhead")));
           std::printf(
               "fitted slopes: P* ~ lambda^%s (paper ~%s), H* ~ lambda^%s "
               "(paper ~%s)\n\n",
@@ -84,10 +102,16 @@ int main(int argc, char** argv) {
             "Expected shape (paper): scenario 1 P* ~ lambda^{-1/2}, "
             "H ~ lambda^{1/2}; scenarios 3/5 P* ~ lambda^{-1}, T* ~ O(1), "
             "H ~ lambda.\n");
-        bench::maybe_write_csv(ctx,
-                               {"scenario", "lambda", "opt_procs",
-                                "opt_period", "opt_overhead",
-                                "sim_overhead"},
-                               csv_rows);
+
+        const std::vector<engine::ColumnSpec> series{
+            {"scenario"},
+            {"lambda", "", 6},
+            {"opt_procs", "", 6},
+            {"opt_period", "", 6},
+            {"opt_overhead", "", 6},
+            {"sim_overhead", "", 6}};
+        engine::CsvSink csv(ctx.csv_path, series);
+        engine::JsonlSink jsonl(ctx.jsonl_path, series);
+        engine::emit(records, {&csv, &jsonl});
       });
 }

@@ -10,11 +10,9 @@
 
 #include "bench_common.hpp"
 
-#include "ayd/core/first_order.hpp"
-#include "ayd/core/optimizer.hpp"
+#include "ayd/engine/engine.hpp"
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
-#include "ayd/sim/runner.hpp"
 #include "ayd/util/units.hpp"
 
 int main(int argc, char** argv) {
@@ -31,59 +29,76 @@ int main(int argc, char** argv) {
             model::platform_by_name(args.option("platform"));
         const double alpha = args.option_double("alpha");
         auto pool = ctx.make_pool();
-        const std::vector<model::Scenario> scenarios{
-            model::Scenario::kS1, model::Scenario::kS3, model::Scenario::kS5};
-        std::vector<std::vector<std::string>> csv_rows;
 
-        for (const auto scenario : scenarios) {
-          std::printf("== scenario %s (%s) ==\n",
-                      model::scenario_name(scenario).c_str(),
+        engine::GridSpec grid;
+        grid.scenarios({model::Scenario::kS1, model::Scenario::kS3,
+                        model::Scenario::kS5})
+            .axis(engine::Axis::step("downtime_h", 0.0, 3.0, 0.5));
+
+        engine::EvalSpec spec;
+        spec.first_order = true;
+        spec.numerical = true;
+        spec.simulate_numerical = true;
+        spec.simulate_first_order = true;
+        spec.search.max_procs = 1e8;
+        spec.replication = ctx.replication();
+
+        const auto records =
+            engine::run_grid(grid, pool.get(), [&](const engine::Point& pt) {
+              const double hours = pt.var("downtime_h");
+              const model::System sys = model::System::from_platform(
+                  platform, *pt.scenario, alpha, util::hours(hours));
+              const engine::PointEval ev = engine::evaluate_point(sys, spec);
+              engine::Record r;
+              r.set("scenario", model::scenario_name(*pt.scenario));
+              r.set("downtime_h", hours);
+              if (ev.first_order->has_optimum) {
+                r.set("fo_procs",
+                      std::max(1.0, std::round(ev.first_order->procs)));
+                r.set("fo_period", ev.first_order->period);
+                r.set("fo_sim_cell",
+                      engine::mean_ci_cell(ev.sim_first_order->overhead, 4));
+                r.set("fo_sim_overhead", ev.sim_first_order->overhead.mean);
+              }
+              r.set("opt_procs", ev.allocation->procs);
+              r.set("opt_period", ev.allocation->period);
+              r.set("opt_sim_cell",
+                    engine::mean_ci_cell(ev.sim_numerical->overhead, 4));
+              r.set("opt_sim_overhead", ev.sim_numerical->overhead.mean);
+              return r;
+            });
+
+        for (const auto& [name, group] :
+             engine::group_by(records, "scenario")) {
+          const model::Scenario scenario = model::scenario_from_string(name);
+          std::printf("== scenario %s (%s) ==\n", name.c_str(),
                       model::scenario_description(scenario).c_str());
-          io::Table table({"D (h)", "P* (FO)", "T* (FO)", "H sim (FO)",
-                           "P* (opt)", "T* (opt)", "H sim (opt)"});
-          for (double hours = 0.0; hours <= 3.0 + 1e-9; hours += 0.5) {
-            const double d = util::hours(hours);
-            const model::System sys =
-                model::System::from_platform(platform, scenario, alpha, d);
-            // First-order: by construction identical across D.
-            const core::FirstOrderSolution fo = core::solve_first_order(sys);
-            const double fo_procs = std::max(1.0, std::round(fo.procs));
-            const sim::ReplicationResult sim_fo = sim::simulate_overhead(
-                sys, {fo.period, fo_procs}, ctx.replication(), pool.get());
-            // Numerical optimum: D-aware.
-            core::AllocationSearchOptions aopt;
-            aopt.max_procs = 1e8;
-            const core::AllocationOptimum opt =
-                core::optimal_allocation(sys, aopt);
-            const sim::ReplicationResult sim_opt = sim::simulate_overhead(
-                sys, {opt.period, opt.procs}, ctx.replication(), pool.get());
-            table.add_row({util::format_sig(hours, 2),
-                           util::format_sig(fo_procs, 4),
-                           util::format_sig(fo.period, 4),
-                           bench::mean_ci_cell(sim_fo.overhead, 4),
-                           util::format_sig(opt.procs, 4),
-                           util::format_sig(opt.period, 4),
-                           bench::mean_ci_cell(sim_opt.overhead, 4)});
-            csv_rows.push_back({model::scenario_name(scenario),
-                                util::format_sig(hours, 4),
-                                util::format_sig(fo_procs, 6),
-                                util::format_sig(fo.period, 6),
-                                util::format_sig(sim_fo.overhead.mean, 6),
-                                util::format_sig(opt.procs, 6),
-                                util::format_sig(opt.period, 6),
-                                util::format_sig(sim_opt.overhead.mean, 6)});
-          }
+          engine::TableSink table({{"D (h)", "downtime_h", 2},
+                                   {"P* (FO)", "fo_procs", 4},
+                                   {"T* (FO)", "fo_period", 4},
+                                   {"H sim (FO)", "fo_sim_cell"},
+                                   {"P* (opt)", "opt_procs", 4},
+                                   {"T* (opt)", "opt_period", 4},
+                                   {"H sim (opt)", "opt_sim_cell"}});
+          engine::emit(group, {&table});
           std::printf("%s\n", table.to_string().c_str());
         }
         std::printf(
             "Expected shape (paper): first-order columns constant in D; "
             "numerical P* drifts down slightly with D; simulated overheads "
             "of the two stay close.\n");
-        bench::maybe_write_csv(
-            ctx,
-            {"scenario", "downtime_h", "fo_procs", "fo_period",
-             "fo_sim_overhead", "opt_procs", "opt_period",
-             "opt_sim_overhead"},
-            csv_rows);
+
+        const std::vector<engine::ColumnSpec> series{
+            {"scenario"},
+            {"downtime_h", "", 4},
+            {"fo_procs", "", 6},
+            {"fo_period", "", 6},
+            {"fo_sim_overhead", "", 6},
+            {"opt_procs", "", 6},
+            {"opt_period", "", 6},
+            {"opt_sim_overhead", "", 6}};
+        engine::CsvSink csv(ctx.csv_path, series);
+        engine::JsonlSink jsonl(ctx.jsonl_path, series);
+        engine::emit(records, {&csv, &jsonl});
       });
 }

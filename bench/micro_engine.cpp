@@ -1,0 +1,145 @@
+// Microbenchmark of the experiment engine: points/second on a multi-point
+// grid, serial vs point-parallel, plus a determinism check (parallel
+// records must be bit-identical to serial ones). Emits a machine-readable
+// BENCH_engine.json so the perf trajectory of the engine can be tracked
+// across commits.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.hpp"
+
+#include "ayd/engine/engine.hpp"
+#include "ayd/io/json.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/util/strings.hpp"
+#include "ayd/util/version.hpp"
+
+namespace {
+
+double seconds_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ayd;
+  return bench::run_experiment_main(
+      argc, argv, "Micro — engine grid throughput (serial vs parallel)",
+      "points/sec of a representative sweep grid; JSON written for the "
+      "perf trajectory",
+      [](cli::ArgParser& p) {
+        p.add_option("out", "BENCH_engine.json",
+                     "output path for the JSON record");
+        p.add_option("reps", "3", "timing repetitions (best is kept)");
+      },
+      [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
+        // A representative grid: every scenario x an error-rate sweep,
+        // evaluated with the numerical period optimum plus a replicated
+        // simulation — the same work profile as the Figure 3-7 benches.
+        engine::GridSpec grid;
+        grid.scenarios(model::all_scenarios())
+            .axis(engine::Axis::log_spaced("lambda", 1e-11, 1e-8, 8));
+
+        engine::EvalSpec spec;
+        spec.first_order = true;
+        spec.numerical = true;
+        spec.simulate_first_order = true;
+        spec.replication = ctx.replication();
+        const model::Platform platform = model::hera();
+
+        const engine::EvalFn eval = [&](const engine::Point& pt) {
+          const model::System sys = engine::apply_axes(
+              model::System::from_platform(platform, *pt.scenario), pt);
+          const double p = platform.measured_procs;
+          const engine::PointEval ev = engine::evaluate_point(sys, spec, p);
+          engine::Record r;
+          r.set("scenario", model::scenario_name(*pt.scenario));
+          r.set("lambda", pt.var("lambda"));
+          r.set("fo_period", *ev.fo_period);
+          r.set("opt_period", ev.period->period);
+          r.set("sim_overhead", ev.sim_first_order->overhead.mean);
+          return r;
+        };
+
+        const int reps =
+            static_cast<int>(args.option_int("reps"));
+        auto pool = ctx.make_pool();
+        const std::size_t points = grid.size();
+
+        double serial_best = 0.0;
+        double parallel_best = 0.0;
+        std::vector<engine::Record> serial_records;
+        std::vector<engine::Record> parallel_records;
+        for (int rep = 0; rep < reps; ++rep) {
+          const auto t0 = std::chrono::steady_clock::now();
+          serial_records = engine::run_grid(grid, nullptr, eval);
+          const double serial = seconds_since(t0);
+          if (rep == 0 || serial < serial_best) serial_best = serial;
+
+          const auto t1 = std::chrono::steady_clock::now();
+          parallel_records = engine::run_grid(grid, pool.get(), eval);
+          const double parallel = seconds_since(t1);
+          if (rep == 0 || parallel < parallel_best) parallel_best = parallel;
+        }
+
+        // Point-level parallelism must not change a single number.
+        bool deterministic = serial_records.size() == parallel_records.size();
+        for (std::size_t i = 0; deterministic && i < serial_records.size();
+             ++i) {
+          deterministic =
+              serial_records[i].text("scenario") ==
+                  parallel_records[i].text("scenario") &&
+              serial_records[i].num("sim_overhead") ==
+                  parallel_records[i].num("sim_overhead") &&
+              serial_records[i].num("opt_period") ==
+                  parallel_records[i].num("opt_period");
+        }
+
+        const double speedup = serial_best / parallel_best;
+        std::printf(
+            "grid: %zu points (%zu scenarios x 8 lambdas), %zu replicas x "
+            "%zu patterns per point\n",
+            points, model::all_scenarios().size(), ctx.runs, ctx.patterns);
+        std::printf("serial:   %.3fs  (%.1f points/s)\n", serial_best,
+                    static_cast<double>(points) / serial_best);
+        std::printf("parallel: %.3fs  (%.1f points/s, %zu threads)\n",
+                    parallel_best,
+                    static_cast<double>(points) / parallel_best,
+                    pool->size());
+        std::printf("speedup:  %.2fx   deterministic: %s\n", speedup,
+                    deterministic ? "yes" : "NO — BUG");
+
+        const std::string out_path = args.option("out");
+        std::ofstream out(out_path);
+        if (!out) {
+          std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+          return;
+        }
+        io::JsonWriter json(out, /*pretty=*/true);
+        json.begin_object();
+        json.kv("benchmark", "engine_grid_throughput");
+        json.kv("version", util::version_string());
+        json.kv("grid_points", static_cast<std::uint64_t>(points));
+        json.kv("replicas", static_cast<std::uint64_t>(ctx.runs));
+        json.kv("patterns_per_replica",
+                static_cast<std::uint64_t>(ctx.patterns));
+        json.kv("threads", static_cast<std::uint64_t>(pool->size()));
+        json.kv("serial_seconds", serial_best);
+        json.kv("parallel_seconds", parallel_best);
+        json.kv("points_per_sec_serial",
+                static_cast<double>(points) / serial_best);
+        json.kv("points_per_sec_parallel",
+                static_cast<double>(points) / parallel_best);
+        json.kv("speedup", speedup);
+        json.kv("deterministic", deterministic);
+        json.end_object();
+        out << "\n";
+        std::printf("(JSON record written to %s)\n", out_path.c_str());
+      });
+}

@@ -6,6 +6,7 @@
 
 #include "bench_common.hpp"
 
+#include "ayd/engine/engine.hpp"
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
 #include "ayd/util/strings.hpp"
@@ -19,22 +20,37 @@ int main(int argc, char** argv) {
       {}, [](const cli::ArgParser&, const cli::ExperimentContext&) {
         // ---- Table II ------------------------------------------------
         std::printf("Table II: platform parameters (from the SCR study)\n");
-        io::Table t2({"Platform", "lambda_ind", "f", "s", "P", "C_P (s)",
-                      "V_P (s)", "node MTBF", "platform MTBF"});
-        t2.set_align(0, io::Align::kLeft);
-        for (const auto& p : model::all_platforms()) {
-          const model::FailureModel fm = p.failure();
-          t2.add_row({p.name, util::format_sig(p.lambda_ind),
-                      util::format_sig(p.fail_stop_fraction),
-                      util::format_sig(1.0 - p.fail_stop_fraction),
-                      util::format_sig(p.measured_procs),
-                      util::format_sig(p.measured_checkpoint),
-                      util::format_sig(p.measured_verification),
-                      util::format_sig(util::to_years(fm.mtbf_ind()), 3) +
-                          "yr",
-                      util::format_duration(
-                          fm.platform_mtbf(p.measured_procs))});
-        }
+        engine::GridSpec platforms_grid;
+        platforms_grid.platforms(model::all_platforms());
+        const auto platform_records = engine::run_grid(
+            platforms_grid, nullptr, [](const engine::Point& pt) {
+              const model::Platform& p = *pt.platform;
+              const model::FailureModel fm = p.failure();
+              engine::Record r;
+              r.set("Platform", p.name);
+              r.set("lambda_ind", p.lambda_ind);
+              r.set("f", p.fail_stop_fraction);
+              r.set("s", 1.0 - p.fail_stop_fraction);
+              r.set("P", p.measured_procs);
+              r.set("C_P (s)", p.measured_checkpoint);
+              r.set("V_P (s)", p.measured_verification);
+              r.set("node MTBF",
+                    util::format_sig(util::to_years(fm.mtbf_ind()), 3) +
+                        "yr");
+              r.set("platform MTBF",
+                    util::format_duration(fm.platform_mtbf(p.measured_procs)));
+              return r;
+            });
+        engine::TableSink t2({{"Platform", "", 4, "", io::Align::kLeft},
+                              {"lambda_ind"},
+                              {"f"},
+                              {"s"},
+                              {"P"},
+                              {"C_P (s)"},
+                              {"V_P (s)"},
+                              {"node MTBF"},
+                              {"platform MTBF"}});
+        engine::emit(platform_records, {&t2});
         std::printf("%s\n", t2.to_string().c_str());
 
         // ---- Table III -----------------------------------------------
@@ -52,33 +68,39 @@ int main(int argc, char** argv) {
         std::printf(
             "Derived cost models (fit to the measured C_P, V_P at the "
             "measured P):\n");
-        io::Table td({"Platform", "Scenario", "C_P model", "V_P model",
-                      "analysis case"});
-        td.set_align(0, io::Align::kLeft);
-        td.set_align(2, io::Align::kLeft);
-        td.set_align(3, io::Align::kLeft);
-        td.set_align(4, io::Align::kLeft);
-        for (const auto& p : model::all_platforms()) {
-          for (const auto s : model::all_scenarios()) {
-            const auto rc = model::resolve(p, s);
-            const auto info = model::classify(rc);
-            const char* case_name = "";
-            switch (info.first_order_case) {
-              case model::FirstOrderCase::kLinearCheckpoint:
-                case_name = "case 1 (Thm 2, C=cP)";
-                break;
-              case model::FirstOrderCase::kConstantCost:
-                case_name = "case 2 (Thm 3, C+V=d)";
-                break;
-              case model::FirstOrderCase::kDecreasingCost:
-                case_name = "case 3 (numerical only)";
-                break;
-            }
-            td.add_row({p.name, model::scenario_name(s),
-                        rc.checkpoint.describe(), rc.verification.describe(),
-                        case_name});
-          }
-        }
+        engine::GridSpec derived_grid;
+        derived_grid.platforms(model::all_platforms())
+            .scenarios(model::all_scenarios());
+        const auto derived_records = engine::run_grid(
+            derived_grid, nullptr, [](const engine::Point& pt) {
+              const auto rc = model::resolve(*pt.platform, *pt.scenario);
+              const auto info = model::classify(rc);
+              const char* case_name = "";
+              switch (info.first_order_case) {
+                case model::FirstOrderCase::kLinearCheckpoint:
+                  case_name = "case 1 (Thm 2, C=cP)";
+                  break;
+                case model::FirstOrderCase::kConstantCost:
+                  case_name = "case 2 (Thm 3, C+V=d)";
+                  break;
+                case model::FirstOrderCase::kDecreasingCost:
+                  case_name = "case 3 (numerical only)";
+                  break;
+              }
+              engine::Record r;
+              r.set("Platform", pt.platform->name);
+              r.set("Scenario", model::scenario_name(*pt.scenario));
+              r.set("C_P model", rc.checkpoint.describe());
+              r.set("V_P model", rc.verification.describe());
+              r.set("analysis case", case_name);
+              return r;
+            });
+        engine::TableSink td({{"Platform", "", 4, "", io::Align::kLeft},
+                              {"Scenario"},
+                              {"C_P model", "", 4, "", io::Align::kLeft},
+                              {"V_P model", "", 4, "", io::Align::kLeft},
+                              {"analysis case", "", 4, "", io::Align::kLeft}});
+        engine::emit(derived_records, {&td});
         std::printf("%s", td.to_string().c_str());
       });
 }

@@ -7,17 +7,16 @@
 // checkpointing (scenario 5). For a range of allocation sizes this
 // example prints the expected makespan, the node-hours consumed, and the
 // optimal operating point for each protocol — the table a capacity
-// planner would actually look at.
+// planner would actually look at. Each protocol's allocation sweep is an
+// engine grid over a "procs" axis.
 //
 // Build & run:  ./examples/capacity_planning
 
 #include <cmath>
 #include <cstdio>
 
-#include "ayd/core/first_order.hpp"
-#include "ayd/core/optimizer.hpp"
 #include "ayd/core/overhead.hpp"
-#include "ayd/io/table.hpp"
+#include "ayd/engine/engine.hpp"
 #include "ayd/model/application.hpp"
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
@@ -30,26 +29,46 @@ void plan(const ayd::model::System& sys, const char* label,
           const ayd::model::Application& app) {
   using namespace ayd;
   std::printf("--- protocol: %s ---\n", label);
-  io::Table table({"P", "T* (per ckpt)", "overhead", "makespan",
-                   "node-hours", "vs error-free"});
-  const core::AllocationOptimum best = core::optimal_allocation(sys);
-  for (double p : {256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0,
-                   best.procs}) {
-    p = std::round(p);
-    const core::PeriodOptimum period = core::optimal_period(sys, p);
-    const core::Pattern pattern{period.period, p};
-    const double makespan = core::expected_makespan(sys, pattern, app);
-    const double error_free =
-        model::error_free_makespan(app, sys.error_free_overhead(p));
-    const double node_hours = util::to_hours(makespan) * p;
-    const bool is_best = p == std::round(best.procs);
-    table.add_row({util::format_sig(p, 5) + (is_best ? "*" : ""),
-                   util::format_duration(period.period),
-                   util::format_sig(period.overhead, 4),
-                   util::format_duration(makespan),
-                   util::format_si(node_hours, 4),
-                   util::format_sig(makespan / error_free, 4) + "x"});
-  }
+
+  engine::EvalSpec joint;
+  joint.numerical = true;
+  const engine::PointEval best = engine::evaluate_point(sys, joint);
+  const double best_procs = std::round(best.allocation->procs);
+
+  engine::GridSpec grid;
+  grid.axis(engine::Axis::list(
+      "procs", {256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0, best_procs}));
+
+  engine::EvalSpec spec;
+  spec.numerical = true;
+  const auto records =
+      engine::run_grid(grid, nullptr, [&](const engine::Point& pt) {
+        const double p = std::round(pt.var("procs"));
+        const engine::PointEval ev = engine::evaluate_point(sys, spec, p);
+        const double makespan =
+            core::expected_makespan(sys, {ev.period->period, p}, app);
+        const double error_free =
+            model::error_free_makespan(app, sys.error_free_overhead(p));
+        const bool is_best = p == best_procs;
+        engine::Record r;
+        r.set("P", util::format_sig(p, 5) + (is_best ? "*" : ""));
+        r.set("T* (per ckpt)", util::format_duration(ev.period->period));
+        r.set("overhead", ev.period->overhead);
+        r.set("makespan", util::format_duration(makespan));
+        r.set("node-hours",
+              util::format_si(util::to_hours(makespan) * p, 4));
+        r.set("vs error-free",
+              util::format_sig(makespan / error_free, 4) + "x");
+        return r;
+      });
+
+  engine::TableSink table({{"P"},
+                           {"T* (per ckpt)"},
+                           {"overhead", "", 4},
+                           {"makespan"},
+                           {"node-hours"},
+                           {"vs error-free"}});
+  engine::emit(records, {&table});
   std::printf("%s", table.to_string().c_str());
   std::printf("(* = overhead-optimal allocation; node-hours keep growing "
               "with P, so a cost-aware planner may stop earlier)\n\n");

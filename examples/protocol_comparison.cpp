@@ -5,21 +5,21 @@
 // execution overhead achievable at their respective optimal patterns —
 // predicted by the analysis and confirmed by simulation — and prints the
 // efficiency loss of running each protocol at the *measured* processor
-// count instead of its optimum.
+// count instead of its optimum. The scenario sweep is an engine grid
+// (point-parallel); the ranking is a post-hoc sort of the records.
 //
 // Build & run:  ./examples/protocol_comparison [--platform=atlas]
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "ayd/cli/args.hpp"
-#include "ayd/core/optimizer.hpp"
-#include "ayd/core/overhead.hpp"
-#include "ayd/io/table.hpp"
+#include "ayd/engine/engine.hpp"
+#include "ayd/exec/thread_pool.hpp"
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
-#include "ayd/sim/runner.hpp"
 #include "ayd/util/strings.hpp"
 
 int main(int argc, char** argv) {
@@ -36,51 +36,57 @@ int main(int argc, char** argv) {
     const model::Platform platform =
         model::platform_by_name(parser.option("platform"));
 
-    struct Row {
-      model::Scenario scenario;
-      core::AllocationOptimum opt;
-      double sim_overhead;
-      double overhead_at_measured;
-    };
-    std::vector<Row> rows;
-    sim::ReplicationOptions sim_opt;
-    sim_opt.replicas = 100;
-    sim_opt.patterns_per_replica = 100;
+    engine::GridSpec grid;
+    grid.scenarios(model::all_scenarios());
 
-    for (const auto scenario : model::all_scenarios()) {
-      const model::System sys =
-          model::System::from_platform(platform, scenario);
-      core::AllocationSearchOptions aopt;
-      aopt.max_procs = 1e8;
-      Row row{scenario, core::optimal_allocation(sys, aopt), 0.0, 0.0};
-      row.sim_overhead =
-          sim::simulate_overhead(sys, {row.opt.period, row.opt.procs},
-                                 sim_opt)
-              .overhead.mean;
-      row.overhead_at_measured =
-          core::optimal_period(sys, platform.measured_procs).overhead;
-      rows.push_back(row);
+    engine::EvalSpec spec;
+    spec.numerical = true;
+    spec.simulate_numerical = true;
+    spec.search.max_procs = 1e8;
+    spec.replication.replicas = 100;
+    spec.replication.patterns_per_replica = 100;
+
+    exec::ThreadPool pool;
+    auto records =
+        engine::run_grid(grid, &pool, [&](const engine::Point& pt) {
+          const model::System sys =
+              model::System::from_platform(platform, *pt.scenario);
+          const engine::PointEval ev = engine::evaluate_point(sys, spec);
+          // Overhead at the platform's as-measured allocation.
+          engine::EvalSpec fixed;
+          fixed.numerical = true;
+          const engine::PointEval at_measured = engine::evaluate_point(
+              sys, fixed, platform.measured_procs);
+          engine::Record r;
+          r.set("scenario", model::scenario_name(*pt.scenario));
+          r.set("form", model::scenario_description(*pt.scenario));
+          r.set("opt_procs", ev.allocation->procs);
+          r.set("period_cell", util::format_duration(ev.allocation->period));
+          r.set("opt_overhead", ev.allocation->overhead);
+          r.set("sim_overhead", ev.sim_numerical->overhead.mean);
+          r.set("at_measured", at_measured.period->overhead);
+          return r;
+        });
+
+    std::sort(records.begin(), records.end(),
+              [](const engine::Record& a, const engine::Record& b) {
+                return a.num("opt_overhead") < b.num("opt_overhead");
+              });
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      records[i].set("rank", std::to_string(i + 1));
     }
-    std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-      return a.opt.overhead < b.opt.overhead;
-    });
 
     std::printf("resilience protocol ranking on %s (alpha = 0.1, D = 1h)\n\n",
                 platform.name.c_str());
-    io::Table table({"rank", "scenario", "form", "P*", "T*", "H pred",
-                     "H sim", "H @ measured P"});
-    table.set_align(2, io::Align::kLeft);
-    int rank = 1;
-    for (const Row& row : rows) {
-      table.add_row({std::to_string(rank++),
-                     model::scenario_name(row.scenario),
-                     model::scenario_description(row.scenario),
-                     util::format_sig(row.opt.procs, 4),
-                     util::format_duration(row.opt.period),
-                     util::format_sig(row.opt.overhead, 4),
-                     util::format_sig(row.sim_overhead, 4),
-                     util::format_sig(row.overhead_at_measured, 4)});
-    }
+    engine::TableSink table({{"rank"},
+                             {"scenario"},
+                             {"form", "", 4, "", io::Align::kLeft},
+                             {"P*", "opt_procs", 4},
+                             {"T*", "period_cell"},
+                             {"H pred", "opt_overhead", 4},
+                             {"H sim", "sim_overhead", 4},
+                             {"H @ measured P", "at_measured", 4}});
+    engine::emit(records, {&table});
     std::printf("%s", table.to_string().c_str());
     std::printf(
         "\nScenarios whose resilience cost shrinks with P (5, 6) tolerate "

@@ -14,6 +14,8 @@ void add_experiment_options(ArgParser& parser) {
   parser.add_option("threads", "0",
                     "worker threads (0 = hardware concurrency)");
   parser.add_option("csv", "", "also write the series to this CSV file");
+  parser.add_option("jsonl", "",
+                    "also write the series to this JSON-lines file");
   parser.add_flag("des", "use the event-queue reference simulator backend");
 }
 
@@ -46,6 +48,7 @@ ExperimentContext read_experiment_context(const ArgParser& parser) {
   ctx.threads = static_cast<unsigned>(parser.option_uint("threads"));
   ctx.use_des_engine = parser.flag("des");
   ctx.csv_path = parser.option("csv");
+  ctx.jsonl_path = parser.option("jsonl");
   return ctx;
 }
 

@@ -21,6 +21,7 @@ struct ExperimentContext {
   unsigned threads = 0;        ///< 0 = hardware concurrency
   bool use_des_engine = false; ///< reference DES backend instead of fast
   std::string csv_path;        ///< optional CSV dump of the series
+  std::string jsonl_path;      ///< optional JSON-lines dump of the series
 
   [[nodiscard]] sim::ReplicationOptions replication() const {
     sim::ReplicationOptions opt;

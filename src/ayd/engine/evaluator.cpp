@@ -1,0 +1,108 @@
+#include "ayd/engine/evaluator.hpp"
+
+#include <cmath>
+
+#include "ayd/core/baselines.hpp"
+#include "ayd/util/contracts.hpp"
+
+namespace ayd::engine {
+
+model::System apply_axes(const model::System& base, const Point& pt) {
+  model::System sys = base;
+  for (const auto& [name, value] : pt.vars) {
+    if (name == "lambda") {
+      sys = sys.with_lambda(value);
+    } else if (name == "alpha") {
+      sys = sys.with_speedup(model::Speedup::amdahl(value));
+    } else if (name == "downtime") {
+      sys = sys.with_downtime(value);
+    }
+    // Other axes ("procs", bench-specific knobs) are not system fields.
+  }
+  return sys;
+}
+
+model::System system_for_point(const SystemSpec& spec, const Point& pt) {
+  const model::Platform& platform =
+      pt.platform.has_value() ? *pt.platform : spec.platform;
+  const model::Scenario scenario =
+      pt.scenario.has_value() ? *pt.scenario : spec.scenario;
+  const double alpha =
+      pt.has_var("alpha") ? pt.var("alpha") : spec.alpha;
+  const double downtime =
+      pt.has_var("downtime") ? pt.var("downtime") : spec.downtime;
+  model::System sys =
+      model::System::from_platform(platform, scenario, alpha, downtime);
+  if (pt.has_var("lambda")) sys = sys.with_lambda(pt.var("lambda"));
+  return sys;
+}
+
+core::Pattern PointEval::first_order_pattern() const {
+  if (fixed_procs.has_value()) {
+    AYD_REQUIRE(fo_period.has_value(),
+                "first_order_pattern: no Theorem-1 period computed");
+    return {*fo_period, *fixed_procs};
+  }
+  AYD_REQUIRE(first_order.has_value() && first_order->has_optimum,
+              "first_order_pattern: no first-order optimum at this point");
+  return {first_order->period, std::max(1.0, std::round(first_order->procs))};
+}
+
+core::Pattern PointEval::numerical_pattern() const {
+  if (fixed_procs.has_value()) {
+    AYD_REQUIRE(period.has_value(),
+                "numerical_pattern: no period optimum computed");
+    return {period->period, *fixed_procs};
+  }
+  AYD_REQUIRE(allocation.has_value(),
+              "numerical_pattern: no allocation optimum computed");
+  return {allocation->period, allocation->procs};
+}
+
+PointEval evaluate_point(const model::System& sys, const EvalSpec& spec,
+                         std::optional<double> fixed_procs,
+                         exec::ThreadPool* sim_pool) {
+  PointEval out;
+  out.fixed_procs = fixed_procs;
+
+  if (spec.first_order) {
+    if (fixed_procs.has_value()) {
+      out.fo_period = core::optimal_period_first_order(sys, *fixed_procs);
+    } else {
+      out.first_order = core::solve_first_order(sys);
+    }
+  }
+
+  if (spec.numerical) {
+    if (fixed_procs.has_value()) {
+      out.period = core::optimal_period(sys, *fixed_procs,
+                                        spec.search.period);
+    } else {
+      out.allocation = core::optimal_allocation(sys, spec.search);
+    }
+  }
+
+  if (spec.baseline_silent_blind && fixed_procs.has_value()) {
+    out.silent_blind_period = core::silent_blind_period(sys, *fixed_procs);
+  }
+
+  if (spec.simulate_numerical) {
+    out.sim_numerical = sim::simulate_overhead(
+        sys, out.numerical_pattern(), spec.replication, sim_pool);
+  }
+
+  if (spec.simulate_first_order) {
+    const bool have_fo =
+        fixed_procs.has_value()
+            ? (out.fo_period.has_value() && std::isfinite(*out.fo_period))
+            : (out.first_order.has_value() && out.first_order->has_optimum);
+    if (have_fo) {
+      out.sim_first_order = sim::simulate_overhead(
+          sys, out.first_order_pattern(), spec.replication, sim_pool);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace ayd::engine

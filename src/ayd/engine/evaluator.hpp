@@ -1,0 +1,90 @@
+// The standard per-point evaluation: first-order closed forms, numerical
+// optima, baselines, and replicated simulation, selected by flags.
+//
+// Grid axes are applied to a base System by name — "lambda" replaces the
+// individual error rate, "alpha" the Amdahl sequential fraction,
+// "downtime" the downtime, and "procs" fixes the processor allocation
+// (switching the evaluator from the joint (T, P) optimum to the fixed-P
+// period optimum, exactly like the paper's Figure 3).
+//
+// Evaluations are pure per point: simulation replica i always draws from
+// RNG substream (seed, i), so results are bit-identical whether points run
+// serially or fan out over the engine's thread pool.
+
+#pragma once
+
+#include <optional>
+
+#include "ayd/core/first_order.hpp"
+#include "ayd/core/optimizer.hpp"
+#include "ayd/engine/grid.hpp"
+#include "ayd/exec/thread_pool.hpp"
+#include "ayd/model/system.hpp"
+#include "ayd/sim/runner.hpp"
+
+namespace ayd::engine {
+
+/// Applies a point's named axes to `base`: "lambda" -> with_lambda,
+/// "alpha" -> with_speedup(Amdahl), "downtime" -> with_downtime. The
+/// "procs" axis is allocation-level, not system-level, and is ignored
+/// here (read it with point.var("procs")).
+[[nodiscard]] model::System apply_axes(const model::System& base,
+                                       const Point& pt);
+
+/// Builds the paper's standard System for a grid point: the point's
+/// platform/scenario (fall back to `default_platform` / `default_scenario`
+/// when the grid lacks that dimension), alpha/downtime axes or their
+/// defaults, then the lambda axis if present.
+struct SystemSpec {
+  model::Platform platform;
+  model::Scenario scenario = model::Scenario::kS1;
+  double alpha = 0.1;
+  double downtime = 3600.0;
+};
+[[nodiscard]] model::System system_for_point(const SystemSpec& spec,
+                                             const Point& pt);
+
+/// What evaluate_point computes.
+struct EvalSpec {
+  bool first_order = false;          ///< Theorems 2/3 closed form
+  bool numerical = false;            ///< exact optimum (joint or fixed-P)
+  bool simulate_numerical = false;   ///< replicated sim at the exact optimum
+  bool simulate_first_order = false; ///< replicated sim at the FO pattern
+  bool baseline_silent_blind = false;///< fail-stop-only planner period
+  core::AllocationSearchOptions search{};
+  sim::ReplicationOptions replication{};
+};
+
+/// Everything the standard evaluator produced at one point. Optional
+/// members are set according to the EvalSpec flags (and first_order's
+/// has_optimum gate for the FO simulation).
+struct PointEval {
+  std::optional<core::FirstOrderSolution> first_order;
+  /// Joint (T, P) optimum when no "procs" axis fixes the allocation.
+  std::optional<core::AllocationOptimum> allocation;
+  /// Fixed-P results when the allocation is fixed.
+  std::optional<double> fixed_procs;
+  std::optional<double> fo_period;  ///< Theorem 1 period at fixed_procs
+  std::optional<core::PeriodOptimum> period;
+  std::optional<double> silent_blind_period;
+  std::optional<sim::ReplicationResult> sim_numerical;
+  std::optional<sim::ReplicationResult> sim_first_order;
+
+  /// The FO pattern that was (or would be) simulated: Theorem 1 period at
+  /// fixed procs, else the Theorem 2/3 pattern with P rounded to >= 1.
+  [[nodiscard]] core::Pattern first_order_pattern() const;
+  /// The numerically optimal pattern.
+  [[nodiscard]] core::Pattern numerical_pattern() const;
+};
+
+/// Runs the selected computations for `sys`. `fixed_procs` switches the
+/// numerical stage from optimal_allocation to optimal_period. `sim_pool`
+/// parallelises *within* one simulation call — leave it null inside grid
+/// runs (the engine already fans points out) and pass a pool for
+/// single-point evaluations like `ayd simulate`.
+[[nodiscard]] PointEval evaluate_point(
+    const model::System& sys, const EvalSpec& spec,
+    std::optional<double> fixed_procs = std::nullopt,
+    exec::ThreadPool* sim_pool = nullptr);
+
+}  // namespace ayd::engine

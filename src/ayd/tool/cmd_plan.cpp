@@ -13,7 +13,7 @@
 #include "ayd/core/first_order.hpp"
 #include "ayd/core/optimizer.hpp"
 #include "ayd/core/overhead.hpp"
-#include "ayd/io/table.hpp"
+#include "ayd/engine/engine.hpp"
 #include "ayd/model/application.hpp"
 #include "ayd/util/strings.hpp"
 
@@ -68,24 +68,38 @@ int cmd_plan(const std::vector<std::string>& args, std::ostream& out) {
       << " (one every " << util::format_duration(opt.period) << ")\n\n";
 
   // Alternatives: how sensitive is the makespan to the allocation?
-  io::Table table({"allocation", "P", "T* (s)", "H", "exp. makespan",
-                   "vs optimal"});
-  table.set_align(0, io::Align::kLeft);
-  for (const double factor : {0.25, 0.5, 1.0, 2.0, 4.0}) {
-    const double procs = std::max(1.0, std::round(opt.procs * factor));
-    const core::PeriodOptimum period = core::optimal_period(sys, procs);
-    const core::Pattern pattern{period.period, procs};
-    const double m = core::expected_makespan(sys, pattern, app);
-    table.add_row({factor == 1.0 ? "P* (optimal)"
-                                 : util::format_sig(factor, 3) + " x P*",
-                   util::format_sig(procs, 6),
-                   util::format_sig(period.period, 4),
-                   util::format_sig(period.overhead, 4),
-                   util::format_duration(m),
-                   (m >= makespan ? "+" : "") +
-                       util::format_sig(100.0 * (m / makespan - 1.0), 3) +
-                       "%"});
-  }
+  engine::GridSpec alternatives;
+  alternatives.axis(
+      engine::Axis::list("factor", {0.25, 0.5, 1.0, 2.0, 4.0}));
+  engine::EvalSpec spec;
+  spec.numerical = true;
+  const auto records =
+      engine::run_grid(alternatives, nullptr, [&](const engine::Point& pt) {
+        const double factor = pt.var("factor");
+        const double procs = std::max(1.0, std::round(opt.procs * factor));
+        const engine::PointEval ev = engine::evaluate_point(sys, spec, procs);
+        const double m = core::expected_makespan(
+            sys, {ev.period->period, procs}, app);
+        engine::Record r;
+        r.set("allocation", factor == 1.0
+                                ? std::string("P* (optimal)")
+                                : util::format_sig(factor, 3) + " x P*");
+        r.set("P", procs);
+        r.set("T* (s)", ev.period->period);
+        r.set("H", ev.period->overhead);
+        r.set("exp. makespan", util::format_duration(m));
+        r.set("vs optimal",
+              (m >= makespan ? "+" : "") +
+                  util::format_sig(100.0 * (m / makespan - 1.0), 3) + "%");
+        return r;
+      });
+  engine::TableSink table({{"allocation", "", 4, "", io::Align::kLeft},
+                           {"P", "", 6},
+                           {"T* (s)", "", 4},
+                           {"H", "", 4},
+                           {"exp. makespan"},
+                           {"vs optimal"}});
+  engine::emit(records, {&table});
   out << table.to_string();
   out << "\nEnrolling more processors than P* makes the job *slower*: "
          "failures and resilience costs outgrow the speedup (the paper's "

@@ -1,18 +1,17 @@
 // `ayd simulate` — replicated Monte-Carlo simulation of a checkpointing
 // pattern, reported against the exact analytical prediction. Follows the
 // paper's Section IV protocol (independent replicas of many patterns;
-// overhead = faulty time / fault-free time).
+// overhead = faulty time / fault-free time). A single-point experiment:
+// defaults come from the engine evaluator, the report goes through a
+// TableSink.
 
 #include "ayd/tool/commands.hpp"
 
 #include <cmath>
-#include <memory>
 #include <ostream>
 
-#include "ayd/core/first_order.hpp"
-#include "ayd/core/optimizer.hpp"
+#include "ayd/engine/engine.hpp"
 #include "ayd/exec/thread_pool.hpp"
-#include "ayd/io/table.hpp"
 #include "ayd/util/strings.hpp"
 
 namespace ayd::tool {
@@ -37,18 +36,24 @@ int cmd_simulate(const std::vector<std::string>& args, std::ostream& out) {
   const model::System sys = system_from_args(parser);
   print_system(sys, out);
 
+  exec::ThreadPool pool(
+      static_cast<unsigned>(parser.option_uint("threads")));
+
+  // Fill unspecified pattern parameters from the engine's evaluator.
+  engine::EvalSpec defaults;
+  defaults.numerical = true;
   double procs = 0.0;
   double period = 0.0;
   if (parser.option("procs").empty()) {
-    const core::AllocationOptimum opt = core::optimal_allocation(sys);
-    procs = opt.procs;
-    period = opt.period;
+    const engine::PointEval ev = engine::evaluate_point(sys, defaults);
+    procs = ev.allocation->procs;
+    period = ev.allocation->period;
     out << "(no --procs given: using the numerical optimum)\n";
   } else {
     procs = parser.option_double("procs");
-    period = parser.option("period").empty()
-                 ? core::optimal_period(sys, procs).period
-                 : parser.option_double("period");
+    if (parser.option("period").empty()) {
+      period = engine::evaluate_point(sys, defaults, procs).period->period;
+    }
   }
   if (!parser.option("period").empty()) {
     period = parser.option_double("period");
@@ -56,8 +61,6 @@ int cmd_simulate(const std::vector<std::string>& args, std::ostream& out) {
 
   const core::Pattern pattern{period, procs};
   const sim::ReplicationOptions opt = replication_from_args(parser);
-  exec::ThreadPool pool(
-      static_cast<unsigned>(parser.option_uint("threads")));
   const sim::ReplicationResult r =
       sim::simulate_overhead(sys, pattern, opt, &pool);
 
@@ -68,24 +71,36 @@ int cmd_simulate(const std::vector<std::string>& args, std::ostream& out) {
       << (opt.backend == sim::Backend::kDes ? "DES engine" : "fast sampler")
       << ")\n\n";
 
-  io::Table table({"Quantity", "simulated", "analytic"});
-  table.set_align(0, io::Align::kLeft);
-  table.add_row({"execution overhead H",
-                 util::format_sig(r.overhead.mean, 5) + " ±" +
-                     util::format_sig(r.overhead.ci.half_width(), 2),
-                 util::format_sig(r.analytic_overhead, 5)});
-  table.add_row({"pattern time E (s)",
-                 util::format_sig(r.pattern_time.mean, 6) + " ±" +
-                     util::format_sig(r.pattern_time.ci.half_width(), 2),
-                 util::format_sig(r.analytic_pattern_time, 6)});
-  table.add_row({"fail-stop errors / pattern",
-                 util::format_sig(r.fail_stops_per_pattern, 4), "-"});
-  table.add_row({"silent detections / pattern",
-                 util::format_sig(r.silent_detections_per_pattern, 4), "-"});
-  table.add_row({"masked silent / pattern",
-                 util::format_sig(r.masked_silent_per_pattern, 4), "-"});
-  table.add_row({"attempts / pattern",
-                 util::format_sig(r.attempts_per_pattern, 4), "-"});
+  const auto quantity = [](const char* name, const std::string& simulated,
+                           const std::string& analytic) {
+    engine::Record rec;
+    rec.set("Quantity", name);
+    rec.set("simulated", simulated);
+    rec.set("analytic", analytic);
+    return rec;
+  };
+  const std::vector<engine::Record> rows{
+      quantity("execution overhead H",
+               util::format_sig(r.overhead.mean, 5) + " ±" +
+                   util::format_sig(r.overhead.ci.half_width(), 2),
+               util::format_sig(r.analytic_overhead, 5)),
+      quantity("pattern time E (s)",
+               util::format_sig(r.pattern_time.mean, 6) + " ±" +
+                   util::format_sig(r.pattern_time.ci.half_width(), 2),
+               util::format_sig(r.analytic_pattern_time, 6)),
+      quantity("fail-stop errors / pattern",
+               util::format_sig(r.fail_stops_per_pattern, 4), "-"),
+      quantity("silent detections / pattern",
+               util::format_sig(r.silent_detections_per_pattern, 4), "-"),
+      quantity("masked silent / pattern",
+               util::format_sig(r.masked_silent_per_pattern, 4), "-"),
+      quantity("attempts / pattern",
+               util::format_sig(r.attempts_per_pattern, 4), "-")};
+
+  engine::TableSink table({{"Quantity", "", 4, "", io::Align::kLeft},
+                           {"simulated"},
+                           {"analytic"}});
+  engine::emit(rows, {&table});
   out << table.to_string();
 
   const double z = (r.overhead.mean - r.analytic_overhead) /

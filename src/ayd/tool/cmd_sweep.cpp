@@ -1,18 +1,17 @@
 // `ayd sweep` — one-variable parameter sweeps over the optimal pattern:
 // the programmable versions of the paper's Figures 3-7. Each row gives the
 // first-order and numerical optima at one value of the swept variable;
-// --csv dumps the series for plotting.
+// --csv dumps the series for plotting. The sweep itself is an engine grid:
+// a one-axis GridSpec evaluated point-parallel and emitted through the
+// table/CSV/JSONL sinks.
 
 #include "ayd/tool/commands.hpp"
 
 #include <cmath>
 #include <ostream>
-#include <vector>
 
-#include "ayd/core/first_order.hpp"
-#include "ayd/core/optimizer.hpp"
-#include "ayd/io/csv.hpp"
-#include "ayd/io/table.hpp"
+#include "ayd/engine/engine.hpp"
+#include "ayd/exec/thread_pool.hpp"
 #include "ayd/util/error.hpp"
 #include "ayd/util/strings.hpp"
 
@@ -20,34 +19,12 @@ namespace ayd::tool {
 
 namespace {
 
-enum class Variable { kLambda, kAlpha, kProcs, kDowntime };
-
-Variable variable_from_string(const std::string& s) {
-  if (s == "lambda") return Variable::kLambda;
-  if (s == "alpha") return Variable::kAlpha;
-  if (s == "procs") return Variable::kProcs;
-  if (s == "downtime") return Variable::kDowntime;
+const char* validate_variable(const std::string& s) {
+  if (s == "lambda" || s == "alpha" || s == "procs" || s == "downtime") {
+    return s.c_str();
+  }
   throw util::CliError("unknown sweep variable: " + s +
                        " (expected lambda, alpha, procs, downtime)");
-}
-
-/// The sweep grid: logarithmic for scale-free variables (lambda, alpha,
-/// procs), linear for downtime, honouring an explicit --log/--linear.
-std::vector<double> make_grid(double from, double to, int points,
-                              bool log_spacing) {
-  AYD_REQUIRE(points >= 2, "a sweep needs at least two points");
-  AYD_REQUIRE(to > from, "sweep range must satisfy --to > --from");
-  if (log_spacing) {
-    AYD_REQUIRE(from > 0.0, "log-spaced sweeps need --from > 0");
-  }
-  std::vector<double> grid(static_cast<std::size_t>(points));
-  for (int i = 0; i < points; ++i) {
-    const double t = static_cast<double>(i) / (points - 1);
-    grid[static_cast<std::size_t>(i)] =
-        log_spacing ? from * std::pow(to / from, t)
-                    : from + (to - from) * t;
-  }
-  return grid;
 }
 
 }  // namespace
@@ -67,85 +44,97 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
                             "for lambda/alpha/procs, linear for downtime)");
   parser.add_option("max-procs", "1e7",
                     "upper edge of the numerical allocation search");
+  parser.add_option("threads", "0",
+                    "worker threads (0 = hardware concurrency)");
   parser.add_option("csv", "", "also write the series to this CSV file");
+  parser.add_option("jsonl", "",
+                    "also write the series to this JSON-lines file");
   if (parse_or_help(parser, args, out)) return 0;
 
   const model::System base = system_from_args(parser);
-  const Variable var = variable_from_string(parser.option("var"));
-  const bool log_spacing =
-      !parser.flag("linear") && var != Variable::kDowntime;
-  const std::vector<double> grid =
-      make_grid(parser.option_double("from"), parser.option_double("to"),
-                static_cast<int>(parser.option_int("points")), log_spacing);
-  core::AllocationSearchOptions search;
-  search.max_procs = parser.option_double("max-procs");
+  const std::string var = validate_variable(parser.option("var"));
+  const bool log_spacing = !parser.flag("linear") && var != "downtime";
+  const bool fixed_procs = var == "procs";
+
+  engine::GridSpec grid;
+  grid.axis(engine::Axis::spaced(
+      var, parser.option_double("from"), parser.option_double("to"),
+      static_cast<int>(parser.option_int("points")), log_spacing));
+
+  engine::EvalSpec spec;
+  spec.first_order = true;
+  spec.numerical = true;
+  spec.search.max_procs = parser.option_double("max-procs");
 
   print_system(base, out);
-  out << "sweeping " << parser.option("var") << " over ["
-      << util::format_sig(grid.front(), 4) << ", "
-      << util::format_sig(grid.back(), 4) << "], " << grid.size()
+  const auto pts = grid.points();
+  out << "sweeping " << var << " over ["
+      << util::format_sig(pts.front().var(var), 4) << ", "
+      << util::format_sig(pts.back().var(var), 4) << "], " << pts.size()
       << " points\n\n";
 
-  io::Table table({parser.option("var"), "P* (FO)", "T* (FO)", "H (FO)",
-                   "P* (opt)", "T* (opt)", "H (opt)"});
-  std::vector<std::vector<std::string>> csv_rows;
+  exec::ThreadPool pool(static_cast<unsigned>(parser.option_uint("threads")));
+  const auto records =
+      engine::run_points(pts, &pool, [&](const engine::Point& pt) {
+        const model::System sys = engine::apply_axes(base, pt);
+        engine::Record r;
+        r.set("x", pt.var(var));
+        if (fixed_procs) {
+          // procs sweep: Theorem 1 vs exact period optimum at fixed P.
+          const double p = pt.var(var);
+          const engine::PointEval ev = engine::evaluate_point(sys, spec, p);
+          r.set("opt_procs", p);
+          if (std::isfinite(*ev.fo_period)) {
+            r.set("fo_procs", p);
+            r.set("fo_period", *ev.fo_period);
+            r.set("fo_overhead",
+                  core::optimal_overhead_fixed_procs(sys, p));
+          } else {
+            r.set("fo_procs", p);
+          }
+          r.set("opt_period", ev.period->period);
+          r.set("opt_overhead", ev.period->overhead);
+        } else {
+          const engine::PointEval ev = engine::evaluate_point(sys, spec);
+          if (ev.first_order->has_optimum) {
+            r.set("fo_procs", ev.first_order->procs);
+            r.set("fo_period", ev.first_order->period);
+            r.set("fo_overhead", ev.first_order->overhead);
+          }
+          r.set("opt_procs", ev.allocation->procs);
+          r.set("opt_period", ev.allocation->period);
+          r.set("opt_overhead", ev.allocation->overhead);
+        }
+        return r;
+      });
 
-  for (const double x : grid) {
-    model::System sys = base;
-    double fixed_procs = 0.0;
-    switch (var) {
-      case Variable::kLambda: sys = base.with_lambda(x); break;
-      case Variable::kAlpha:
-        sys = base.with_speedup(model::Speedup::amdahl(x));
-        break;
-      case Variable::kProcs: fixed_procs = x; break;
-      case Variable::kDowntime: sys = base.with_downtime(x); break;
-    }
-
-    std::vector<std::string> row;
-    row.push_back(util::format_sig(x, 4));
-    if (fixed_procs > 0.0) {
-      // procs sweep: Theorem 1 vs exact period optimum at fixed P.
-      const double t_fo = core::optimal_period_first_order(sys, fixed_procs);
-      const core::PeriodOptimum num = core::optimal_period(sys, fixed_procs);
-      row.push_back(util::format_sig(fixed_procs, 4));
-      row.push_back(std::isfinite(t_fo) ? util::format_sig(t_fo, 4) : "-");
-      row.push_back(std::isfinite(t_fo)
-                        ? util::format_sig(core::optimal_overhead_fixed_procs(
-                                               sys, fixed_procs), 4)
-                        : "-");
-      row.push_back(util::format_sig(fixed_procs, 4));
-      row.push_back(util::format_sig(num.period, 4));
-      row.push_back(util::format_sig(num.overhead, 4));
-    } else {
-      const core::FirstOrderSolution fo = core::solve_first_order(sys);
-      const core::AllocationOptimum num =
-          core::optimal_allocation(sys, search);
-      if (fo.has_optimum) {
-        row.push_back(util::format_sig(fo.procs, 4));
-        row.push_back(util::format_sig(fo.period, 4));
-        row.push_back(util::format_sig(fo.overhead, 4));
-      } else {
-        row.insert(row.end(), {"-", "-", "-"});
-      }
-      row.push_back(util::format_sig(num.procs, 4));
-      row.push_back(util::format_sig(num.period, 4));
-      row.push_back(util::format_sig(num.overhead, 4));
-    }
-    table.add_row(row);
-    csv_rows.push_back(row);
-  }
+  engine::TableSink table({{var, "x", 4},
+                           {"P* (FO)", "fo_procs", 4},
+                           {"T* (FO)", "fo_period", 4},
+                           {"H (FO)", "fo_overhead", 4},
+                           {"P* (opt)", "opt_procs", 4},
+                           {"T* (opt)", "opt_period", 4},
+                           {"H (opt)", "opt_overhead", 4}});
+  engine::CsvSink csv(parser.option("csv"),
+                      {{var, "x", 4},
+                       {"procs_fo", "fo_procs", 4},
+                       {"period_fo", "fo_period", 4},
+                       {"overhead_fo", "fo_overhead", 4},
+                       {"procs_opt", "opt_procs", 4},
+                       {"period_opt", "opt_period", 4},
+                       {"overhead_opt", "opt_overhead", 4}},
+                      &out);
+  engine::JsonlSink jsonl(parser.option("jsonl"),
+                          {{var, "x"},
+                           {"procs_fo", "fo_procs"},
+                           {"period_fo", "fo_period"},
+                           {"overhead_fo", "fo_overhead"},
+                           {"procs_opt", "opt_procs"},
+                           {"period_opt", "opt_period"},
+                           {"overhead_opt", "opt_overhead"}});
+  engine::emit(records, {&table});
   out << table.to_string();
-
-  const std::string csv_path = parser.option("csv");
-  if (!csv_path.empty()) {
-    std::vector<std::vector<std::string>> all;
-    all.push_back({parser.option("var"), "procs_fo", "period_fo",
-                   "overhead_fo", "procs_opt", "period_opt", "overhead_opt"});
-    all.insert(all.end(), csv_rows.begin(), csv_rows.end());
-    io::write_csv_file(csv_path, all);
-    out << "(series written to " << csv_path << ")\n";
-  }
+  engine::emit(records, {&csv, &jsonl});
   return 0;
 }
 

@@ -73,6 +73,32 @@ TEST(ParallelFor, FirstExceptionRethrown) {
                std::runtime_error);
 }
 
+TEST(ParallelFor, RethrownExceptionCarriesTaskMessage) {
+  ThreadPool pool(4);
+  try {
+    parallel_for(pool, 64, [](std::size_t i) {
+      if (i == 17) throw std::runtime_error("task 17 failed");
+    });
+    FAIL() << "parallel_for swallowed the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 17 failed");
+  }
+}
+
+TEST(ParallelFor, PoolRemainsUsableAfterTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 8,
+                            [](std::size_t) {
+                              throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // The engine relies on this: one failed grid evaluation must not wedge
+  // the pool for the next run.
+  std::atomic<int> done{0};
+  parallel_for(pool, 100, [&](std::size_t) { ++done; });
+  EXPECT_EQ(done.load(), 100);
+}
+
 TEST(ParallelMap, ResultsInIndexOrder) {
   ThreadPool pool(4);
   const auto out =

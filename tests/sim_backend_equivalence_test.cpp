@@ -1,0 +1,96 @@
+// Backend equivalence: the fast closed-form sampler and the event-queue
+// reference simulator sample the same stochastic process, so their
+// replicated overhead estimates must agree within the normal-theory CI
+// half-widths. Exercised on scenarios with different cost structures and
+// on a silent-dominated platform (Atlas), where a divergence in the
+// silent-error handling would show up first.
+
+#include "ayd/sim/runner.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "ayd/core/first_order.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+
+namespace ayd::sim {
+namespace {
+
+ReplicationOptions options(Backend backend) {
+  ReplicationOptions opt;
+  opt.replicas = 60;
+  opt.patterns_per_replica = 80;
+  opt.seed = 0xA4D2016ULL;
+  opt.backend = backend;
+  return opt;
+}
+
+void expect_backends_agree(const model::Platform& platform,
+                           model::Scenario scenario) {
+  const model::System sys = model::System::from_platform(platform, scenario);
+  const double procs = platform.measured_procs;
+  const core::Pattern pattern{
+      core::optimal_period_first_order(sys, procs), procs};
+
+  const ReplicationResult fast =
+      simulate_overhead(sys, pattern, options(Backend::kFast));
+  const ReplicationResult des =
+      simulate_overhead(sys, pattern, options(Backend::kDes));
+
+  // The two estimates are independent draws of the same mean; their
+  // difference should be within the combined 95% half-widths (a ~3-sigma
+  // criterion, loose enough to be deterministic at this fixed seed).
+  const double tolerance =
+      fast.overhead.ci.half_width() + des.overhead.ci.half_width();
+  EXPECT_NEAR(fast.overhead.mean, des.overhead.mean, tolerance)
+      << platform.name << " scenario "
+      << model::scenario_name(scenario);
+
+  // Both must also sit near the analytic prediction.
+  EXPECT_NEAR(fast.overhead.mean, fast.analytic_overhead,
+              4.0 * fast.overhead.stderr_mean + 1e-3);
+  EXPECT_NEAR(des.overhead.mean, des.analytic_overhead,
+              4.0 * des.overhead.stderr_mean + 1e-3);
+}
+
+TEST(BackendEquivalence, HeraScenario1LinearCheckpointCost) {
+  expect_backends_agree(model::hera(), model::Scenario::kS1);
+}
+
+TEST(BackendEquivalence, HeraScenario3ConstantCost) {
+  expect_backends_agree(model::hera(), model::Scenario::kS3);
+}
+
+TEST(BackendEquivalence, AtlasScenario5SilentDominatedInMemory) {
+  expect_backends_agree(model::atlas(), model::Scenario::kS5);
+}
+
+TEST(BackendEquivalence, TelemetryRatesMatchAcrossBackends) {
+  const model::System sys =
+      model::System::from_platform(model::hera(), model::Scenario::kS1);
+  const double procs = model::hera().measured_procs;
+  const core::Pattern pattern{
+      core::optimal_period_first_order(sys, procs), procs};
+
+  const ReplicationResult fast =
+      simulate_overhead(sys, pattern, options(Backend::kFast));
+  const ReplicationResult des =
+      simulate_overhead(sys, pattern, options(Backend::kDes));
+
+  EXPECT_EQ(fast.total_patterns, des.total_patterns);
+  // Error processes are parameter-identical; per-pattern rates must agree
+  // to within a loose sampling tolerance.
+  EXPECT_NEAR(fast.fail_stops_per_pattern, des.fail_stops_per_pattern,
+              0.25 * (fast.fail_stops_per_pattern +
+                      des.fail_stops_per_pattern) +
+                  0.01);
+  EXPECT_NEAR(fast.silent_detections_per_pattern,
+              des.silent_detections_per_pattern,
+              0.25 * (fast.silent_detections_per_pattern +
+                      des.silent_detections_per_pattern) +
+                  0.01);
+}
+
+}  // namespace
+}  // namespace ayd::sim
