@@ -1,0 +1,118 @@
+// Figure 8 (beyond the paper): robustness of the first-order optimum
+// when failures are not Poisson.
+//
+// The paper's Theorems 1-3 (and Young/Daly before them) assume
+// exponential inter-arrivals, but field studies of HPC failure logs fit
+// Weibull shapes k < 1 (bursty, infant-mortality-dominated). This
+// experiment plans the pattern with the exponential-assumption planner —
+// first-order (Theorem 1) and the exact numerical optimum at the
+// platform's measured allocation — then executes both under Weibull
+// failures of the same MTBF, sweeping the shape k. The gap between the
+// two simulated overheads, and between each and the exponential
+// prediction, is the price of the Poisson assumption: near k = 1 both
+// collapse onto the paper's Figure 2 numbers; for bursty k << 1 the
+// overhead grows well past the prediction while the FO pattern stays
+// close to the re-optimised one.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+#include "ayd/engine/engine.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ayd;
+  return bench::run_experiment_main(
+      argc, argv,
+      "Figure 8 — exponential-assumption optima under Weibull failures",
+      "simulated overhead of the FO and numerically optimal patterns vs "
+      "Weibull shape k (k = 1 is the paper's exponential model)",
+      [](cli::ArgParser& p) {
+        p.add_option("platform", "hera", "platform preset to stress");
+        p.add_option("scenario", "3", "Table III resilience scenario");
+        p.add_option("alpha", "0.1", "sequential fraction");
+      },
+      [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
+        const model::Platform platform =
+            model::platform_by_name(args.option("platform"));
+        const model::Scenario scenario =
+            model::scenario_from_string(args.option("scenario"));
+        const double alpha = args.option_double("alpha");
+        const double procs = platform.measured_procs;
+        auto pool = ctx.make_pool();
+
+        engine::GridSpec grid;
+        grid.axis(engine::Axis::list(
+            "weibull_k", {0.5, 0.7, 0.85, 1.0, 1.25, 1.5, 2.0}));
+
+        engine::EvalSpec spec;
+        spec.first_order = true;
+        spec.numerical = true;
+        spec.simulate_numerical = true;
+        spec.simulate_first_order = true;
+        spec.replication = ctx.replication();
+        const engine::SystemSpec base{platform, scenario, alpha};
+
+        const auto records =
+            engine::run_grid(grid, pool.get(), [&](const engine::Point& pt) {
+              // system_for_point applies the weibull_k axis; the planner
+              // stages inside evaluate_point stay exponential-based, so
+              // the simulated pattern is exactly the one the paper's
+              // analysis would deploy.
+              const model::System sys = engine::system_for_point(base, pt);
+              const engine::PointEval ev =
+                  engine::evaluate_point(sys, spec, procs);
+              engine::Record r;
+              r.set("weibull_k", pt.var("weibull_k"));
+              r.set("fo_period", *ev.fo_period);
+              r.set("opt_period", ev.period->period);
+              r.set("pred_overhead", ev.period->overhead);
+              r.set("fo_sim_cell",
+                    engine::mean_ci_cell(ev.sim_first_order->overhead));
+              r.set("fo_sim_overhead", ev.sim_first_order->overhead.mean);
+              r.set("opt_sim_cell",
+                    engine::mean_ci_cell(ev.sim_numerical->overhead));
+              r.set("opt_sim_overhead", ev.sim_numerical->overhead.mean);
+              r.set("drift",
+                    ev.sim_numerical->overhead.mean /
+                            ev.sim_numerical->analytic_overhead -
+                        1.0);
+              return r;
+            });
+
+        std::printf("platform %s, scenario %s, alpha=%s, P=%s (measured)\n\n",
+                    platform.name.c_str(),
+                    model::scenario_name(scenario).c_str(),
+                    util::format_sig(alpha).c_str(),
+                    util::format_sig(procs).c_str());
+        engine::TableSink table({{"k", "weibull_k", 3},
+                                 {"T* (FO)", "fo_period", 4},
+                                 {"T* (opt)", "opt_period", 4},
+                                 {"H pred (exp)", "pred_overhead", 4},
+                                 {"H sim (FO)", "fo_sim_cell"},
+                                 {"H sim (opt)", "opt_sim_cell"},
+                                 {"drift", "drift", 3}});
+        engine::emit(records, {&table});
+        std::printf("%s\n", table.to_string().c_str());
+        std::printf(
+            "Expected shape: at k = 1 the simulated overheads match the "
+            "exponential prediction (drift ~ 0); for bursty k < 1 the "
+            "drift is positive and grows as k falls, while FO and "
+            "re-optimised patterns stay close to each other.\n");
+
+        const std::vector<engine::ColumnSpec> series{
+            {"weibull_k", "", 4},
+            {"fo_period", "", 6},
+            {"opt_period", "", 6},
+            {"pred_overhead", "", 6},
+            {"fo_sim_overhead", "", 6},
+            {"opt_sim_overhead", "", 6},
+            {"drift", "", 6}};
+        engine::CsvSink csv(ctx.csv_path, series);
+        engine::JsonlSink jsonl(ctx.jsonl_path, series);
+        engine::emit(records, {&csv, &jsonl});
+      });
+}

@@ -16,6 +16,10 @@ model::System apply_axes(const model::System& base, const Point& pt) {
       sys = sys.with_speedup(model::Speedup::amdahl(value));
     } else if (name == "downtime") {
       sys = sys.with_downtime(value);
+    } else if (name == "weibull_k") {
+      sys = sys.with_failure_dist(model::FailureDistSpec::weibull(value));
+    } else if (name == "lognormal_sigma") {
+      sys = sys.with_failure_dist(model::FailureDistSpec::lognormal(value));
     }
     // Other axes ("procs", bench-specific knobs) are not system fields.
   }
@@ -34,6 +38,15 @@ model::System system_for_point(const SystemSpec& spec, const Point& pt) {
   model::System sys =
       model::System::from_platform(platform, scenario, alpha, downtime);
   if (pt.has_var("lambda")) sys = sys.with_lambda(pt.var("lambda"));
+  if (pt.has_var("weibull_k")) {
+    sys = sys.with_failure_dist(
+        model::FailureDistSpec::weibull(pt.var("weibull_k")));
+  } else if (pt.has_var("lognormal_sigma")) {
+    sys = sys.with_failure_dist(
+        model::FailureDistSpec::lognormal(pt.var("lognormal_sigma")));
+  } else {
+    sys = sys.with_failure_dist(spec.failure_dist);
+  }
   return sys;
 }
 

@@ -5,7 +5,13 @@
 // individual error rate, "alpha" the Amdahl sequential fraction,
 // "downtime" the downtime, and "procs" fixes the processor allocation
 // (switching the evaluator from the joint (T, P) optimum to the fixed-P
-// period optimum, exactly like the paper's Figure 3).
+// period optimum, exactly like the paper's Figure 3). The failure
+// distribution is an axis too: "weibull_k" / "lognormal_sigma" replace
+// the inter-arrival shape, so grids can sweep shape parameters the same
+// way they sweep rates. The closed-form/numerical-optimum stages always
+// assume exponential arrivals (the paper's planner); the simulation
+// stages draw from the configured distribution, which is exactly what
+// makes the robustness experiments (bench/fig8_weibull_sweep) work.
 //
 // Evaluations are pure per point: simulation replica i always draws from
 // RNG substream (seed, i), so results are bit-identical whether points run
@@ -25,9 +31,10 @@
 namespace ayd::engine {
 
 /// Applies a point's named axes to `base`: "lambda" -> with_lambda,
-/// "alpha" -> with_speedup(Amdahl), "downtime" -> with_downtime. The
-/// "procs" axis is allocation-level, not system-level, and is ignored
-/// here (read it with point.var("procs")).
+/// "alpha" -> with_speedup(Amdahl), "downtime" -> with_downtime,
+/// "weibull_k" / "lognormal_sigma" -> with_failure_dist. The "procs"
+/// axis is allocation-level, not system-level, and is ignored here (read
+/// it with point.var("procs")).
 [[nodiscard]] model::System apply_axes(const model::System& base,
                                        const Point& pt);
 
@@ -40,6 +47,9 @@ struct SystemSpec {
   model::Scenario scenario = model::Scenario::kS1;
   double alpha = 0.1;
   double downtime = 3600.0;
+  /// Failure inter-arrival shape (exponential unless a "weibull_k" /
+  /// "lognormal_sigma" axis overrides it at the point).
+  model::FailureDistSpec failure_dist{};
 };
 [[nodiscard]] model::System system_for_point(const SystemSpec& spec,
                                              const Point& pt);

@@ -2,13 +2,20 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "ayd/util/contracts.hpp"
 
 namespace ayd::model {
 
 FailureModel::FailureModel(double lambda_ind, double fail_stop_fraction)
-    : lambda_ind_(lambda_ind), f_(fail_stop_fraction) {
+    : FailureModel(lambda_ind, fail_stop_fraction, FailureDistSpec{}) {}
+
+FailureModel::FailureModel(double lambda_ind, double fail_stop_fraction,
+                           FailureDistSpec dist)
+    : lambda_ind_(lambda_ind),
+      f_(fail_stop_fraction),
+      dist_(std::move(dist)) {
   AYD_REQUIRE(std::isfinite(lambda_ind_) && lambda_ind_ >= 0.0,
               "individual error rate must be finite and >= 0");
   AYD_REQUIRE(f_ >= 0.0 && f_ <= 1.0,

@@ -1,19 +1,34 @@
-// Failure model: fail-stop and silent errors as independent Poisson
+// Failure model: fail-stop and silent errors as independent arrival
 // processes.
 //
 // Each individual processor has error rate λ_ind (MTBF μ_ind = 1/λ_ind)
 // counting both error types; a fraction f of errors are fail-stop and
 // s = 1 - f are silent. On P processors the platform rates are
 // λ^f_P = f·λ_ind·P and λ^s_P = s·λ_ind·P (He rault & Robert, Prop. 1.2).
+//
+// The *shape* of the inter-arrival law around those rates is a pluggable
+// FailureDistSpec (exponential by default, which is the Poisson process
+// the paper analyses; Weibull / lognormal / trace replay open the
+// robustness scenarios the paper could not run). The rate projections
+// below are shape-independent: every distribution is instantiated with
+// mean inter-arrival 1/rate.
 
 #pragma once
+
+#include <utility>
+
+#include "ayd/model/failure_dist.hpp"
 
 namespace ayd::model {
 
 class FailureModel {
  public:
-  /// λ_ind >= 0 (per second), f in [0, 1].
+  /// λ_ind >= 0 (per second), f in [0, 1]; exponential inter-arrivals.
   FailureModel(double lambda_ind, double fail_stop_fraction);
+
+  /// Same rates with an explicit inter-arrival distribution shape.
+  FailureModel(double lambda_ind, double fail_stop_fraction,
+               FailureDistSpec dist);
 
   /// Convenience: from an individual MTBF in seconds.
   [[nodiscard]] static FailureModel from_mtbf(double mtbf_seconds,
@@ -45,13 +60,23 @@ class FailureModel {
   }
 
   /// Copy with a different λ_ind (used by the λ-sweep experiments).
+  /// Preserves the inter-arrival distribution shape.
   [[nodiscard]] FailureModel with_lambda(double lambda_ind) const {
-    return {lambda_ind, f_};
+    return {lambda_ind, f_, dist_};
+  }
+
+  /// The inter-arrival distribution shape (exponential by default).
+  [[nodiscard]] const FailureDistSpec& dist() const { return dist_; }
+
+  /// Copy with a different inter-arrival shape (same rates).
+  [[nodiscard]] FailureModel with_dist(FailureDistSpec dist) const {
+    return {lambda_ind_, f_, std::move(dist)};
   }
 
  private:
   double lambda_ind_;
   double f_;
+  FailureDistSpec dist_;
 };
 
 }  // namespace ayd::model

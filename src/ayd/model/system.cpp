@@ -40,4 +40,9 @@ System System::with_costs(ResilienceCosts costs) const {
   return System(failure_, std::move(costs), downtime_, speedup_);
 }
 
+System System::with_failure_dist(FailureDistSpec dist) const {
+  return System(failure_.with_dist(std::move(dist)), costs_, downtime_,
+                speedup_);
+}
+
 }  // namespace ayd::model

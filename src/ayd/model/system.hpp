@@ -68,6 +68,8 @@ class System {
   [[nodiscard]] System with_downtime(double downtime) const;
   [[nodiscard]] System with_speedup(Speedup speedup) const;
   [[nodiscard]] System with_costs(ResilienceCosts costs) const;
+  /// Same rates, different failure inter-arrival distribution shape.
+  [[nodiscard]] System with_failure_dist(FailureDistSpec dist) const;
 
  private:
   FailureModel failure_;

@@ -34,7 +34,10 @@ DesProtocolSimulator::DesProtocolSimulator(const model::System& sys,
       v_(sys.verification_cost(pattern.procs)),
       c_(sys.checkpoint_cost(pattern.procs)),
       r_(sys.recovery_cost(pattern.procs)),
-      d_(sys.downtime()) {
+      d_(sys.downtime()),
+      fail_dist_(sys.failure().dist().instantiate(lf_)),
+      silent_dist_(sys.failure().dist().instantiate(ls_)),
+      renewal_(!fail_dist_->memoryless()) {
   core::validate(pattern);
 }
 
@@ -56,7 +59,7 @@ PatternStats DesProtocolSimulator::simulate_pattern(rng::RngStream& rng,
 
   const auto schedule_fail_stop = [&] {
     if (lf_ > 0.0) {
-      fail_stop_id = queue.push(clock + rng.next_exponential(lf_),
+      fail_stop_id = queue.push(clock + fail_dist_->sample(rng),
                                 EventType::kFailStop);
     }
   };
@@ -74,7 +77,7 @@ PatternStats DesProtocolSimulator::simulate_pattern(rng::RngStream& rng,
     begin_phase(Phase::kWork, t_);
     if (ls_ > 0.0) {
       silent_id =
-          queue.push(clock + rng.next_exponential(ls_), EventType::kSilent);
+          queue.push(clock + silent_dist_->sample(rng), EventType::kSilent);
     }
   };
   const auto cancel_if_pending = [&](std::uint64_t& id) {
@@ -82,6 +85,15 @@ PatternStats DesProtocolSimulator::simulate_pattern(rng::RngStream& rng,
       queue.cancel(id);
       id = kNoEvent;
     }
+  };
+  // Renewal point for non-memoryless distributions: discard the pending
+  // arrival and draw a fresh one, mirroring the fast sampler's one-draw-
+  // per-attempt / per-recovery-try structure. Memoryless arrivals keep
+  // their pending draw (the historical exponential path, bit-for-bit).
+  const auto renew_fail_stop = [&] {
+    if (!renewal_) return;
+    cancel_if_pending(fail_stop_id);
+    schedule_fail_stop();
   };
   const auto trace_segment = [&](double begin, double end, SegmentKind kind) {
     if (trace != nullptr) trace->add(begin, end, kind);
@@ -157,6 +169,7 @@ PatternStats DesProtocolSimulator::simulate_pattern(rng::RngStream& rng,
               ++stats.silent_detections;
               silent_struck = false;
               begin_phase(Phase::kRecovery, r_);
+              renew_fail_stop();  // fresh draw per recovery try
             } else {
               begin_phase(Phase::kCheckpoint, c_);
             }
@@ -168,6 +181,7 @@ PatternStats DesProtocolSimulator::simulate_pattern(rng::RngStream& rng,
           case Phase::kRecovery:
             trace_segment(phase_start, clock, SegmentKind::kRecovery);
             begin_attempt();
+            renew_fail_stop();  // fresh draw per attempt
             break;
         }
         break;
@@ -185,7 +199,9 @@ FastProtocolSimulator::FastProtocolSimulator(const model::System& sys,
       v_(sys.verification_cost(pattern.procs)),
       c_(sys.checkpoint_cost(pattern.procs)),
       r_(sys.recovery_cost(pattern.procs)),
-      d_(sys.downtime()) {
+      d_(sys.downtime()),
+      fail_dist_(sys.failure().dist().instantiate(lf_)),
+      silent_dist_(sys.failure().dist().instantiate(ls_)) {
   core::validate(pattern);
 }
 
@@ -193,14 +209,22 @@ PatternStats FastProtocolSimulator::simulate_pattern(rng::RngStream& rng) {
   PatternStats stats;
   double wall = 0.0;
 
-  const auto sample = [&](double rate) {
-    return rate > 0.0 ? rng.next_exponential(rate)
-                      : std::numeric_limits<double>::infinity();
+  // A fresh arrival per attempt / per recovery try. Exponential draws go
+  // through the historical inverse-CDF path (identical words consumed);
+  // other distributions sample by quantile inversion. Zero-rate sources
+  // skip the stream entirely, as they always did.
+  const auto sample_fail = [&] {
+    return lf_ > 0.0 ? fail_dist_->sample(rng)
+                     : std::numeric_limits<double>::infinity();
+  };
+  const auto sample_silent = [&] {
+    return ls_ > 0.0 ? silent_dist_->sample(rng)
+                     : std::numeric_limits<double>::infinity();
   };
   // Repeated recovery attempts until one completes without a fail-stop.
   const auto run_recovery = [&] {
     for (;;) {
-      const double y = sample(lf_);
+      const double y = sample_fail();
       if (y < r_) {
         if (stats.fail_stop_errors >= kMaxPatternAttempts) {
           throw_diverged(pattern_, lf_, ls_);
@@ -220,11 +244,12 @@ PatternStats FastProtocolSimulator::simulate_pattern(rng::RngStream& rng) {
       throw_diverged(pattern_, lf_, ls_);
     }
     ++stats.attempts;
-    // First fail-stop arrival within this attempt (memoryless restart at
-    // each attempt boundary makes a fresh draw equivalent).
-    const double x = sample(lf_);
+    // First fail-stop arrival within this attempt (the renewal point; for
+    // the exponential, memorylessness makes this equivalent to a
+    // persistent arrival clock).
+    const double x = sample_fail();
     // First silent arrival within the computation.
-    const double s_arrival = sample(ls_);
+    const double s_arrival = sample_silent();
     const bool silent = s_arrival < t_;
 
     if (x < t_ + v_) {

@@ -3,16 +3,25 @@
 // Semantics, exactly as the paper's Section II / Figure 1 prescribe:
 //  * The pattern executes T (compute), then V_P (verify), then C_P
 //    (checkpoint).
-//  * Fail-stop errors arrive as a Poisson process with rate λf_P and can
-//    strike during compute, verification, checkpointing and recovery.
-//    On a fail-stop: downtime D (during which nothing can fail), then a
-//    recovery R_P (itself subject to fail-stop errors), then the pattern
-//    restarts from scratch.
-//  * Silent errors arrive as an independent Poisson process with rate
-//    λs_P and strike only computation. A silent error is invisible until
-//    the verification at the end of the pattern, which triggers a recovery
-//    (no downtime) and a restart. A fail-stop error arriving after a
-//    silent error in the same attempt masks it (the rollback repairs both).
+//  * Fail-stop errors arrive with rate λf_P and can strike during
+//    compute, verification, checkpointing and recovery. On a fail-stop:
+//    downtime D (during which nothing can fail), then a recovery R_P
+//    (itself subject to fail-stop errors), then the pattern restarts
+//    from scratch.
+//  * Silent errors arrive independently with rate λs_P and strike only
+//    computation. A silent error is invisible until the verification at
+//    the end of the pattern, which triggers a recovery (no downtime) and
+//    a restart. A fail-stop error arriving after a silent error in the
+//    same attempt masks it (the rollback repairs both).
+//
+// Inter-arrival times come from the System's model::FailureDistSpec
+// (exponential by default — the paper's Poisson process — or Weibull /
+// lognormal / trace replay). Non-memoryless laws renew the arrival clock
+// at each attempt start and recovery start; for the exponential this is
+// indistinguishable from the paper's process and the historical RNG draw
+// sequence is preserved bit-for-bit. Both backends share the same
+// renewal points, so they stay distributionally equivalent for every
+// distribution (the statistical test tier checks this).
 //
 // The simulator processes each pattern as a little event-driven state
 // machine over an EventQueue: pending error arrivals and phase-end events
@@ -21,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "ayd/core/pattern.hpp"
 #include "ayd/model/system.hpp"
@@ -79,12 +89,17 @@ class DesProtocolSimulator {
   double c_;   ///< C_P
   double r_;   ///< R_P
   double d_;   ///< downtime D
+  std::unique_ptr<const model::FailureDistribution> fail_dist_;
+  std::unique_ptr<const model::FailureDistribution> silent_dist_;
+  bool renewal_;  ///< redraw pending arrivals at renewal points
 };
 
-/// Closed-form per-segment sampler: exploits exponential memorylessness to
-/// draw each attempt's fate directly instead of walking an event queue.
-/// Distributionally identical to DesProtocolSimulator (tests compare the
-/// two statistically).
+/// Closed-form per-segment sampler: draws each attempt's fate directly
+/// instead of walking an event queue (one fresh arrival per attempt and
+/// per recovery try). For the exponential this is the memorylessness
+/// shortcut; non-memoryless distributions fall back to quantile-inversion
+/// sampling with the same renewal points. Distributionally identical to
+/// DesProtocolSimulator (tests compare the two statistically).
 class FastProtocolSimulator {
  public:
   FastProtocolSimulator(const model::System& sys, const core::Pattern& pattern);
@@ -102,6 +117,8 @@ class FastProtocolSimulator {
   double c_;
   double r_;
   double d_;
+  std::unique_ptr<const model::FailureDistribution> fail_dist_;
+  std::unique_ptr<const model::FailureDistribution> silent_dist_;
 };
 
 }  // namespace ayd::sim

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
+#include "ayd/io/csv.hpp"
 #include "ayd/util/contracts.hpp"
+#include "ayd/util/error.hpp"
 #include "ayd/util/strings.hpp"
 
 namespace ayd::sim {
@@ -96,6 +101,94 @@ std::string Trace::render_timeline(std::size_t width) const {
   }
   os << "\n";
   return os.str();
+}
+
+namespace {
+
+/// Shortest decimal that round-trips the double (17 significant digits
+/// always do), so write/read of a failure log is lossless.
+std::string format_exact(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+double parse_time_field(const std::string& field, std::size_t row) {
+  const auto v = util::parse_strict_double(field);
+  if (!v.has_value() || !std::isfinite(*v) || *v < 0.0) {
+    throw util::InvalidArgument("failure log row " + std::to_string(row) +
+                                ": bad time value \"" + field + "\"");
+  }
+  return *v;
+}
+
+}  // namespace
+
+void write_failure_log_csv(const std::string& path,
+                           const std::vector<double>& gaps) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(gaps.size() + 1);
+  rows.push_back({"gap_seconds"});
+  for (const double g : gaps) rows.push_back({format_exact(g)});
+  io::write_csv_file(path, rows);
+}
+
+std::vector<double> parse_failure_log_csv(const std::string& text) {
+  const auto rows = io::parse_csv(text);
+  std::vector<double> values;
+  bool absolute_times = false;
+  bool seen_content = false;
+  std::size_t row_index = 0;
+  for (const auto& row : rows) {
+    ++row_index;
+    if (row.empty() || (row.size() == 1 && util::trim(row[0]).empty())) {
+      continue;  // blank lines anywhere are ignored
+    }
+    const std::string field = util::trim(row[0]);
+    if (!seen_content) {
+      seen_content = true;
+      const std::string header = util::to_lower(field);
+      if (header == "gap_seconds") continue;
+      if (header == "failure_time") {
+        absolute_times = true;
+        continue;
+      }
+      // No recognised header: fall through and parse as a value.
+    }
+    values.push_back(parse_time_field(field, row_index));
+  }
+  if (!absolute_times) {
+    if (values.empty()) {
+      throw util::InvalidArgument("failure log contains no gaps");
+    }
+    return values;
+  }
+  // Absolute failure times: difference into gaps.
+  if (values.size() < 2) {
+    throw util::InvalidArgument(
+        "failure log with absolute times needs at least two rows");
+  }
+  std::vector<double> gaps;
+  gaps.reserve(values.size() - 1);
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] < values[i - 1]) {
+      throw util::InvalidArgument(
+          "failure log times must be non-decreasing (row " +
+          std::to_string(i + 2) + ")");
+    }
+    gaps.push_back(values[i] - values[i - 1]);
+  }
+  return gaps;
+}
+
+std::vector<double> read_failure_log_csv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw util::IoError("cannot open failure log: " + path);
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return parse_failure_log_csv(os.str());
 }
 
 }  // namespace ayd::sim

@@ -1,6 +1,8 @@
 // Execution traces: a list of labelled time segments recorded by the DES
 // protocol simulator, with an ASCII timeline renderer used by the
-// failure_timeline example and by debugging sessions.
+// failure_timeline example and by debugging sessions. Also home of the
+// failure-log CSV format that feeds trace-replay failure distributions
+// (model::FailureDistSpec::trace_replay).
 
 #pragma once
 
@@ -49,5 +51,31 @@ class Trace {
  private:
   std::vector<Segment> segments_;
 };
+
+// -- Failure-log CSV ----------------------------------------------------
+//
+// One inter-arrival gap in seconds per row, full precision, under a
+// "gap_seconds" header:
+//     gap_seconds
+//     86400
+//     3612.25
+// The reader also accepts a column of absolute failure times under a
+// "failure_time" header (non-decreasing — equal stamps yield zero gaps —
+// differenced into gaps on load), the shape raw machine logs usually
+// take.
+
+/// Writes inter-arrival gaps as a failure-log CSV; throws util::IoError
+/// on failure.
+void write_failure_log_csv(const std::string& path,
+                           const std::vector<double>& gaps);
+
+/// Parses failure-log CSV text into inter-arrival gaps. Throws
+/// util::InvalidArgument on malformed rows or an empty log.
+[[nodiscard]] std::vector<double> parse_failure_log_csv(
+    const std::string& text);
+
+/// Reads and parses a failure-log CSV file.
+[[nodiscard]] std::vector<double> read_failure_log_csv(
+    const std::string& path);
 
 }  // namespace ayd::sim

@@ -19,12 +19,22 @@ namespace ayd::tool {
 
 namespace {
 
-const char* validate_variable(const std::string& s) {
-  if (s == "lambda" || s == "alpha" || s == "procs" || s == "downtime") {
-    return s.c_str();
+void validate_variable(const std::string& s) {
+  if (s == "lambda" || s == "alpha" || s == "procs" || s == "downtime" ||
+      s == "weibull-k" || s == "lognormal-sigma") {
+    return;
   }
   throw util::CliError("unknown sweep variable: " + s +
-                       " (expected lambda, alpha, procs, downtime)");
+                       " (expected lambda, alpha, procs, downtime, "
+                       "weibull-k, lognormal-sigma)");
+}
+
+/// CLI variables use dashes; engine axis names use underscores.
+std::string axis_name(std::string var) {
+  for (char& c : var) {
+    if (c == '-') c = '_';
+  }
+  return var;
 }
 
 }  // namespace
@@ -35,13 +45,21 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
       "sweep one variable and tabulate the optimal pattern at each value "
       "(generalises the paper's Figures 3-7)");
   add_system_options(parser);
+  add_simulation_options(parser);
   parser.add_option("var", "lambda",
-                    "swept variable: lambda, alpha, procs, downtime");
+                    "swept variable: lambda, alpha, procs, downtime, "
+                    "weibull-k, lognormal-sigma");
   parser.add_option("from", "1e-12", "lower end of the sweep");
   parser.add_option("to", "1e-8", "upper end of the sweep");
   parser.add_option("points", "5", "number of grid points");
   parser.add_flag("linear", "force linear spacing (default: log spacing "
-                            "for lambda/alpha/procs, linear for downtime)");
+                            "for lambda/alpha/procs, linear for downtime "
+                            "and the distribution-shape variables)");
+  parser.add_flag("simulate",
+                  "also simulate the numerically optimal pattern at each "
+                  "point under the configured --failure-dist (implied for "
+                  "the distribution-shape variables, whose effect is "
+                  "invisible to the analytic columns)");
   parser.add_option("max-procs", "1e7",
                     "upper edge of the numerical allocation search");
   parser.add_option("threads", "0",
@@ -52,36 +70,66 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
   if (parse_or_help(parser, args, out)) return 0;
 
   const model::System base = system_from_args(parser);
-  const std::string var = validate_variable(parser.option("var"));
-  const bool log_spacing = !parser.flag("linear") && var != "downtime";
+  const std::string var = parser.option("var");
+  validate_variable(var);
+  const std::string axis = axis_name(var);
+  const bool log_spacing = !parser.flag("linear") && var != "downtime" &&
+                           var != "weibull-k" && var != "lognormal-sigma";
   const bool fixed_procs = var == "procs";
+  const bool shape_sweep = var == "weibull-k" || var == "lognormal-sigma";
+  // The analytic columns assume exponential arrivals, so a shape sweep
+  // without simulation would print rows independent of the swept value.
+  const bool simulate = parser.flag("simulate") || shape_sweep;
+
+  // The --from/--to defaults are lambda-oriented; catch out-of-range
+  // shape sweeps here with a message naming the flags instead of letting
+  // FailureDistSpec throw from inside the evaluation loop.
+  if (var == "weibull-k" && (parser.option_double("from") < 0.01 ||
+                             parser.option_double("to") > 100.0)) {
+    throw util::CliError(
+        "--var weibull-k needs --from/--to within [0.01, 100] "
+        "(e.g. --from 0.5 --to 2); the defaults target lambda sweeps");
+  }
+  if (var == "lognormal-sigma" && (parser.option_double("from") <= 0.0 ||
+                                   parser.option_double("to") > 10.0)) {
+    throw util::CliError(
+        "--var lognormal-sigma needs --from/--to within (0, 10] "
+        "(e.g. --from 0.4 --to 1.6); the defaults target lambda sweeps");
+  }
 
   engine::GridSpec grid;
   grid.axis(engine::Axis::spaced(
-      var, parser.option_double("from"), parser.option_double("to"),
+      axis, parser.option_double("from"), parser.option_double("to"),
       static_cast<int>(parser.option_int("points")), log_spacing));
 
   engine::EvalSpec spec;
   spec.first_order = true;
   spec.numerical = true;
+  spec.simulate_numerical = simulate;
+  spec.replication = replication_from_args(parser);
   spec.search.max_procs = parser.option_double("max-procs");
 
   print_system(base, out);
   const auto pts = grid.points();
   out << "sweeping " << var << " over ["
-      << util::format_sig(pts.front().var(var), 4) << ", "
-      << util::format_sig(pts.back().var(var), 4) << "], " << pts.size()
-      << " points\n\n";
+      << util::format_sig(pts.front().var(axis), 4) << ", "
+      << util::format_sig(pts.back().var(axis), 4) << "], " << pts.size()
+      << " points\n";
+  if (shape_sweep) {
+    out << "(analytic columns assume exponential arrivals; the swept "
+           "shape only moves H (sim))\n";
+  }
+  out << "\n";
 
   exec::ThreadPool pool(static_cast<unsigned>(parser.option_uint("threads")));
   const auto records =
       engine::run_points(pts, &pool, [&](const engine::Point& pt) {
         const model::System sys = engine::apply_axes(base, pt);
         engine::Record r;
-        r.set("x", pt.var(var));
+        r.set("x", pt.var(axis));
         if (fixed_procs) {
           // procs sweep: Theorem 1 vs exact period optimum at fixed P.
-          const double p = pt.var(var);
+          const double p = pt.var(axis);
           const engine::PointEval ev = engine::evaluate_point(sys, spec, p);
           r.set("opt_procs", p);
           if (std::isfinite(*ev.fo_period)) {
@@ -94,6 +142,11 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
           }
           r.set("opt_period", ev.period->period);
           r.set("opt_overhead", ev.period->overhead);
+          if (ev.sim_numerical.has_value()) {
+            r.set("sim_overhead", ev.sim_numerical->overhead.mean);
+            r.set("sim_cell",
+                  engine::mean_ci_cell(ev.sim_numerical->overhead));
+          }
         } else {
           const engine::PointEval ev = engine::evaluate_point(sys, spec);
           if (ev.first_order->has_optimum) {
@@ -104,34 +157,42 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
           r.set("opt_procs", ev.allocation->procs);
           r.set("opt_period", ev.allocation->period);
           r.set("opt_overhead", ev.allocation->overhead);
+          if (ev.sim_numerical.has_value()) {
+            r.set("sim_overhead", ev.sim_numerical->overhead.mean);
+            r.set("sim_cell",
+                  engine::mean_ci_cell(ev.sim_numerical->overhead));
+          }
         }
         return r;
       });
 
-  engine::TableSink table({{var, "x", 4},
-                           {"P* (FO)", "fo_procs", 4},
-                           {"T* (FO)", "fo_period", 4},
-                           {"H (FO)", "fo_overhead", 4},
-                           {"P* (opt)", "opt_procs", 4},
-                           {"T* (opt)", "opt_period", 4},
-                           {"H (opt)", "opt_overhead", 4}});
-  engine::CsvSink csv(parser.option("csv"),
-                      {{var, "x", 4},
-                       {"procs_fo", "fo_procs", 4},
-                       {"period_fo", "fo_period", 4},
-                       {"overhead_fo", "fo_overhead", 4},
-                       {"procs_opt", "opt_procs", 4},
-                       {"period_opt", "opt_period", 4},
-                       {"overhead_opt", "opt_overhead", 4}},
-                      &out);
-  engine::JsonlSink jsonl(parser.option("jsonl"),
-                          {{var, "x"},
-                           {"procs_fo", "fo_procs"},
-                           {"period_fo", "fo_period"},
-                           {"overhead_fo", "fo_overhead"},
-                           {"procs_opt", "opt_procs"},
-                           {"period_opt", "opt_period"},
-                           {"overhead_opt", "opt_overhead"}});
+  std::vector<engine::ColumnSpec> table_cols{{var, "x", 4},
+                                             {"P* (FO)", "fo_procs", 4},
+                                             {"T* (FO)", "fo_period", 4},
+                                             {"H (FO)", "fo_overhead", 4},
+                                             {"P* (opt)", "opt_procs", 4},
+                                             {"T* (opt)", "opt_period", 4},
+                                             {"H (opt)", "opt_overhead", 4}};
+  std::vector<engine::ColumnSpec> series_cols{{var, "x", 4},
+                                              {"procs_fo", "fo_procs", 4},
+                                              {"period_fo", "fo_period", 4},
+                                              {"overhead_fo", "fo_overhead", 4},
+                                              {"procs_opt", "opt_procs", 4},
+                                              {"period_opt", "opt_period", 4},
+                                              {"overhead_opt", "opt_overhead",
+                                               4}};
+  if (simulate) {
+    table_cols.push_back({"H (sim)", "sim_cell"});
+    series_cols.push_back({"overhead_sim", "sim_overhead", 6});
+  }
+
+  engine::TableSink table(table_cols);
+  engine::CsvSink csv(parser.option("csv"), series_cols, &out);
+  std::vector<engine::ColumnSpec> jsonl_cols;
+  for (const auto& col : series_cols) {
+    jsonl_cols.push_back({col.header, col.field()});
+  }
+  engine::JsonlSink jsonl(parser.option("jsonl"), jsonl_cols);
   engine::emit(records, {&table});
   out << table.to_string();
   engine::emit(records, {&csv, &jsonl});

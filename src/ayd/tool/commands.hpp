@@ -4,6 +4,7 @@
 
 #pragma once
 
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -39,9 +40,22 @@ int cmd_protocols(const std::vector<std::string>& args, std::ostream& out);
 
 /// Declares the option group that describes the system under study:
 ///   --platform, --scenario, --alpha, --profile, --gamma, --downtime,
-///   --lambda, --fail-stop-fraction, and the custom cost coefficients
-///   --ckpt-const/--ckpt-inv/--ckpt-lin, --verif-const/--verif-inv.
+///   --lambda, --fail-stop-fraction, --failure-dist, and the custom cost
+///   coefficients --ckpt-const/--ckpt-inv/--ckpt-lin,
+///   --verif-const/--verif-inv.
 void add_system_options(cli::ArgParser& parser);
+
+/// A parsed --failure-dist value. The spec syntax is
+///   exponential | weibull:k=K | lognormal:sigma=S | trace:PATH
+/// where weibull/lognormal accept extra ",mtbf=SECONDS" or
+/// ",lambda=RATE" entries that override the per-processor error rate
+/// (the `--failure-dist weibull:k=0.7,mtbf=...` shorthand), and
+/// trace:PATH loads inter-arrival gaps with sim::read_failure_log_csv.
+struct ParsedFailureDist {
+  model::FailureDistSpec spec;
+  std::optional<double> lambda_override;
+};
+[[nodiscard]] ParsedFailureDist parse_failure_dist(const std::string& text);
 
 /// Builds the System a parsed command line describes. Platform presets
 /// resolve their scenario cost models first; any explicit cost/rate

@@ -6,10 +6,13 @@
 
 #include "ayd/tool/commands.hpp"
 
+#include <algorithm>
 #include <ostream>
+#include <stdexcept>
 
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
+#include "ayd/sim/trace.hpp"
 #include "ayd/util/contracts.hpp"
 #include "ayd/util/error.hpp"
 #include "ayd/util/strings.hpp"
@@ -22,7 +25,109 @@ bool set(const cli::ArgParser& p, const std::string& name) {
   return !p.option(name).empty();
 }
 
+double parse_rate_entry(const std::string& key, const std::string& value) {
+  const auto parsed = util::parse_strict_double(value);
+  if (!parsed.has_value()) {
+    throw util::CliError("--failure-dist: cannot parse " + key + "=" +
+                         value);
+  }
+  const double v = *parsed;
+  if (key == "mtbf") {
+    if (v <= 0.0) throw util::CliError("--failure-dist: mtbf must be > 0");
+    return 1.0 / v;
+  }
+  if (v < 0.0) throw util::CliError("--failure-dist: lambda must be >= 0");
+  return v;
+}
+
+/// True if `item` is a "mtbf=NUMBER" / "lambda=NUMBER" rate-override
+/// entry (used to split them off a trace path's tail).
+bool is_rate_entry(const std::string& item) {
+  const auto eq = item.find('=');
+  if (eq == std::string::npos) return false;
+  const std::string key = util::to_lower(util::trim(item.substr(0, eq)));
+  return (key == "mtbf" || key == "lambda") &&
+         util::parse_strict_double(util::trim(item.substr(eq + 1)))
+             .has_value();
+}
+
 }  // namespace
+
+ParsedFailureDist parse_failure_dist(const std::string& text) {
+  ParsedFailureDist out;
+  const std::string s = util::trim(text);
+  const auto colon = s.find(':');
+  const auto comma = s.find(',');
+  // The kind is everything before the first ':' or ',' delimiter.
+  const std::string name =
+      util::to_lower(util::trim(s.substr(0, std::min(colon, comma))));
+
+  if (name == "trace") {
+    if (colon == std::string::npos || util::trim(s.substr(colon + 1)).empty()) {
+      throw util::CliError("--failure-dist trace: needs a CSV path, e.g. "
+                           "trace:failures.csv");
+    }
+    // The tail is the log path, except for trailing rate-override
+    // entries ("trace:log.csv,mtbf=3e9"). Paths may contain '=' or ','
+    // themselves, so only well-formed trailing entries are split off.
+    std::string path = util::trim(s.substr(colon + 1));
+    for (auto last = path.rfind(','); last != std::string::npos;
+         last = path.rfind(',')) {
+      const std::string entry = util::trim(path.substr(last + 1));
+      if (!is_rate_entry(entry)) break;
+      const auto eq = entry.find('=');
+      // Entries are visited right to left; the rightmost wins, matching
+      // the left-to-right overwrite order of the non-trace kinds.
+      if (!out.lambda_override.has_value()) {
+        out.lambda_override = parse_rate_entry(
+            util::to_lower(util::trim(entry.substr(0, eq))),
+            util::trim(entry.substr(eq + 1)));
+      }
+      path = util::trim(path.substr(0, last));
+    }
+    if (path.empty()) {
+      throw util::CliError("--failure-dist trace: needs a CSV path, e.g. "
+                           "trace:failures.csv");
+    }
+    out.spec = model::FailureDistSpec::trace_replay(
+        sim::read_failure_log_csv(path), path);
+    return out;
+  }
+
+  // Pull "mtbf=..." / "lambda=..." entries out of the comma list; what
+  // remains is the distribution spec proper. The entries work with or
+  // without distribution parameters ("exponential,mtbf=3.15e9" and
+  // "weibull:k=0.7,mtbf=3.15e9" are both valid).
+  std::string tail;
+  if (colon != std::string::npos) {
+    tail = s.substr(colon + 1);
+  } else if (comma != std::string::npos) {
+    tail = s.substr(comma + 1);
+  }
+  std::vector<std::string> kept;
+  for (const std::string& raw : util::split(tail, ',')) {
+    const std::string item = util::trim(raw);
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    const std::string key =
+        eq == std::string::npos
+            ? ""
+            : util::to_lower(util::trim(item.substr(0, eq)));
+    if (key == "mtbf" || key == "lambda") {
+      out.lambda_override =
+          parse_rate_entry(key, util::trim(item.substr(eq + 1)));
+    } else {
+      kept.push_back(item);
+    }
+  }
+  std::string spec_text = name;
+  if (!kept.empty()) {
+    spec_text += ':';
+    spec_text += util::join(kept, ",");
+  }
+  out.spec = model::FailureDistSpec::parse(spec_text);
+  return out;
+}
 
 void add_system_options(cli::ArgParser& parser) {
   parser.add_option("platform", "hera",
@@ -42,6 +147,12 @@ void add_system_options(cli::ArgParser& parser) {
   parser.add_option("lambda", "",
                     "override lambda_ind, the per-processor error rate "
                     "(1/s; required with --platform=custom)");
+  parser.add_option("failure-dist", "exponential",
+                    "failure inter-arrival distribution: exponential, "
+                    "weibull:k=K, lognormal:sigma=S, or trace:FILE.csv; "
+                    "an extra ,mtbf=SECONDS (or ,lambda=RATE) entry "
+                    "sets the per-processor error rate (mutually "
+                    "exclusive with --lambda)");
   parser.add_option("fail-stop-fraction", "",
                     "override f, the fail-stop fraction of errors "
                     "(required with --platform=custom)");
@@ -72,10 +183,23 @@ model::System system_from_args(const cli::ArgParser& parser) {
   double fail_stop_fraction = 0.0;
   model::ResilienceCosts costs;
 
+  const ParsedFailureDist dist =
+      parse_failure_dist(parser.option("failure-dist"));
+  // Two explicit sources for the same rate is a contradiction, not a
+  // precedence question — silently picking one would hand the user
+  // results computed at a rate they did not ask for.
+  if (dist.lambda_override.has_value() && set(parser, "lambda")) {
+    throw util::CliError(
+        "--lambda conflicts with the mtbf=/lambda= entry in "
+        "--failure-dist; pass the rate through only one of them");
+  }
+
   if (custom) {
-    if (!set(parser, "lambda") || !set(parser, "fail-stop-fraction")) {
+    if ((!set(parser, "lambda") && !dist.lambda_override.has_value()) ||
+        !set(parser, "fail-stop-fraction")) {
       throw util::CliError(
-          "--platform=custom requires --lambda and --fail-stop-fraction");
+          "--platform=custom requires --lambda (or an mtbf=/lambda= entry "
+          "in --failure-dist) and --fail-stop-fraction");
     }
     if (!ckpt_given) {
       throw util::CliError(
@@ -125,7 +249,9 @@ model::System system_from_args(const cli::ArgParser& parser) {
                          " (expected amdahl, gustafson, perfect, power)");
   }
 
-  return {model::FailureModel(lambda, fail_stop_fraction), costs,
+  if (dist.lambda_override.has_value()) lambda = *dist.lambda_override;
+
+  return {model::FailureModel(lambda, fail_stop_fraction, dist.spec), costs,
           parser.option_double("downtime"), speedup};
 }
 
@@ -143,6 +269,11 @@ void print_system(const model::System& sys, std::ostream& out) {
       << "costs:  C_P = R_P = " << sys.costs().checkpoint.describe()
       << ",  V_P = " << sys.costs().verification.describe() << "\n"
       << "profile: " << sys.speedup_model().name() << "\n";
+  if (!failure.dist().memoryless()) {
+    out << "failures: " << failure.dist().to_string()
+        << " inter-arrivals (simulation only; analytic formulas assume "
+           "exponential)\n";
+  }
 }
 
 void add_simulation_options(cli::ArgParser& parser) {

@@ -55,6 +55,17 @@ bool ends_with(std::string_view s, std::string_view suffix) {
          s.substr(s.size() - suffix.size()) == suffix;
 }
 
+std::optional<double> parse_strict_double(const std::string& s) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
 std::string to_lower(std::string_view s) {
   std::string out(s);
   std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {

@@ -3,6 +3,7 @@
 
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,6 +26,12 @@ namespace ayd::util {
 
 /// Lower-cases ASCII characters only.
 [[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Parses `s` as a double, requiring the whole string to be consumed
+/// (no trailing junk). Returns nullopt on any parse failure; the caller
+/// applies its own range checks and error type.
+[[nodiscard]] std::optional<double> parse_strict_double(
+    const std::string& s);
 
 /// Formats `value` with `digits` significant digits, trimming trailing
 /// zeros ("12.5", "1.7e-09", "300"). Used for compact table cells.

@@ -1,0 +1,165 @@
+// Golden regression tests for the figure/table drivers.
+//
+// Runs the fig2 and table2 experiment bodies through the engine at tiny
+// replica counts and compares the CSV series byte-for-byte against goldens
+// checked into tests/data/. Any refactor that silently changes figure data
+// (a different optimiser bracket, a reordered RNG draw, a reformatted
+// cell) fails here first. Regenerate deliberately with
+//   AYD_REGENERATE_GOLDENS=1 ./bench_golden_test
+// and review the golden diff like any other code change.
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ayd/engine/engine.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+
+namespace {
+
+using namespace ayd;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Compares produced CSV bytes against tests/data/<name>; with
+/// AYD_REGENERATE_GOLDENS set, rewrites the golden instead.
+void expect_matches_golden(const std::string& name,
+                           const std::string& produced) {
+  ASSERT_FALSE(produced.empty());
+  const std::string golden_path =
+      std::string(AYD_TEST_DATA_DIR) + "/" + name;
+  if (std::getenv("AYD_REGENERATE_GOLDENS") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << produced;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  const std::string golden = read_file(golden_path);
+  ASSERT_FALSE(golden.empty())
+      << "missing golden " << golden_path
+      << " (run with AYD_REGENERATE_GOLDENS=1 to create it)";
+  EXPECT_EQ(golden, produced)
+      << name << " drifted from its golden; if the change is intended, "
+      << "regenerate with AYD_REGENERATE_GOLDENS=1 and review the diff";
+}
+
+/// Emits `records` through a CsvSink (the exact writer the benches use)
+/// and returns the file bytes.
+std::string csv_series(const std::vector<engine::Record>& records,
+                       const std::vector<engine::ColumnSpec>& columns,
+                       const std::string& tmp_name) {
+  {
+    engine::CsvSink csv(tmp_name, columns);
+    engine::emit(records, {&csv});
+  }
+  return read_file(tmp_name);
+}
+
+// The fig2 driver at CI-smoke scale: platforms x scenarios, first-order +
+// numerical optima, both patterns simulated. Serial on purpose (the engine
+// guarantees thread-count invariance elsewhere; here we pin the simplest
+// path).
+TEST(BenchGolden, Fig2ScenariosQuickCsvIsStable) {
+  engine::GridSpec grid;
+  grid.platforms(model::all_platforms()).scenarios(model::all_scenarios());
+
+  engine::EvalSpec spec;
+  spec.first_order = true;
+  spec.numerical = true;
+  spec.simulate_numerical = true;
+  spec.simulate_first_order = true;
+  spec.search.max_procs = 1e8;
+  spec.replication.replicas = 6;
+  spec.replication.patterns_per_replica = 12;
+  spec.replication.seed = 0xA4D2016ULL;
+
+  const auto records =
+      engine::run_grid(grid, nullptr, [&](const engine::Point& pt) {
+        const model::System sys = model::System::from_platform(
+            *pt.platform, *pt.scenario, 0.1, 3600.0);
+        const engine::PointEval ev = engine::evaluate_point(sys, spec);
+        engine::Record r;
+        r.set("platform", pt.platform->name);
+        r.set("scenario", model::scenario_name(*pt.scenario));
+        if (ev.first_order->has_optimum) {
+          r.set("fo_procs", std::max(1.0, std::round(ev.first_order->procs)));
+          r.set("fo_period", ev.first_order->period);
+          r.set("fo_overhead", ev.first_order->overhead);
+          r.set("fo_sim_overhead", ev.sim_first_order->overhead.mean);
+        }
+        r.set("opt_procs", ev.allocation->procs);
+        r.set("opt_period", ev.allocation->period);
+        r.set("opt_overhead", ev.allocation->overhead);
+        r.set("sim_overhead", ev.sim_numerical->overhead.mean);
+        return r;
+      });
+
+  const std::vector<engine::ColumnSpec> series{{"platform"},
+                                               {"scenario"},
+                                               {"fo_procs", "", 4},
+                                               {"fo_period", "", 4},
+                                               {"fo_overhead", "", 4},
+                                               {"fo_sim_overhead", "", 6},
+                                               {"opt_procs", "", 6},
+                                               {"opt_period", "", 6},
+                                               {"opt_overhead", "", 6},
+                                               {"sim_overhead", "", 6}};
+  expect_matches_golden(
+      "fig2_quick_golden.csv",
+      csv_series(records, series, "bench_golden_fig2_out.csv"));
+}
+
+// The table2 driver's derived-coefficient series: pure model resolution,
+// no simulation — pins the cost-model fits and case classification.
+TEST(BenchGolden, Table2DerivedCoefficientsCsvIsStable) {
+  engine::GridSpec grid;
+  grid.platforms(model::all_platforms()).scenarios(model::all_scenarios());
+
+  const auto records =
+      engine::run_grid(grid, nullptr, [](const engine::Point& pt) {
+        const auto rc = model::resolve(*pt.platform, *pt.scenario);
+        const auto info = model::classify(rc);
+        const char* case_name = "";
+        switch (info.first_order_case) {
+          case model::FirstOrderCase::kLinearCheckpoint:
+            case_name = "case1";
+            break;
+          case model::FirstOrderCase::kConstantCost:
+            case_name = "case2";
+            break;
+          case model::FirstOrderCase::kDecreasingCost:
+            case_name = "case3";
+            break;
+        }
+        engine::Record r;
+        r.set("platform", pt.platform->name);
+        r.set("scenario", model::scenario_name(*pt.scenario));
+        r.set("checkpoint_model", rc.checkpoint.describe());
+        r.set("verification_model", rc.verification.describe());
+        r.set("case", case_name);
+        r.set("case_coefficient", info.coefficient);
+        return r;
+      });
+
+  const std::vector<engine::ColumnSpec> series{{"platform"},
+                                               {"scenario"},
+                                               {"checkpoint_model"},
+                                               {"verification_model"},
+                                               {"case"},
+                                               {"case_coefficient", "", 6}};
+  expect_matches_golden(
+      "table2_quick_golden.csv",
+      csv_series(records, series, "bench_golden_table2_out.csv"));
+}
+
+}  // namespace

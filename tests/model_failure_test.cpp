@@ -64,6 +64,42 @@ TEST(FailureModel, WithLambdaPreservesFraction) {
   EXPECT_DOUBLE_EQ(scaled.fail_stop_fraction(), 0.25);
 }
 
+TEST(FailureModel, DefaultsToExponentialArrivals) {
+  const FailureModel fm(1e-8, 0.25);
+  EXPECT_EQ(fm.dist().kind(), FailureDistKind::kExponential);
+  EXPECT_TRUE(fm.dist().memoryless());
+}
+
+TEST(FailureModel, WithLambdaAndWithDistPreserveEachOther) {
+  const FailureModel fm =
+      FailureModel(1e-8, 0.25).with_dist(FailureDistSpec::weibull(0.7));
+  EXPECT_EQ(fm.dist().kind(), FailureDistKind::kWeibull);
+  const FailureModel scaled = fm.with_lambda(1e-10);
+  EXPECT_EQ(scaled.dist(), fm.dist());
+  EXPECT_DOUBLE_EQ(scaled.lambda_ind(), 1e-10);
+  EXPECT_DOUBLE_EQ(scaled.fail_stop_fraction(), 0.25);
+}
+
+TEST(FailureModel, ErrorFreeWithAnyDistYieldsInfiniteArrivals) {
+  // Regression: lambda == 0 must instantiate the degenerate "never
+  // fails" distribution (+inf inter-arrival), not push 0 through a
+  // quantile inversion whose infinite scale would produce NaN.
+  for (const auto& spec :
+       {FailureDistSpec::exponential(), FailureDistSpec::weibull(0.7),
+        FailureDistSpec::lognormal(1.2),
+        FailureDistSpec::trace_replay({10.0, 20.0, 30.0})}) {
+    const FailureModel fm = FailureModel::error_free().with_dist(spec);
+    const auto dist = fm.dist().instantiate(fm.fail_stop_rate(4096.0));
+    rng::RngStream rng(1234);
+    const double gap = dist->sample(rng);
+    EXPECT_TRUE(std::isinf(gap)) << fm.dist().to_string();
+    EXPECT_FALSE(std::isnan(gap)) << fm.dist().to_string();
+    EXPECT_TRUE(std::isinf(dist->quantile(0.5)));
+    EXPECT_TRUE(std::isinf(dist->mean()));
+    EXPECT_DOUBLE_EQ(dist->cdf(1e300), 0.0);
+  }
+}
+
 TEST(FailureModel, Preconditions) {
   EXPECT_THROW(FailureModel(-1e-8, 0.5), util::InvalidArgument);
   EXPECT_THROW(FailureModel(1e-8, -0.1), util::InvalidArgument);

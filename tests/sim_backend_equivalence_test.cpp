@@ -3,11 +3,17 @@
 // replicated overhead estimates must agree within the normal-theory CI
 // half-widths. Exercised on scenarios with different cost structures and
 // on a silent-dominated platform (Atlas), where a divergence in the
-// silent-error handling would show up first.
+// silent-error handling would show up first. Non-exponential failure
+// distributions share the same renewal points across the backends (a
+// fresh arrival per attempt and per recovery try), so the agreement must
+// hold for Weibull / lognormal / trace-replay arrivals too — only the
+// comparison against the exponential analytic prediction drops out.
 
 #include "ayd/sim/runner.hpp"
 
 #include <cmath>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "ayd/core/first_order.hpp"
@@ -24,6 +30,27 @@ ReplicationOptions options(Backend backend) {
   opt.seed = 0xA4D2016ULL;
   opt.backend = backend;
   return opt;
+}
+
+void expect_backends_agree_on(const model::System& sys,
+                              const std::string& label) {
+  // Fixed allocation; the period still comes from the exponential
+  // first-order planner (the pattern only has to be identical across the
+  // backends, not optimal for the distribution).
+  const double p = 512.0;
+  const core::Pattern pattern{core::optimal_period_first_order(sys, p), p};
+
+  const ReplicationResult fast =
+      simulate_overhead(sys, pattern, options(Backend::kFast));
+  const ReplicationResult des =
+      simulate_overhead(sys, pattern, options(Backend::kDes));
+
+  // The two estimates are independent draws of the same mean; their
+  // difference should be within the combined 95% half-widths (a ~3-sigma
+  // criterion, loose enough to be deterministic at this fixed seed).
+  const double tolerance =
+      fast.overhead.ci.half_width() + des.overhead.ci.half_width();
+  EXPECT_NEAR(fast.overhead.mean, des.overhead.mean, tolerance) << label;
 }
 
 void expect_backends_agree(const model::Platform& platform,
@@ -64,6 +91,60 @@ TEST(BackendEquivalence, HeraScenario3ConstantCost) {
 
 TEST(BackendEquivalence, AtlasScenario5SilentDominatedInMemory) {
   expect_backends_agree(model::atlas(), model::Scenario::kS5);
+}
+
+TEST(BackendEquivalence, WeibullBurstyArrivals) {
+  const model::System sys =
+      model::System::from_platform(model::hera(), model::Scenario::kS1)
+          .with_failure_dist(model::FailureDistSpec::weibull(0.7));
+  expect_backends_agree_on(sys, "hera S1 weibull k=0.7");
+}
+
+TEST(BackendEquivalence, WeibullWearOutArrivalsSilentDominated) {
+  const model::System sys =
+      model::System::from_platform(model::atlas(), model::Scenario::kS5)
+          .with_failure_dist(model::FailureDistSpec::weibull(1.5));
+  expect_backends_agree_on(sys, "atlas S5 weibull k=1.5");
+}
+
+TEST(BackendEquivalence, LogNormalArrivals) {
+  const model::System sys =
+      model::System::from_platform(model::hera(), model::Scenario::kS3)
+          .with_failure_dist(model::FailureDistSpec::lognormal(1.2));
+  expect_backends_agree_on(sys, "hera S3 lognormal sigma=1.2");
+}
+
+TEST(BackendEquivalence, TraceReplayArrivals) {
+  const model::System sys =
+      model::System::from_platform(model::hera(), model::Scenario::kS3)
+          .with_failure_dist(model::FailureDistSpec::trace_replay(
+              {300.0, 960.0, 55.0, 7200.0, 1800.0, 120.0, 86400.0, 600.0},
+              "synthetic"));
+  expect_backends_agree_on(sys, "hera S3 trace replay");
+}
+
+TEST(BackendEquivalence, ErrorFreeSystemIsDeterministicOnBothBackends) {
+  // Regression for the lambda == 0 path: with no failures the wall time
+  // is exactly n * (T + V + C) on both backends, for any distribution
+  // shape (the degenerate distribution never schedules an arrival).
+  const model::System sys =
+      model::System::from_platform(model::hera(), model::Scenario::kS3)
+          .with_lambda(0.0)
+          .with_failure_dist(model::FailureDistSpec::weibull(0.7));
+  const double p = 256.0;
+  const core::Pattern pattern{10000.0, p};
+  const double expected_pattern_time =
+      10000.0 + sys.verification_cost(p) + sys.checkpoint_cost(p);
+
+  for (const Backend backend : {Backend::kFast, Backend::kDes}) {
+    const ReplicationResult r =
+        simulate_overhead(sys, pattern, options(backend));
+    EXPECT_NEAR(r.pattern_time.mean, expected_pattern_time,
+                1e-9 * expected_pattern_time);
+    EXPECT_EQ(r.fail_stops_per_pattern, 0.0);
+    EXPECT_EQ(r.attempts_per_pattern, 1.0);
+    EXPECT_FALSE(std::isnan(r.overhead.mean));
+  }
 }
 
 TEST(BackendEquivalence, TelemetryRatesMatchAcrossBackends) {

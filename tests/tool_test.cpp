@@ -4,11 +4,15 @@
 
 #include "ayd/tool/tool.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <gtest/gtest.h>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "ayd/tool/commands.hpp"
+#include "ayd/util/error.hpp"
 
 namespace ayd::tool {
 namespace {
@@ -219,6 +223,65 @@ TEST(ToolOptimize, JsonRecordFixedProcsHasAllThreeSolutions) {
   ASSERT_EQ(r.code, 0) << r.err;
   EXPECT_TRUE(contains(r.out, "\"higher_order\""));
   EXPECT_TRUE(contains(r.out, "\"procs\": 512"));
+}
+
+// -- --failure-dist parsing ----------------------------------------------
+
+TEST(ToolFailureDist, ParsesSpecWithRateOverrides) {
+  // The mtbf/lambda entries work with and without shape parameters.
+  const ParsedFailureDist bare = parse_failure_dist("exponential,mtbf=2e9");
+  EXPECT_TRUE(bare.spec.memoryless());
+  ASSERT_TRUE(bare.lambda_override.has_value());
+  EXPECT_DOUBLE_EQ(*bare.lambda_override, 0.5e-9);
+
+  const ParsedFailureDist shaped =
+      parse_failure_dist("weibull:k=0.7,mtbf=2e9");
+  EXPECT_EQ(shaped.spec, model::FailureDistSpec::weibull(0.7));
+  ASSERT_TRUE(shaped.lambda_override.has_value());
+  EXPECT_DOUBLE_EQ(*shaped.lambda_override, 0.5e-9);
+
+  const ParsedFailureDist direct =
+      parse_failure_dist("lognormal:sigma=1.2,lambda=3e-9");
+  EXPECT_EQ(direct.spec, model::FailureDistSpec::lognormal(1.2));
+  ASSERT_TRUE(direct.lambda_override.has_value());
+  EXPECT_DOUBLE_EQ(*direct.lambda_override, 3e-9);
+
+  EXPECT_FALSE(parse_failure_dist("exponential").lambda_override);
+  EXPECT_THROW((void)parse_failure_dist("weibull:k=0.7,mtbf=zero"),
+               util::CliError);
+  EXPECT_THROW((void)parse_failure_dist("trace:"), util::CliError);
+}
+
+TEST(ToolFailureDist, TraceAcceptsTrailingRateOverride) {
+  const std::string path = ::testing::TempDir() + "/ayd_trace_mtbf.csv";
+  {
+    std::ofstream log(path);
+    log << "gap_seconds\n100\n200\n300\n";
+  }
+  const ParsedFailureDist parsed =
+      parse_failure_dist("trace:" + path + ",mtbf=2e9");
+  EXPECT_EQ(parsed.spec.kind(), model::FailureDistKind::kTraceReplay);
+  EXPECT_EQ(parsed.spec.trace_gaps().size(), 3u);
+  EXPECT_EQ(parsed.spec.trace_source(), path);
+  ASSERT_TRUE(parsed.lambda_override.has_value());
+  EXPECT_DOUBLE_EQ(*parsed.lambda_override, 0.5e-9);
+  std::remove(path.c_str());
+}
+
+TEST(ToolFailureDist, SimulateAcceptsWeibullDist) {
+  const ToolRun r =
+      run({"simulate", "--platform=hera", "--scenario=3", "--procs=256",
+           "--runs=8", "--patterns=10", "--failure-dist=weibull:k=0.7"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "weibull:k=0.7 inter-arrivals"));
+  EXPECT_TRUE(contains(r.out, "drift caused by weibull:k=0.7"));
+}
+
+TEST(ToolFailureDist, RejectsUnknownDistribution) {
+  const ToolRun r =
+      run({"optimize", "--platform=hera", "--failure-dist=gaussian"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_TRUE(contains(r.err, "bad failure distribution"));
 }
 
 // -- simulate ------------------------------------------------------------
