@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <functional>
@@ -24,6 +25,15 @@ using engine::mean_ci_cell;
 /// "-" placeholder used when a column does not apply (e.g. first-order
 /// solution in scenario 6).
 inline const char* kNoValue = engine::kNoValue;
+
+/// Elapsed wall-clock seconds since `start` — the timing helper the
+/// micro-benches share.
+inline double seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 /// Runs an experiment body with uniform option parsing / error handling.
 /// `setup` may add extra options before parsing. Returns process exit code.

@@ -17,18 +17,9 @@
 #include "ayd/util/strings.hpp"
 #include "ayd/util/version.hpp"
 
-namespace {
-
-double seconds_since(const std::chrono::steady_clock::time_point& start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace ayd;
+  using bench::seconds_since;
   return bench::run_experiment_main(
       argc, argv, "Micro — engine grid throughput (serial vs parallel)",
       "points/sec of a representative sweep grid; JSON written for the "

@@ -1,92 +1,219 @@
-// Google-benchmark microbenchmarks for the simulation stack: RNG, event
-// queue, and per-pattern throughput of both protocol back-ends.
+// Microbenchmark of the simulation stack: single-thread replication
+// throughput (runs/sec and patterns/sec) of both protocol back-ends under
+// exponential and Weibull arrivals, emitted as BENCH_sim.json so the perf
+// trajectory of the simulator hot path is tracked across commits.
+//
+// The committed pre-overhaul baseline (bench/baselines/sim_baseline.csv,
+// generated with this very harness against the pre-arena/pre-batching
+// library) is loaded when present and each configuration reports its
+// speedup against it. Comparisons are only meaningful on a comparable
+// machine — the JSON carries the numbers either way; CI greps the
+// "SIM-BENCH" summary lines.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 
 #include "ayd/core/first_order.hpp"
+#include "ayd/io/csv.hpp"
+#include "ayd/io/json.hpp"
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
-#include "ayd/rng/stream.hpp"
-#include "ayd/sim/event_queue.hpp"
-#include "ayd/sim/protocol.hpp"
 #include "ayd/sim/runner.hpp"
+#include "ayd/util/strings.hpp"
+#include "ayd/util/version.hpp"
 
 namespace {
 
-using ayd::core::Pattern;
-using ayd::model::Scenario;
-using ayd::model::System;
+using namespace ayd;
+using bench::seconds_since;
 
-const System& hera_s1() {
-  static const System sys =
-      System::from_platform(ayd::model::hera(), Scenario::kS1);
-  return sys;
-}
+struct Config {
+  std::string dist;     ///< "exponential" | "weibull:k=0.7"
+  std::string backend;  ///< "fast" | "des"
+  sim::Backend kind;
+};
 
-Pattern hera_pattern() {
-  return {ayd::core::optimal_period_first_order(hera_s1(), 512.0), 512.0};
-}
+struct Measurement {
+  Config config;
+  double runs_per_sec = 0.0;
+  double patterns_per_sec = 0.0;
+  std::optional<double> baseline_runs_per_sec;
+};
 
-void BM_RngNextU64(benchmark::State& state) {
-  ayd::rng::RngStream rng(42);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.next_u64());
+/// Best-of-`reps` throughput of serial simulate_overhead calls; the outer
+/// iteration count is calibrated so one rep runs long enough to time
+/// reliably.
+Measurement measure(const Config& cfg, const model::System& sys,
+                    const core::Pattern& pattern,
+                    const sim::ReplicationOptions& opt, int reps) {
+  sim::ReplicationScratch scratch;
+  const auto one_call = [&] {
+    (void)sim::simulate_overhead(sys, pattern, opt, nullptr, &scratch);
+  };
+
+  // Calibrate: aim for ~0.25 s per rep.
+  auto t0 = std::chrono::steady_clock::now();
+  one_call();
+  const double probe = seconds_since(t0);
+  const auto outer = static_cast<std::size_t>(
+      std::fmax(1.0, std::ceil(0.25 / std::fmax(probe, 1e-6))));
+
+  double best = probe * static_cast<double>(outer);
+  for (int rep = 0; rep < reps; ++rep) {
+    t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < outer; ++i) one_call();
+    best = std::fmin(best, seconds_since(t0));
   }
-}
-BENCHMARK(BM_RngNextU64);
 
-void BM_RngExponential(benchmark::State& state) {
-  ayd::rng::RngStream rng(42);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.next_exponential(1e-5));
+  Measurement m;
+  m.config = cfg;
+  const double runs = static_cast<double>(outer * opt.replicas);
+  m.runs_per_sec = runs / best;
+  m.patterns_per_sec =
+      runs * static_cast<double>(opt.patterns_per_replica) / best;
+  return m;
+}
+
+/// Loads "dist,backend,runs_per_sec" rows (header skipped) from the
+/// committed pre-overhaul baseline, if present.
+std::map<std::pair<std::string, std::string>, double> load_baseline(
+    const std::string& requested) {
+  std::map<std::pair<std::string, std::string>, double> out;
+  std::vector<std::string> candidates;
+  if (!requested.empty()) {
+    candidates.push_back(requested);
+  } else {
+    candidates = {"bench/baselines/sim_baseline.csv",
+                  "../bench/baselines/sim_baseline.csv",
+                  "../../bench/baselines/sim_baseline.csv"};
   }
-}
-BENCHMARK(BM_RngExponential);
-
-void BM_EventQueuePushPop(benchmark::State& state) {
-  ayd::sim::EventQueue q;
-  ayd::rng::RngStream rng(7);
-  for (auto _ : state) {
-    for (int i = 0; i < 16; ++i) {
-      (void)q.push(rng.next_uniform01() * 1e6,
-                   ayd::sim::EventType::kPhaseEnd);
+  for (const std::string& path : candidates) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream os;
+    os << in.rdbuf();
+    const auto rows = io::parse_csv(os.str());
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      if (rows[i].size() < 3) continue;
+      // Tolerate stray or annotated rows: skip anything non-numeric.
+      const auto value = util::parse_strict_double(rows[i][2]);
+      if (!value.has_value()) continue;
+      out[{rows[i][0], rows[i][1]}] = *value;
     }
-    for (int i = 0; i < 16; ++i) benchmark::DoNotOptimize(q.pop());
+    if (!out.empty()) return out;
   }
+  return out;
 }
-BENCHMARK(BM_EventQueuePushPop);
-
-void BM_FastPattern(benchmark::State& state) {
-  ayd::sim::FastProtocolSimulator simulator(hera_s1(), hera_pattern());
-  ayd::rng::RngStream rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(simulator.simulate_pattern(rng));
-  }
-}
-BENCHMARK(BM_FastPattern);
-
-void BM_DesPattern(benchmark::State& state) {
-  ayd::sim::DesProtocolSimulator simulator(hera_s1(), hera_pattern());
-  ayd::rng::RngStream rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(simulator.simulate_pattern(rng));
-  }
-}
-BENCHMARK(BM_DesPattern);
-
-void BM_ReplicatedOverheadEstimate(benchmark::State& state) {
-  ayd::sim::ReplicationOptions opt;
-  opt.replicas = 8;
-  opt.patterns_per_replica = 32;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        ayd::sim::simulate_overhead(hera_s1(), hera_pattern(), opt));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8 *
-                          32);
-}
-BENCHMARK(BM_ReplicatedOverheadEstimate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return bench::run_experiment_main(
+      argc, argv, "Micro — simulator replication throughput (fast vs DES)",
+      "single-thread runs/sec of both protocol back-ends under exponential "
+      "and Weibull arrivals; JSON written for the perf trajectory",
+      [](cli::ArgParser& p) {
+        p.add_option("out", "BENCH_sim.json",
+                     "output path for the JSON record");
+        p.add_option("reps", "5", "timing repetitions (best is kept)");
+        p.add_option("baseline", "",
+                     "pre-overhaul baseline CSV (default: "
+                     "bench/baselines/sim_baseline.csv if found)");
+      },
+      [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
+        const model::Platform platform = model::hera();
+        const model::System base =
+            model::System::from_platform(platform, model::Scenario::kS1);
+        const core::Pattern pattern{
+            core::optimal_period_first_order(base, platform.measured_procs),
+            platform.measured_procs};
+
+        sim::ReplicationOptions opt;
+        opt.replicas = ctx.runs;
+        opt.patterns_per_replica = ctx.patterns;
+        opt.seed = ctx.seed;
+
+        const std::vector<Config> configs{
+            {"exponential", "fast", sim::Backend::kFast},
+            {"exponential", "des", sim::Backend::kDes},
+            {"weibull:k=0.7", "fast", sim::Backend::kFast},
+            {"weibull:k=0.7", "des", sim::Backend::kDes},
+        };
+        const auto baseline = load_baseline(args.option("baseline"));
+        const int reps = static_cast<int>(args.option_int("reps"));
+
+        std::vector<Measurement> results;
+        for (const Config& cfg : configs) {
+          model::System sys = base;
+          if (cfg.dist != "exponential") {
+            sys = sys.with_failure_dist(model::FailureDistSpec::parse(cfg.dist));
+          }
+          opt.backend = cfg.kind;
+          Measurement m = measure(cfg, sys, pattern, opt, reps);
+          const auto hit = baseline.find({cfg.dist, cfg.backend});
+          if (hit != baseline.end()) m.baseline_runs_per_sec = hit->second;
+          results.push_back(m);
+
+          if (m.baseline_runs_per_sec.has_value()) {
+            std::printf("SIM-BENCH %-13s %-4s: %10.0f runs/s  %12.0f "
+                        "patterns/s  (%.2fx baseline)\n",
+                        cfg.dist.c_str(), cfg.backend.c_str(), m.runs_per_sec,
+                        m.patterns_per_sec,
+                        m.runs_per_sec / *m.baseline_runs_per_sec);
+          } else {
+            std::printf("SIM-BENCH %-13s %-4s: %10.0f runs/s  %12.0f "
+                        "patterns/s\n",
+                        cfg.dist.c_str(), cfg.backend.c_str(), m.runs_per_sec,
+                        m.patterns_per_sec);
+          }
+        }
+
+        const std::string out_path = args.option("out");
+        std::ofstream out(out_path);
+        if (!out) {
+          std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+          return;
+        }
+        io::JsonWriter json(out, /*pretty=*/true);
+        json.begin_object();
+        json.kv("benchmark", "sim_throughput");
+        json.kv("version", util::version_string());
+        json.kv("replicas", static_cast<std::uint64_t>(opt.replicas));
+        json.kv("patterns_per_replica",
+                static_cast<std::uint64_t>(opt.patterns_per_replica));
+        json.kv("seed", static_cast<std::uint64_t>(opt.seed));
+        json.kv("threads", static_cast<std::uint64_t>(1));
+        json.kv("baseline_note",
+                "baseline = pre-overhaul library measured with this harness "
+                "on the reference machine; cross-machine speedups are "
+                "indicative only");
+        json.key("results");
+        json.begin_array();
+        for (const Measurement& m : results) {
+          json.begin_object();
+          json.kv("dist", m.config.dist);
+          json.kv("backend", m.config.backend);
+          json.kv("runs_per_sec", m.runs_per_sec);
+          json.kv("patterns_per_sec", m.patterns_per_sec);
+          if (m.baseline_runs_per_sec.has_value()) {
+            json.kv("baseline_runs_per_sec", *m.baseline_runs_per_sec);
+            json.kv("speedup_vs_baseline",
+                    m.runs_per_sec / *m.baseline_runs_per_sec);
+          }
+          json.end_object();
+        }
+        json.end_array();
+        json.end_object();
+        out << "\n";
+        std::printf("(JSON record written to %s)\n", out_path.c_str());
+      });
+}

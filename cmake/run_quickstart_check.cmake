@@ -1,0 +1,45 @@
+# docs_examples CTest body: runs the quickstart example and greps its
+# output for the lines the documentation quotes (README "Run the
+# 60-second tour", docs/architecture.md testing tiers). If quickstart's
+# output shape drifts, this fails — docs cannot rot silently.
+#
+# Usage: cmake -DQUICKSTART_EXE=<path> -P run_quickstart_check.cmake
+
+if(NOT DEFINED QUICKSTART_EXE)
+  message(FATAL_ERROR "pass -DQUICKSTART_EXE=<path to quickstart binary>")
+endif()
+
+execute_process(
+  COMMAND "${QUICKSTART_EXE}"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc
+  TIMEOUT 300)
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "quickstart exited with ${rc}\nstderr:\n${err}")
+endif()
+
+# The load-bearing lines of the walk-through. Kept loose on numbers
+# (which depend on replica scale) and tight on structure.
+set(expected_patterns
+    "amdahl-young-daly v.* — quickstart"
+    "reproduces: A\\. Cavelan, J\\. Li, Y\\. Robert, H\\. Sun"
+    "platform Hera: lambda_ind = .*node MTBF"
+    "\\[1\\] Theorem 1 @ P = 512: checkpoint every"
+    "\\[2\\] Theorem 2: enroll P\\* = [0-9]+ processors"
+    "\\[3\\] numerical optimum:   P\\* = [0-9]+"
+    "simulated overhead:  .*95% CI.*analytic"
+    "error telemetry: .*fail-stops and .*detected silent errors"
+    "Takeaway: with failures in the picture")
+
+foreach(pattern IN LISTS expected_patterns)
+  if(NOT out MATCHES "${pattern}")
+    message(FATAL_ERROR
+            "quickstart output is missing expected line /${pattern}/.\n"
+            "Update examples/quickstart.cpp and the docs together.\n"
+            "Full output:\n${out}")
+  endif()
+endforeach()
+
+message(STATUS "quickstart output matches the documented walk-through")

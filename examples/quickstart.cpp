@@ -8,7 +8,11 @@
 //   3. Do the closed forms agree with the exact numerical optimum and
 //      with a discrete-event simulation of the protocol?
 //
-// Build & run:  ./examples/quickstart
+// Build & run:
+//   cmake -B build -S . && cmake --build build -j --target example_quickstart
+//   ./build/quickstart
+// (The docs_examples CTest runs this binary and greps the lines the
+// README quotes, so this walk-through cannot drift from the code.)
 
 #include <cstdio>
 

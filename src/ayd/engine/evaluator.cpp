@@ -99,9 +99,16 @@ PointEval evaluate_point(const model::System& sys, const EvalSpec& spec,
     out.silent_blind_period = core::silent_blind_period(sys, *fixed_procs);
   }
 
+  // One scratch arena per worker thread: grid runs fan points out over a
+  // pool and each point's evaluation lands here, so the per-point
+  // simulate_overhead calls reuse the calling worker's arena instead of
+  // reallocating — point-parallel sweeps allocate nothing steady-state.
+  static thread_local sim::ReplicationScratch sim_scratch;
+
   if (spec.simulate_numerical) {
-    out.sim_numerical = sim::simulate_overhead(
-        sys, out.numerical_pattern(), spec.replication, sim_pool);
+    out.sim_numerical =
+        sim::simulate_overhead(sys, out.numerical_pattern(), spec.replication,
+                               sim_pool, &sim_scratch);
   }
 
   if (spec.simulate_first_order) {
@@ -110,8 +117,9 @@ PointEval evaluate_point(const model::System& sys, const EvalSpec& spec,
             ? (out.fo_period.has_value() && std::isfinite(*out.fo_period))
             : (out.first_order.has_value() && out.first_order->has_optimum);
     if (have_fo) {
-      out.sim_first_order = sim::simulate_overhead(
-          sys, out.first_order_pattern(), spec.replication, sim_pool);
+      out.sim_first_order =
+          sim::simulate_overhead(sys, out.first_order_pattern(),
+                                 spec.replication, sim_pool, &sim_scratch);
     }
   }
 

@@ -40,8 +40,9 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void parallel_for(ThreadPool& pool, std::size_t n,
-                  const std::function<void(std::size_t)>& fn) {
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   const std::size_t chunks = std::min(n, 4 * pool.size());
   const std::size_t chunk = (n + chunks - 1) / chunks;
@@ -49,9 +50,7 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   futures.reserve(chunks);
   for (std::size_t begin = 0; begin < n; begin += chunk) {
     const std::size_t end = std::min(begin + chunk, n);
-    futures.push_back(pool.submit([&fn, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-    }));
+    futures.push_back(pool.submit([&fn, begin, end] { fn(begin, end); }));
   }
   std::exception_ptr first_error;
   for (auto& fut : futures) {
@@ -62,6 +61,13 @@ void parallel_for(ThreadPool& pool, std::size_t n,
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunks(pool, n, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
 }
 
 }  // namespace ayd::exec

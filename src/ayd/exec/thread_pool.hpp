@@ -65,6 +65,13 @@ class ThreadPool {
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 
+/// Chunk-level variant: runs fn(begin, end) once per contiguous chunk of
+/// [0, n), so callers can hoist per-worker state (scratch arenas,
+/// reusable simulators) out of the per-index loop. Same chunking,
+/// blocking, and exception policy as parallel_for.
+void parallel_for_chunks(ThreadPool& pool, std::size_t n,
+                         const std::function<void(std::size_t, std::size_t)>& fn);
+
 /// Maps fn over [0, n) and returns results in index order.
 template <typename Fn>
 auto parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn)

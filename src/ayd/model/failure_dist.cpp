@@ -64,6 +64,19 @@ class ExponentialDist final : public FailureDistribution {
     return rng.next_exponential(rate_);
   }
   [[nodiscard]] bool memoryless() const override { return true; }
+  [[nodiscard]] bool unit_samplable() const override { return true; }
+  [[nodiscard]] double sample_value(double u) const override {
+    // Exactly rng::exponential's arithmetic on the word it would draw.
+    return -std::log(1.0 - u) / rate_;
+  }
+  void sample_units(rng::RngStream& rng, double* z,
+                    std::size_t n) const override {
+    rng.fill_uniform01(z, n);
+    for (std::size_t i = 0; i < n; ++i) z[i] = -std::log(1.0 - z[i]);
+  }
+  [[nodiscard]] double from_unit(double z) const override {
+    return z / rate_;
+  }
 
  private:
   double rate_;
@@ -73,6 +86,7 @@ class WeibullDist final : public FailureDistribution {
  public:
   WeibullDist(double shape, double rate)
       : k_(shape),
+        inv_k_(1.0 / shape),
         scale_(1.0 / (rate * std::tgamma(1.0 + 1.0 / shape))),
         rate_(rate) {
     // Defense in depth behind FailureDistSpec::weibull's shape bounds: a
@@ -101,9 +115,26 @@ class WeibullDist final : public FailureDistribution {
   [[nodiscard]] double sample(rng::RngStream& rng) const override {
     return quantile(rng.next_uniform01());
   }
+  [[nodiscard]] bool unit_samplable() const override { return true; }
+  [[nodiscard]] double sample_value(double u) const override {
+    return quantile(u);
+  }
+  void sample_units(rng::RngStream& rng, double* z,
+                    std::size_t n) const override {
+    rng.fill_uniform01(z, n);
+    // Unit-scale Weibull deviate; scale_ is applied in from_unit so one
+    // block can serve both the fail-stop and silent instantiations.
+    for (std::size_t i = 0; i < n; ++i) {
+      z[i] = std::pow(-std::log1p(-z[i]), inv_k_);
+    }
+  }
+  [[nodiscard]] double from_unit(double z) const override {
+    return scale_ * z;
+  }
 
  private:
   double k_;
+  double inv_k_;
   double scale_;
   double rate_;
 };
@@ -139,6 +170,24 @@ class LogNormalDist final : public FailureDistribution {
     double u = rng.next_uniform01();
     if (u <= 0.0) u = 0x1.0p-53;  // same guard as rng::normal()
     return quantile(u);
+  }
+  [[nodiscard]] bool unit_samplable() const override { return true; }
+  [[nodiscard]] double sample_value(double u) const override {
+    if (u <= 0.0) u = 0x1.0p-53;
+    return quantile(u);
+  }
+  void sample_units(rng::RngStream& rng, double* z,
+                    std::size_t n) const override {
+    rng.fill_uniform01(z, n);
+    // Standard normal quantile; mu_/sigma_ scaling happens in from_unit
+    // with exactly quantile()'s expression, so the factorization is
+    // bitwise invisible.
+    for (std::size_t i = 0; i < n; ++i) {
+      z[i] = rng::detail::normal_quantile(z[i] <= 0.0 ? 0x1.0p-53 : z[i]);
+    }
+  }
+  [[nodiscard]] double from_unit(double z) const override {
+    return std::exp(mu_ + sigma_ * z);
   }
 
  private:
@@ -221,6 +270,25 @@ double parse_param(const std::string& text, const std::string& item,
 }
 
 }  // namespace
+
+double FailureDistribution::sample_value(double) const {
+  throw util::LogicError(
+      "sample_value: distribution does not factor through one uniform "
+      "(check unit_samplable() first)");
+}
+
+void FailureDistribution::sample_units(rng::RngStream&, double*,
+                                       std::size_t) const {
+  throw util::LogicError(
+      "sample_units: distribution has no unit-variate factorization "
+      "(check unit_samplable() first)");
+}
+
+double FailureDistribution::from_unit(double) const {
+  throw util::LogicError(
+      "from_unit: distribution has no unit-variate factorization "
+      "(check unit_samplable() first)");
+}
 
 std::string failure_dist_kind_name(FailureDistKind k) {
   switch (k) {

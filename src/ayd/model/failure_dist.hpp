@@ -75,6 +75,42 @@ class FailureDistribution {
   /// Memoryless laws let the simulators keep pending arrivals across
   /// renewal points (the exponential fast path).
   [[nodiscard]] virtual bool memoryless() const { return false; }
+
+  // --- batched sampling -------------------------------------------------
+  //
+  // The analytic kinds factor a draw into a *unit variate* (the
+  // rate-independent part of the quantile inversion: the rate-1
+  // exponential deviate, the unit-scale Weibull deviate, or the standard
+  // normal quantile) and a cheap per-distribution scaling. The unit part
+  // is what the batched samplers precompute in bulk; because two
+  // distributions instantiated from the same spec at different rates
+  // (the simulators' fail-stop and silent sources) share one unit
+  // transform, a single block can feed both without perturbing the
+  // shared stream's draw order.
+  //
+  // Reproducibility contract (pinned by rng/failure-dist tests):
+  //   from_unit(z_i) with z from sample_units() is bit-identical to
+  //   sample() fed the same engine words, and sample_value(u) is
+  //   bit-identical to sample() had it drawn the uniform u.
+
+  /// True when one sample() consumes exactly one uniform01 word and the
+  /// value factors through the unit-variate API below. False for trace
+  /// replay (variable word consumption via Lemire rejection) and the
+  /// degenerate rate-0 distribution (no consumption).
+  [[nodiscard]] virtual bool unit_samplable() const { return false; }
+  /// The value sample() would have produced had it drawn the uniform `u`
+  /// (in [0, 1)). Only meaningful when unit_samplable(); the default
+  /// throws util::LogicError.
+  [[nodiscard]] virtual double sample_value(double u) const;
+  /// Bulk unit-variate fill: consumes exactly `n` uniform01 words in
+  /// order and writes the rate-independent deviates. Only meaningful when
+  /// unit_samplable(); the default throws util::LogicError.
+  virtual void sample_units(rng::RngStream& rng, double* z,
+                            std::size_t n) const;
+  /// Scales a unit variate to an inter-arrival time;
+  /// from_unit(unit-of(u)) == sample_value(u) bitwise. Only meaningful
+  /// when unit_samplable(); the default throws util::LogicError.
+  [[nodiscard]] virtual double from_unit(double z) const;
 };
 
 /// Value-semantic shape spec; lives inside FailureModel.

@@ -51,6 +51,21 @@ class RngStream {
     return uniform_index(engine_, n);
   }
 
+  /// Bulk fill: `out[i]` is bit-identical to the value the i-th of `n`
+  /// successive next_u64() calls would return. The tight loop lets the
+  /// engine's state updates pipeline instead of alternating with consumer
+  /// work.
+  void fill_u64(std::uint64_t* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = engine_();
+  }
+
+  /// Bulk fill: `out[i]` is bit-identical to the value the i-th of `n`
+  /// successive next_uniform01() calls would return (same words consumed,
+  /// in the same order).
+  void fill_uniform01(double* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = uniform01(engine_);
+  }
+
   /// Access to the raw engine for generic <random>-style use.
   [[nodiscard]] Xoshiro256& engine() { return engine_; }
 

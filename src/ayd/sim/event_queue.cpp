@@ -1,44 +1,120 @@
 #include "ayd/sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "ayd/util/contracts.hpp"
 
 namespace ayd::sim {
 
+namespace {
+constexpr std::size_t kArity = 4;  ///< heap fan-out
+}  // namespace
+
 std::uint64_t EventQueue::push(double time, EventType type) {
   AYD_REQUIRE(time >= 0.0, "event time must be nonnegative");
   const std::uint64_t id = next_id_++;
-  heap_.push(Event{time, type, id});
+  const Event e{time, type, id};
+  if (!has_slot_) {
+    slot_ = e;
+    has_slot_ = true;
+  } else if (before(e, slot_)) {
+    heap_insert(slot_);
+    slot_ = e;
+  } else {
+    heap_insert(e);
+  }
   return id;
 }
 
-void EventQueue::cancel(std::uint64_t id) { cancelled_.insert(id); }
+void EventQueue::cancel(std::uint64_t id) {
+  if (has_slot_ && slot_.id == id) {
+    has_slot_ = false;
+    return;
+  }
+  if (id >= next_id_) return;  // never issued in this epoch: no-op
+  // Skip duplicate marks: one would survive the single consumption in
+  // skip_cancelled and desynchronize live_size() forever.
+  if (!is_cancelled(id)) cancelled_.push_back(id);
+}
+
+bool EventQueue::is_cancelled(std::uint64_t id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+         cancelled_.end();
+}
+
+void EventQueue::heap_insert(const Event& e) {
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const Event e = heap_[i];
+  for (;;) {
+    const std::size_t first = kArity * i + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::remove_root() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
 
 void EventQueue::skip_cancelled() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().id);
+  while (!heap_.empty() && !cancelled_.empty()) {
+    const auto it =
+        std::find(cancelled_.begin(), cancelled_.end(), heap_[0].id);
     if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+    *it = cancelled_.back();
+    cancelled_.pop_back();
+    remove_root();
   }
 }
 
 std::optional<Event> EventQueue::pop() {
   skip_cancelled();
+  if (slot_is_next()) {
+    has_slot_ = false;
+    return slot_;
+  }
   if (heap_.empty()) return std::nullopt;
-  Event e = heap_.top();
-  heap_.pop();
+  const Event e = heap_[0];
+  remove_root();
   return e;
 }
 
 std::optional<Event> EventQueue::peek() {
   skip_cancelled();
+  if (slot_is_next()) return slot_;
   if (heap_.empty()) return std::nullopt;
-  return heap_.top();
+  return heap_[0];
 }
 
 void EventQueue::clear() {
-  heap_ = {};
+  heap_.clear();
   cancelled_.clear();
+  has_slot_ = false;
+  next_id_ = 0;
 }
+
+void EventQueue::reserve(std::size_t events) { heap_.reserve(events); }
 
 }  // namespace ayd::sim

@@ -12,6 +12,7 @@ namespace ayd::sim {
 namespace {
 
 constexpr std::uint64_t kNoEvent = std::numeric_limits<std::uint64_t>::max();
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 [[noreturn]] void throw_diverged(const core::Pattern& pattern, double lf,
                                  double ls) {
@@ -23,7 +24,35 @@ constexpr std::uint64_t kNoEvent = std::numeric_limits<std::uint64_t>::max();
   throw util::SimulationDiverged(os.str());
 }
 
+/// True when every *active* error source (rate > 0) draws exactly one
+/// uniform per sample and factors through the unit-variate API.
+bool sources_unit_samplable(double lf, const model::FailureDistribution& fd,
+                            double ls, const model::FailureDistribution& sd) {
+  if (lf > 0.0 && !fd.unit_samplable()) return false;
+  if (ls > 0.0 && !sd.unit_samplable()) return false;
+  return true;
+}
+
 }  // namespace
+
+std::uint64_t safe_word_threshold(const model::FailureDistribution& dist,
+                                  double window) {
+  // The margin must dominate the *inconsistency* between cdf() and the
+  // quantile inversion behind sample_value(), not just rounding noise.
+  // Exponential and Weibull use algebraically matched expm1/log1p/pow
+  // forms (disagreement ~1e-15 relative in u). The lognormal is the
+  // hard case: its cdf uses accurate erfc while its quantile uses
+  // Acklam's approximation (|rel err| ~1.15e-9 in z-space), which maps
+  // to a u-space disagreement of up to ~1.15e-9 * z^2 relative to the
+  // cdf value; words never reach below u = 2^-53, so |z| <= 8.2 and the
+  // worst case is ~8e-8. The 1e-4 relative margin clears that by three
+  // orders of magnitude, and its only cost is that a 1e-4 sliver of
+  // below-threshold draws computes the exact arrival unnecessarily
+  // (tests/sim_bitcompat_test.cpp scans the boundary for violations).
+  const double c = dist.cdf(window);
+  const double thr = std::min(1.0, c + (c * 1e-4 + 1e-300));
+  return static_cast<std::uint64_t>(std::ceil(thr * 0x1.0p53));
+}
 
 DesProtocolSimulator::DesProtocolSimulator(const model::System& sys,
                                            const core::Pattern& pattern)
@@ -37,8 +66,25 @@ DesProtocolSimulator::DesProtocolSimulator(const model::System& sys,
       d_(sys.downtime()),
       fail_dist_(sys.failure().dist().instantiate(lf_)),
       silent_dist_(sys.failure().dist().instantiate(ls_)),
-      renewal_(!fail_dist_->memoryless()) {
+      renewal_(!fail_dist_->memoryless()),
+      batched_(sources_unit_samplable(lf_, *fail_dist_, ls_, *silent_dist_)) {
   core::validate(pattern);
+  if (batched_) {
+    unit_src_ = lf_ > 0.0 ? fail_dist_.get() : silent_dist_.get();
+  }
+  queue_.reserve(8);
+}
+
+double DesProtocolSimulator::draw(const model::FailureDistribution& dist,
+                                  rng::RngStream& rng) {
+  if (!batched_) return dist.sample(rng);
+  // Shared unit block: uniforms leave the stream in the historical draw
+  // order, the expensive inversion runs in bulk, and each draw is
+  // dist.from_unit(z) == the value dist.sample() would have produced.
+  return dist.from_unit(units_.next([&](double* z, std::size_t n) {
+    unit_src_->sample_units(rng, z, n);
+    expected_state_ = rng.engine().state();
+  }));
 }
 
 PatternStats DesProtocolSimulator::simulate_pattern(rng::RngStream& rng,
@@ -47,7 +93,19 @@ PatternStats DesProtocolSimulator::simulate_pattern(rng::RngStream& rng,
   enum class Phase { kWork, kVerify, kCheckpoint, kRecovery };
 
   PatternStats stats;
-  EventQueue queue;
+  // Fresh id epoch per pattern: ids (and so tie-breaks) are identical to
+  // the historical fresh-queue-per-pattern behaviour, but the arena is
+  // reused — no allocation once warm.
+  queue_.clear();
+  // Stale-prefetch guard: variates buffered from a previous call are
+  // only valid if `rng` is the same stream at the same position. A
+  // fingerprint mismatch means the caller switched streams without
+  // begin_replica(); discard the buffer so the new stream's own words
+  // are consumed in order.
+  if (batched_ && units_.buffered() > 0 &&
+      rng.engine().state() != expected_state_) {
+    units_.reset();
+  }
   double clock = start_time;
 
   Phase phase = Phase::kWork;
@@ -57,16 +115,35 @@ PatternStats DesProtocolSimulator::simulate_pattern(rng::RngStream& rng,
   std::uint64_t silent_id = kNoEvent;
   std::uint64_t fail_stop_id = kNoEvent;
 
-  const auto schedule_fail_stop = [&] {
+  // `discard_at` is the exact event time at which the scheduled arrival
+  // would be discarded anyway: under renewal the pending fail-stop dies
+  // at the next renewal point (attempt end ((clock+T)+V)+C or recovery
+  // end clock+R — computed with the same additions the phase-end chain
+  // will perform, so the comparison is exact). An arrival strictly
+  // beyond that point can never fire, so skipping its push spares the
+  // heap the schedule-then-discard round trip; the draw still consumed
+  // its words. The comparison must be strict: a fail-stop pushed at an
+  // attempt start carries an *older* id than the verify/checkpoint
+  // phase-ends pushed later, so on an exact time tie at the attempt end
+  // the fail-stop pops first and must strike (trace-replay
+  // distributions have atoms, so exact ties carry real probability).
+  // At a tie on a recovery end the recovery phase-end is older and pops
+  // first, and the pushed arrival is then cancelled by the renewal —
+  // bit-identical to the historical schedule-then-cancel path.
+  // Memoryless sources keep their pending arrival across renewal points
+  // and are always pushed.
+  const auto schedule_fail_stop = [&](double discard_at) {
     if (lf_ > 0.0) {
-      fail_stop_id = queue.push(clock + fail_dist_->sample(rng),
-                                EventType::kFailStop);
+      const double arrival = clock + draw(*fail_dist_, rng);
+      if (renewal_ && arrival > discard_at) return;
+      fail_stop_id = queue_.push(arrival, EventType::kFailStop);
     }
   };
+  const auto attempt_end = [&] { return ((clock + t_) + v_) + c_; };
   const auto begin_phase = [&](Phase next, double duration) {
     phase = next;
     phase_start = clock;
-    phase_end_id = queue.push(clock + duration, EventType::kPhaseEnd);
+    phase_end_id = queue_.push(clock + duration, EventType::kPhaseEnd);
   };
   const auto begin_attempt = [&] {
     if (stats.attempts >= kMaxPatternAttempts) {
@@ -76,13 +153,20 @@ PatternStats DesProtocolSimulator::simulate_pattern(rng::RngStream& rng,
     silent_struck = false;
     begin_phase(Phase::kWork, t_);
     if (ls_ > 0.0) {
-      silent_id =
-          queue.push(clock + silent_dist_->sample(rng), EventType::kSilent);
+      const double arrival = clock + draw(*silent_dist_, rng);
+      // A silent arrival at or beyond the work phase-end can never fire:
+      // the phase-end (same time or earlier, and the older id) pops
+      // first and cancels it. Skipping the push spares the heap the
+      // schedule-then-cancel round trip of almost every silent arrival;
+      // the draw itself still happened, so the stream is unchanged.
+      if (arrival < clock + t_) {
+        silent_id = queue_.push(arrival, EventType::kSilent);
+      }
     }
   };
   const auto cancel_if_pending = [&](std::uint64_t& id) {
     if (id != kNoEvent) {
-      queue.cancel(id);
+      queue_.cancel(id);
       id = kNoEvent;
     }
   };
@@ -90,10 +174,10 @@ PatternStats DesProtocolSimulator::simulate_pattern(rng::RngStream& rng,
   // arrival and draw a fresh one, mirroring the fast sampler's one-draw-
   // per-attempt / per-recovery-try structure. Memoryless arrivals keep
   // their pending draw (the historical exponential path, bit-for-bit).
-  const auto renew_fail_stop = [&] {
+  const auto renew_fail_stop = [&](double discard_at) {
     if (!renewal_) return;
     cancel_if_pending(fail_stop_id);
-    schedule_fail_stop();
+    schedule_fail_stop(discard_at);
   };
   const auto trace_segment = [&](double begin, double end, SegmentKind kind) {
     if (trace != nullptr) trace->add(begin, end, kind);
@@ -109,10 +193,10 @@ PatternStats DesProtocolSimulator::simulate_pattern(rng::RngStream& rng,
   };
 
   begin_attempt();
-  schedule_fail_stop();
+  schedule_fail_stop(attempt_end());
 
   for (;;) {
-    const auto event = queue.pop();
+    const auto event = queue_.pop();
     AYD_ENSURE(event.has_value(), "protocol simulation ran out of events");
     clock = event->time;
 
@@ -149,7 +233,7 @@ PatternStats DesProtocolSimulator::simulate_pattern(rng::RngStream& rng,
         trace_segment(clock, clock + d_, SegmentKind::kDowntime);
         clock += d_;
         begin_phase(Phase::kRecovery, r_);
-        schedule_fail_stop();  // fresh arrival after the quiet downtime
+        schedule_fail_stop(clock + r_);  // fresh arrival after downtime
         break;
       }
 
@@ -169,7 +253,7 @@ PatternStats DesProtocolSimulator::simulate_pattern(rng::RngStream& rng,
               ++stats.silent_detections;
               silent_struck = false;
               begin_phase(Phase::kRecovery, r_);
-              renew_fail_stop();  // fresh draw per recovery try
+              renew_fail_stop(clock + r_);  // fresh draw per recovery try
             } else {
               begin_phase(Phase::kCheckpoint, c_);
             }
@@ -181,7 +265,7 @@ PatternStats DesProtocolSimulator::simulate_pattern(rng::RngStream& rng,
           case Phase::kRecovery:
             trace_segment(phase_start, clock, SegmentKind::kRecovery);
             begin_attempt();
-            renew_fail_stop();  // fresh draw per attempt
+            renew_fail_stop(attempt_end());  // fresh draw per attempt
             break;
         }
         break;
@@ -200,12 +284,30 @@ FastProtocolSimulator::FastProtocolSimulator(const model::System& sys,
       c_(sys.checkpoint_cost(pattern.procs)),
       r_(sys.recovery_cost(pattern.procs)),
       d_(sys.downtime()),
+      tv_(t_ + v_),
+      tvc_(t_ + v_ + c_),
       fail_dist_(sys.failure().dist().instantiate(lf_)),
-      silent_dist_(sys.failure().dist().instantiate(ls_)) {
+      silent_dist_(sys.failure().dist().instantiate(ls_)),
+      lazy_(sources_unit_samplable(lf_, *fail_dist_, ls_, *silent_dist_)) {
   core::validate(pattern);
+  if (lazy_) {
+    if (lf_ > 0.0) {
+      mthr_fail_ = safe_word_threshold(*fail_dist_, tvc_);
+      mthr_rec_ = safe_word_threshold(*fail_dist_, r_);
+    }
+    if (ls_ > 0.0) mthr_silent_ = safe_word_threshold(*silent_dist_, t_);
+  }
 }
 
 PatternStats FastProtocolSimulator::simulate_pattern(rng::RngStream& rng) {
+  if (!lazy_) return simulate_pattern_general(rng);
+  // One pattern is the n == 1 replica (merging into zeroed totals is the
+  // identity, bitwise: every counter starts at 0 and wall_time > 0).
+  return simulate_replica(rng, 1);
+}
+
+PatternStats FastProtocolSimulator::simulate_pattern_general(
+    rng::RngStream& rng) {
   PatternStats stats;
   double wall = 0.0;
 
@@ -214,12 +316,10 @@ PatternStats FastProtocolSimulator::simulate_pattern(rng::RngStream& rng) {
   // other distributions sample by quantile inversion. Zero-rate sources
   // skip the stream entirely, as they always did.
   const auto sample_fail = [&] {
-    return lf_ > 0.0 ? fail_dist_->sample(rng)
-                     : std::numeric_limits<double>::infinity();
+    return lf_ > 0.0 ? fail_dist_->sample(rng) : kInf;
   };
   const auto sample_silent = [&] {
-    return ls_ > 0.0 ? silent_dist_->sample(rng)
-                     : std::numeric_limits<double>::infinity();
+    return ls_ > 0.0 ? silent_dist_->sample(rng) : kInf;
   };
   // Repeated recovery attempts until one completes without a fail-stop.
   const auto run_recovery = [&] {
@@ -244,11 +344,7 @@ PatternStats FastProtocolSimulator::simulate_pattern(rng::RngStream& rng) {
       throw_diverged(pattern_, lf_, ls_);
     }
     ++stats.attempts;
-    // First fail-stop arrival within this attempt (the renewal point; for
-    // the exponential, memorylessness makes this equivalent to a
-    // persistent arrival clock).
     const double x = sample_fail();
-    // First silent arrival within the computation.
     const double s_arrival = sample_silent();
     const bool silent = s_arrival < t_;
 
@@ -278,6 +374,147 @@ PatternStats FastProtocolSimulator::simulate_pattern(rng::RngStream& rng) {
     stats.wall_time = wall;
     return stats;
   }
+}
+
+PatternStats DesProtocolSimulator::simulate_replica(rng::RngStream& rng,
+                                                    std::size_t n) {
+  PatternStats totals;
+  for (std::size_t p = 0; p < n; ++p) {
+    totals.merge(simulate_pattern(rng));
+  }
+  return totals;
+}
+
+PatternStats FastProtocolSimulator::simulate_replica(rng::RngStream& rng,
+                                                     std::size_t n) {
+  PatternStats totals;
+  if (!lazy_) {
+    for (std::size_t p = 0; p < n; ++p) {
+      totals.merge(simulate_pattern_general(rng));
+    }
+    return totals;
+  }
+
+  // The threshold-filtered replica loop. Each draw consumes exactly the
+  // word the historical sampler would have, but the expensive quantile
+  // inversion only happens when the word lands below the precomputed CDF
+  // threshold — i.e. when the arrival *can* strike inside the window the
+  // decision needs. A draw left at +inf behaves in every comparison
+  // below exactly like the exact value would (the threshold guarantees
+  // the exact value lies beyond every window it is compared against).
+  //
+  // The engine state is copied into a local so the common case — two
+  // words, two integer compares, one accumulate per pattern — runs
+  // entirely in registers; the guard object writes the state back even
+  // if the divergence bound throws mid-replica.
+  rng::Xoshiro256 eng = rng.engine();
+  struct SyncEngine {
+    rng::Xoshiro256& local;
+    rng::RngStream& stream;
+    ~SyncEngine() { stream.engine() = local; }
+  } sync{eng, rng};
+
+  const bool have_fail = lf_ > 0.0;
+  const bool have_silent = ls_ > 0.0;
+  const std::uint64_t mthr_fail = mthr_fail_;
+  const std::uint64_t mthr_silent = mthr_silent_;
+  const std::uint64_t mthr_rec = mthr_rec_;
+  const double t = t_, tv = tv_, tvc = tvc_, r = r_, d = d_;
+
+  for (std::size_t p = 0; p < n; ++p) {
+    // Per-pattern accumulators live in registers; PatternStats is only
+    // touched once per pattern, at the merge below.
+    double wall = 0.0;
+    std::uint64_t attempts = 0;
+    std::uint64_t fail_stops = 0;
+    std::uint64_t recovery_fails = 0;
+    std::uint64_t detections = 0;
+    std::uint64_t masked = 0;
+
+    const auto run_recovery = [&] {
+      for (;;) {
+        double y = kInf;
+        if (have_fail) {
+          const std::uint64_t m = eng() >> 11;
+          if (m < mthr_rec) {
+            y = fail_dist_->sample_value(static_cast<double>(m) * 0x1.0p-53);
+          }
+        }
+        if (y < r) {
+          if (fail_stops >= kMaxPatternAttempts) {
+            throw_diverged(pattern_, lf_, ls_);
+          }
+          ++fail_stops;
+          ++recovery_fails;
+          wall += y + d;
+          continue;
+        }
+        wall += r;
+        return;
+      }
+    };
+
+    for (;;) {
+      if (attempts >= kMaxPatternAttempts) {
+        throw_diverged(pattern_, lf_, ls_);
+      }
+      ++attempts;
+      // First fail-stop arrival within this attempt (the renewal point;
+      // for the exponential, memorylessness makes this equivalent to a
+      // persistent arrival clock).
+      double x = kInf;
+      if (have_fail) {
+        const std::uint64_t m = eng() >> 11;
+        if (m < mthr_fail) {
+          x = fail_dist_->sample_value(static_cast<double>(m) * 0x1.0p-53);
+        }
+      }
+      // First silent arrival within the computation.
+      double s_arrival = kInf;
+      if (have_silent) {
+        const std::uint64_t m = eng() >> 11;
+        if (m < mthr_silent) {
+          s_arrival =
+              silent_dist_->sample_value(static_cast<double>(m) * 0x1.0p-53);
+        }
+      }
+      const bool silent = s_arrival < t;
+
+      if (x < tv) {
+        // Fail-stop during compute or verification.
+        ++fail_stops;
+        if (silent && s_arrival < x) ++masked;
+        wall += x + d;
+        run_recovery();
+        continue;
+      }
+      if (silent) {
+        // Survived to the end of verification; the silent error is
+        // caught.
+        ++detections;
+        wall += tv;
+        run_recovery();
+        continue;
+      }
+      if (x < tvc) {
+        // Fail-stop while storing the checkpoint.
+        ++fail_stops;
+        wall += x + d;
+        run_recovery();
+        continue;
+      }
+      wall += tvc;
+      break;
+    }
+
+    totals.wall_time += wall;
+    totals.attempts += attempts;
+    totals.fail_stop_errors += fail_stops;
+    totals.recovery_fail_stops += recovery_fails;
+    totals.silent_detections += detections;
+    totals.masked_silent += masked;
+  }
+  return totals;
 }
 
 }  // namespace ayd::sim

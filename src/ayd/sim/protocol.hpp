@@ -23,17 +23,35 @@
 // renewal points, so they stay distributionally equivalent for every
 // distribution (the statistical test tier checks this).
 //
-// The simulator processes each pattern as a little event-driven state
-// machine over an EventQueue: pending error arrivals and phase-end events
-// compete; preempted phases cancel their events lazily.
+// Hot-path engineering (both simulators produce results bit-identical to
+// the straightforward implementations they replace; the pre-overhaul
+// pins and the reference cross-check in tests/sim_bitcompat_test.cpp
+// enforce this):
+//
+//  * DesProtocolSimulator owns an arena EventQueue reused across
+//    patterns and replicas (zero steady-state allocation) and draws
+//    arrivals through a batched unit-variate block — uniforms are pulled
+//    from the stream in the historical order, the expensive part of the
+//    quantile inversion (log / pow / normal-quantile) runs in bulk over
+//    a cache-resident block, and only the cheap rate scaling happens per
+//    draw.
+//  * FastProtocolSimulator filters each draw through a precomputed CDF
+//    threshold: an attempt whose uniforms say "no error strikes before
+//    the checkpoint is stored" — the overwhelmingly common case at
+//    realistic rates — costs two uniforms and two compares, with no
+//    transcendental calls at all. Draws near a decision boundary or
+//    inside an error window fall back to the exact historical
+//    arithmetic on the very same uniform, so results cannot drift.
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 
 #include "ayd/core/pattern.hpp"
 #include "ayd/model/system.hpp"
+#include "ayd/rng/block.hpp"
 #include "ayd/rng/stream.hpp"
 #include "ayd/sim/event_queue.hpp"
 #include "ayd/sim/trace.hpp"
@@ -45,6 +63,18 @@ namespace ayd::sim {
 /// (i.e. λf·(T+V+C)+λs·T ≳ 16) would take effectively forever to finish;
 /// the simulators throw util::SimulationDiverged instead of spinning.
 inline constexpr std::uint64_t kMaxPatternAttempts = 10'000'000;
+
+/// Conservative CDF threshold in the 53-bit word space of uniform01
+/// draws (the uniform is (w >> 11) * 2^-53): every word w with
+/// (w >> 11) >= safe_word_threshold(dist, window) is guaranteed to
+/// satisfy dist.sample_value(that uniform) >= window in exact
+/// floating-point evaluation, so the fast simulator can classify the
+/// draw without performing the quantile inversion. The margin is sized
+/// to dominate the worst cdf/quantile inconsistency across the analytic
+/// kinds (see the implementation); soundness is scanned at the boundary
+/// by tests/sim_bitcompat_test.cpp.
+[[nodiscard]] std::uint64_t safe_word_threshold(
+    const model::FailureDistribution& dist, double window);
 
 /// Counters for one simulated pattern (all re-execution included).
 struct PatternStats {
@@ -66,21 +96,47 @@ struct PatternStats {
 };
 
 /// Event-queue-driven reference simulator. Faithful and traceable; use
-/// FastProtocolSimulator for bulk replication (same distribution, ~5x
-/// faster — the ablation bench quantifies it).
+/// FastProtocolSimulator for bulk replication (same distribution, much
+/// faster — bench/micro_sim quantifies it).
 class DesProtocolSimulator {
  public:
   DesProtocolSimulator(const model::System& sys, const core::Pattern& pattern);
 
   /// Simulates one pattern to successful completion. If `trace` is given,
   /// appends labelled segments starting at `start_time`.
+  ///
+  /// The simulator may prefetch variates from `rng` (batched sampling),
+  /// so `rng` can advance past the words actually consumed. Passing a
+  /// *different* stream to a later call is safe — the simulator
+  /// fingerprints the engine state and discards stale prefetch
+  /// automatically — but interleaving other draws on the same stream
+  /// between calls shifts positions relative to a prefetch-free
+  /// implementation (the discarded prefetched words are skipped).
   [[nodiscard]] PatternStats simulate_pattern(rng::RngStream& rng,
                                               Trace* trace = nullptr,
                                               double start_time = 0.0);
 
+  /// Simulates `n` patterns back to back and merges their stats —
+  /// equivalent to n simulate_pattern calls (bitwise: wall times are
+  /// accumulated per pattern first, exactly like PatternStats::merge),
+  /// but with the pattern loop inside the simulator so nothing crosses a
+  /// call boundary per pattern. This is the replication driver's loop.
+  [[nodiscard]] PatternStats simulate_replica(rng::RngStream& rng,
+                                              std::size_t n);
+
+  /// Discards batched variates prefetched from the current stream.
+  /// Stream switches are also detected automatically (simulate_pattern
+  /// fingerprints the engine state), so this is an explicit fast-path
+  /// hint for drivers that know the boundary — the replication driver
+  /// calls it at every replica switch.
+  void begin_replica() { units_.reset(); }
+
   [[nodiscard]] const core::Pattern& pattern() const { return pattern_; }
 
  private:
+  [[nodiscard]] double draw(const model::FailureDistribution& dist,
+                            rng::RngStream& rng);
+
   core::Pattern pattern_;
   double lf_;  ///< fail-stop rate at P
   double ls_;  ///< silent rate at P
@@ -92,6 +148,17 @@ class DesProtocolSimulator {
   std::unique_ptr<const model::FailureDistribution> fail_dist_;
   std::unique_ptr<const model::FailureDistribution> silent_dist_;
   bool renewal_;  ///< redraw pending arrivals at renewal points
+  bool batched_;  ///< active sources factor through one unit block
+  /// Unit-transform source for the shared block (both error sources are
+  /// instantiated from one spec, so their unit transform is identical).
+  const model::FailureDistribution* unit_src_ = nullptr;
+  rng::VariateBlock units_;  ///< batched unit variates (arena scratch)
+  /// Engine state expected on the next simulate_pattern call while
+  /// prefetched variates are buffered; a mismatch means the caller
+  /// switched streams, and the stale buffer is discarded (256-bit
+  /// fingerprint — a cross-stream collision is not a practical concern).
+  std::array<std::uint64_t, 4> expected_state_{};
+  EventQueue queue_;         ///< arena event queue, reused across patterns
 };
 
 /// Closed-form per-segment sampler: draws each attempt's fate directly
@@ -106,9 +173,23 @@ class FastProtocolSimulator {
 
   [[nodiscard]] PatternStats simulate_pattern(rng::RngStream& rng);
 
+  /// Simulates `n` patterns back to back and merges their stats —
+  /// equivalent to n simulate_pattern calls, with the loop inside the
+  /// simulator (see DesProtocolSimulator::simulate_replica).
+  [[nodiscard]] PatternStats simulate_replica(rng::RngStream& rng,
+                                              std::size_t n);
+
+  /// Stream-boundary hook for driver symmetry with the DES simulator.
+  /// The fast sampler never prefetches, so this is a no-op.
+  void begin_replica() {}
+
   [[nodiscard]] const core::Pattern& pattern() const { return pattern_; }
 
  private:
+  /// The historical draw-everything loop; used when a source cannot be
+  /// threshold-filtered (trace replay's variable word consumption).
+  [[nodiscard]] PatternStats simulate_pattern_general(rng::RngStream& rng);
+
   core::Pattern pattern_;
   double lf_;
   double ls_;
@@ -117,8 +198,20 @@ class FastProtocolSimulator {
   double c_;
   double r_;
   double d_;
+  double tv_;   ///< T + V (precomputed with the historical expression)
+  double tvc_;  ///< T + V + C
   std::unique_ptr<const model::FailureDistribution> fail_dist_;
   std::unique_ptr<const model::FailureDistribution> silent_dist_;
+  bool lazy_;  ///< threshold filter usable for every active source
+  /// Safe thresholds in 53-bit word space: a draw whose word w satisfies
+  /// (w >> 11) >= mthr_* is guaranteed to land beyond the corresponding
+  /// window in exact arithmetic, so its arrival time never needs to be
+  /// computed. Comparing the integer mantissa is exact (the uniform is
+  /// (w >> 11) * 2^-53, a lossless scaling) and keeps the hot path free
+  /// of floating-point conversions.
+  std::uint64_t mthr_fail_ = 0;    ///< fail-stop before T+V+C possible
+  std::uint64_t mthr_silent_ = 0;  ///< silent arrival before T possible
+  std::uint64_t mthr_rec_ = 0;     ///< fail-stop before R possible
 };
 
 }  // namespace ayd::sim

@@ -10,40 +10,53 @@ namespace ayd::sim {
 
 namespace {
 
-struct ReplicaOutcome {
-  double overhead = 0.0;
-  double mean_pattern_time = 0.0;
-  PatternStats totals;
-};
-
-ReplicaOutcome run_replica(const model::System& sys,
-                           const core::Pattern& pattern,
-                           const ReplicationOptions& opt,
-                           std::uint64_t replica_index) {
-  rng::RngStream rng(opt.seed, replica_index);
-  PatternStats totals;
-
-  if (opt.backend == Backend::kDes) {
-    DesProtocolSimulator simulator(sys, pattern);
-    for (std::size_t i = 0; i < opt.patterns_per_replica; ++i) {
-      totals.merge(simulator.simulate_pattern(rng));
-    }
-  } else {
-    FastProtocolSimulator simulator(sys, pattern);
-    for (std::size_t i = 0; i < opt.patterns_per_replica; ++i) {
-      totals.merge(simulator.simulate_pattern(rng));
-    }
-  }
-
-  const auto n = static_cast<double>(opt.patterns_per_replica);
+/// Runs replicas [begin, end) on one reusable simulator and writes their
+/// outcomes. Hoisting the simulator out of the replica loop is what makes
+/// replication allocation-free steady-state: the simulator's arenas
+/// (event queue, batched-variate block) and distribution instantiations
+/// are paid once per chunk, not once per replica. Results are invariant
+/// to the chunking because replica i's RNG stream is a pure function of
+/// (seed, i).
+template <typename Simulator>
+void run_replica_range(const model::System& sys, const core::Pattern& pattern,
+                       const ReplicationOptions& opt, std::size_t begin,
+                       std::size_t end, ReplicaOutcome* out) {
+  Simulator simulator(sys, pattern);
   // Fault-free time of the work contained in n patterns, in serial-time
   // units: n·T·S(P) (cf. paper, "Optimization objective").
+  const auto n = static_cast<double>(opt.patterns_per_replica);
   const double work = n * pattern.period * sys.speedup(pattern.procs);
-  ReplicaOutcome out;
-  out.totals = totals;
-  out.overhead = totals.wall_time / work;
-  out.mean_pattern_time = totals.wall_time / n;
-  return out;
+
+  for (std::size_t i = begin; i < end; ++i) {
+    simulator.begin_replica();  // drop variates prefetched from stream i-1
+    rng::RngStream rng(opt.seed, i);
+    const PatternStats totals =
+        simulator.simulate_replica(rng, opt.patterns_per_replica);
+    ReplicaOutcome& o = out[i - begin];
+    o.totals = totals;
+    o.overhead = totals.wall_time / work;
+    o.mean_pattern_time = totals.wall_time / n;
+  }
+}
+
+void run_replicas(const model::System& sys, const core::Pattern& pattern,
+                  const ReplicationOptions& opt, exec::ThreadPool* pool,
+                  std::vector<ReplicaOutcome>& outcomes) {
+  outcomes.resize(opt.replicas);
+  const auto run_chunk = [&](std::size_t begin, std::size_t end) {
+    if (opt.backend == Backend::kDes) {
+      run_replica_range<DesProtocolSimulator>(sys, pattern, opt, begin, end,
+                                              outcomes.data() + begin);
+    } else {
+      run_replica_range<FastProtocolSimulator>(sys, pattern, opt, begin, end,
+                                               outcomes.data() + begin);
+    }
+  };
+  if (pool != nullptr) {
+    exec::parallel_for_chunks(*pool, opt.replicas, run_chunk);
+  } else {
+    run_chunk(0, opt.replicas);
+  }
 }
 
 }  // namespace
@@ -51,23 +64,17 @@ ReplicaOutcome run_replica(const model::System& sys,
 ReplicationResult simulate_overhead(const model::System& sys,
                                     const core::Pattern& pattern,
                                     const ReplicationOptions& opt,
-                                    exec::ThreadPool* pool) {
+                                    exec::ThreadPool* pool,
+                                    ReplicationScratch* scratch) {
   AYD_REQUIRE(opt.replicas >= 1, "need at least one replica");
   AYD_REQUIRE(opt.patterns_per_replica >= 1,
               "need at least one pattern per replica");
   core::validate(pattern);
 
-  std::vector<ReplicaOutcome> outcomes;
-  if (pool != nullptr) {
-    outcomes = exec::parallel_map(*pool, opt.replicas, [&](std::size_t i) {
-      return run_replica(sys, pattern, opt, i);
-    });
-  } else {
-    outcomes.reserve(opt.replicas);
-    for (std::size_t i = 0; i < opt.replicas; ++i) {
-      outcomes.push_back(run_replica(sys, pattern, opt, i));
-    }
-  }
+  std::vector<ReplicaOutcome> local;
+  std::vector<ReplicaOutcome>& outcomes =
+      scratch != nullptr ? scratch->outcomes : local;
+  run_replicas(sys, pattern, opt, pool, outcomes);
 
   // Deterministic reduction in replica order.
   stats::RunningStats overhead_stats;

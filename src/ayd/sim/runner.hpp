@@ -51,12 +51,34 @@ struct ReplicationResult {
   std::uint64_t total_patterns = 0;
 };
 
+/// One replica's reduced measurements (simulate_overhead's intermediate).
+struct ReplicaOutcome {
+  double overhead = 0.0;
+  double mean_pattern_time = 0.0;
+  PatternStats totals;
+};
+
+/// Reusable scratch for simulate_overhead: the per-replica outcome arena.
+/// A sweep that evaluates thousands of grid points calls
+/// simulate_overhead once per point; handing each call the same scratch
+/// keeps the steady state allocation-free (the simulators' own arenas —
+/// event queue, variate block — already live inside the per-call
+/// simulator). Not thread-safe: use one per calling thread (the engine's
+/// evaluator keeps one per worker).
+struct ReplicationScratch {
+  std::vector<ReplicaOutcome> outcomes;
+};
+
 /// Simulates `replicas` independent applications of
 /// `patterns_per_replica` patterns each and summarises the measured
 /// execution overhead against the analytic prediction. If `pool` is
-/// non-null the replicas run in parallel on it.
+/// non-null the replicas run in parallel on it (one reusable simulator
+/// per contiguous worker chunk; results are bit-identical for any thread
+/// count because replica i always draws from RNG substream (seed, i)).
+/// `scratch`, when given, is reused across calls.
 [[nodiscard]] ReplicationResult simulate_overhead(
     const model::System& sys, const core::Pattern& pattern,
-    const ReplicationOptions& opt = {}, exec::ThreadPool* pool = nullptr);
+    const ReplicationOptions& opt = {}, exec::ThreadPool* pool = nullptr,
+    ReplicationScratch* scratch = nullptr);
 
 }  // namespace ayd::sim

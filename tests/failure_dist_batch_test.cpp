@@ -1,0 +1,101 @@
+// Batched quantile inversion vs the scalar sampler: bitwise-equal
+// streams per seed. This is the reproducibility contract the simulators
+// lean on — from_unit(sample_units(...)[i]) == sample() fed the same
+// words, and sample_value(u) == sample() had it drawn u.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ayd/model/failure_dist.hpp"
+#include "ayd/rng/block.hpp"
+#include "ayd/rng/stream.hpp"
+#include "ayd/util/error.hpp"
+
+namespace ayd::model {
+namespace {
+
+std::vector<FailureDistSpec> analytic_specs() {
+  return {FailureDistSpec::exponential(), FailureDistSpec::weibull(0.7),
+          FailureDistSpec::weibull(1.5), FailureDistSpec::lognormal(0.5),
+          FailureDistSpec::lognormal(2.0)};
+}
+
+TEST(FailureDistBatch, AnalyticKindsAreUnitSamplable) {
+  for (const auto& spec : analytic_specs()) {
+    EXPECT_TRUE(spec.instantiate(1e-6)->unit_samplable())
+        << spec.to_string();
+  }
+  // Trace replay consumes a variable number of words per draw; the
+  // degenerate rate-0 distribution consumes none. Neither can batch.
+  EXPECT_FALSE(FailureDistSpec::trace_replay({1.0, 2.0, 3.0})
+                   .instantiate(1e-6)
+                   ->unit_samplable());
+  EXPECT_FALSE(FailureDistSpec::exponential().instantiate(0.0)
+                   ->unit_samplable());
+}
+
+TEST(FailureDistBatch, BatchedStreamBitwiseEqualsScalarStream) {
+  constexpr std::size_t kDraws = 1000;
+  for (const auto& spec : analytic_specs()) {
+    const auto dist = spec.instantiate(2.5e-7);
+    for (std::uint64_t seed : {1ULL, 42ULL, 1234567ULL}) {
+      rng::RngStream scalar(seed), batched(seed);
+      rng::VariateBlock block;
+      for (std::size_t i = 0; i < kDraws; ++i) {
+        const double want = dist->sample(scalar);
+        const double got = dist->from_unit(block.next(
+            [&](double* z, std::size_t n) { dist->sample_units(batched, z, n); }));
+        ASSERT_EQ(got, want)
+            << spec.to_string() << " seed " << seed << " draw " << i;
+      }
+    }
+  }
+}
+
+TEST(FailureDistBatch, UnitBlockServesBothRatesOfOneSpec) {
+  // The simulators feed fail-stop and silent sources (same spec,
+  // different rates) from one unit block; each scaled draw must equal
+  // the scalar draw the historical alternating sequence would produce.
+  for (const auto& spec : analytic_specs()) {
+    const auto fail = spec.instantiate(4e-7);
+    const auto silent = spec.instantiate(9e-8);
+    rng::RngStream scalar(77), batched(77);
+    rng::VariateBlock block;
+    const auto refill = [&](double* z, std::size_t n) {
+      fail->sample_units(batched, z, n);
+    };
+    for (int i = 0; i < 500; ++i) {
+      const double want_fail = fail->sample(scalar);
+      const double want_silent = silent->sample(scalar);
+      ASSERT_EQ(fail->from_unit(block.next(refill)), want_fail)
+          << spec.to_string() << " draw " << i;
+      ASSERT_EQ(silent->from_unit(block.next(refill)), want_silent)
+          << spec.to_string() << " draw " << i;
+    }
+  }
+}
+
+TEST(FailureDistBatch, SampleValueMatchesSampleGivenSameWord) {
+  for (const auto& spec : analytic_specs()) {
+    const auto dist = spec.instantiate(1.3e-6);
+    rng::RngStream scalar(11), words(11);
+    for (int i = 0; i < 1000; ++i) {
+      const double u = words.next_uniform01();
+      ASSERT_EQ(dist->sample_value(u), dist->sample(scalar))
+          << spec.to_string() << " draw " << i;
+    }
+  }
+}
+
+TEST(FailureDistBatch, NonBatchableKindsThrowOnUnitApi) {
+  const auto trace = FailureDistSpec::trace_replay({1.0, 5.0}).instantiate(1e-6);
+  rng::RngStream rng(1);
+  double z[4];
+  EXPECT_THROW((void)trace->sample_value(0.5), util::LogicError);
+  EXPECT_THROW(trace->sample_units(rng, z, 4), util::LogicError);
+  EXPECT_THROW((void)trace->from_unit(1.0), util::LogicError);
+}
+
+}  // namespace
+}  // namespace ayd::model

@@ -1,0 +1,79 @@
+// Batched RNG: bulk fills must be bit-identical to the equivalent scalar
+// call sequences, and VariateBlock must be a pure prefetch (same values,
+// same order, refill only when drained).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ayd/rng/block.hpp"
+#include "ayd/rng/stream.hpp"
+
+namespace ayd::rng {
+namespace {
+
+TEST(RngBlock, FillU64MatchesScalarDraws) {
+  for (std::uint64_t seed : {0ULL, 1ULL, 0xDEADBEEFULL}) {
+    RngStream scalar(seed), bulk(seed);
+    std::array<std::uint64_t, 257> out{};  // odd size: no alignment luck
+    bulk.fill_u64(out.data(), out.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], scalar.next_u64()) << "word " << i;
+    }
+    // Streams end at the same position.
+    EXPECT_EQ(bulk.next_u64(), scalar.next_u64());
+  }
+}
+
+TEST(RngBlock, FillUniform01MatchesScalarDraws) {
+  for (std::uint64_t seed : {7ULL, 42ULL}) {
+    RngStream scalar(seed), bulk(seed);
+    std::array<double, 129> out{};
+    bulk.fill_uniform01(out.data(), out.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], scalar.next_uniform01()) << "draw " << i;
+    }
+    EXPECT_EQ(bulk.next_uniform01(), scalar.next_uniform01());
+  }
+}
+
+TEST(RngBlock, VariateBlockIsAPurePrefetch) {
+  RngStream scalar(99), blocked(99);
+  VariateBlock block;
+  int refills = 0;
+  const auto refill = [&](double* out, std::size_t n) {
+    ++refills;
+    blocked.fill_uniform01(out, n);
+  };
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(block.next(refill), scalar.next_uniform01()) << "draw " << i;
+  }
+  // 1000 draws over blocks of kVariateBlockSize.
+  EXPECT_EQ(refills,
+            static_cast<int>((1000 + kVariateBlockSize - 1) /
+                             kVariateBlockSize));
+}
+
+TEST(RngBlock, ResetDiscardsBufferedVariates) {
+  RngStream rng(5);
+  VariateBlock block;
+  const auto refill = [&](double* out, std::size_t n) {
+    rng.fill_uniform01(out, n);
+  };
+  (void)block.next(refill);
+  EXPECT_EQ(block.buffered(), kVariateBlockSize - 1);
+  block.reset();
+  EXPECT_EQ(block.buffered(), 0u);
+  // After reset the next draw comes from the *current* stream position,
+  // not from stale buffered values.
+  RngStream expect(5);
+  std::vector<double> first(kVariateBlockSize);
+  expect.fill_uniform01(first.data(), first.size());
+  const double next = block.next(refill);
+  EXPECT_EQ(next, expect.next_uniform01());
+}
+
+}  // namespace
+}  // namespace ayd::rng

@@ -1,0 +1,116 @@
+// Steady-state allocation behaviour of the replication driver.
+//
+// The hot-path overhaul's contract: once a ReplicationScratch (and the
+// per-chunk simulator arenas it implies) is warm, simulate_overhead's
+// cost is independent of how many replicas/patterns run — in particular,
+// the number of heap allocations per call is a small constant, NOT a
+// function of the replica count. This test overrides global operator
+// new/delete (per-binary, which is why it lives alone) to count
+// allocations and pins that invariant.
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/sim/runner.hpp"
+
+namespace {
+
+std::size_t g_allocations = 0;
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_allocations;
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace ayd::sim {
+namespace {
+
+std::size_t allocations_during(const model::System& sys,
+                               const core::Pattern& pattern,
+                               ReplicationOptions opt,
+                               ReplicationScratch& scratch) {
+  const std::size_t before = g_allocations;
+  (void)simulate_overhead(sys, pattern, opt, nullptr, &scratch);
+  return g_allocations - before;
+}
+
+TEST(SimAllocations, SteadyStateIsIndependentOfReplicaCount) {
+  const model::System sys =
+      model::System::from_platform(model::hera(), model::Scenario::kS1);
+  const core::Pattern pattern{5000.0, 512.0};
+
+  for (const Backend backend : {Backend::kFast, Backend::kDes}) {
+    ReplicationOptions opt;
+    opt.backend = backend;
+    opt.patterns_per_replica = 50;
+
+    ReplicationScratch scratch;
+    // Warm-up at the LARGEST size so the outcome arena never regrows.
+    opt.replicas = 96;
+    (void)allocations_during(sys, pattern, opt, scratch);
+
+    opt.replicas = 12;
+    const std::size_t small = allocations_during(sys, pattern, opt, scratch);
+    opt.replicas = 96;
+    const std::size_t large = allocations_during(sys, pattern, opt, scratch);
+
+    EXPECT_EQ(small, large)
+        << (backend == Backend::kFast ? "fast" : "des")
+        << ": allocation count must not scale with replicas";
+    // A warm call allocates only per-call constants (distribution
+    // instantiations and friends) — a handful, not hundreds.
+    EXPECT_LE(large, 16u)
+        << (backend == Backend::kFast ? "fast" : "des");
+  }
+}
+
+TEST(SimAllocations, PatternsPerReplicaCostNoAllocations) {
+  const model::System sys =
+      model::System::from_platform(model::hera(), model::Scenario::kS1);
+  const core::Pattern pattern{5000.0, 512.0};
+
+  for (const Backend backend : {Backend::kFast, Backend::kDes}) {
+    ReplicationOptions opt;
+    opt.backend = backend;
+    opt.replicas = 8;
+
+    ReplicationScratch scratch;
+    opt.patterns_per_replica = 400;
+    (void)allocations_during(sys, pattern, opt, scratch);
+
+    opt.patterns_per_replica = 25;
+    const std::size_t few = allocations_during(sys, pattern, opt, scratch);
+    opt.patterns_per_replica = 400;
+    const std::size_t many = allocations_during(sys, pattern, opt, scratch);
+
+    // 16x the patterns may cost at most a couple of one-time arena
+    // growths (e.g. the cancellation-mark vector's first use) — never a
+    // per-pattern allocation.
+    EXPECT_LE(many, few + 2)
+        << (backend == Backend::kFast ? "fast" : "des")
+        << ": per-pattern simulation must not allocate";
+    EXPECT_LE(many, 16u) << (backend == Backend::kFast ? "fast" : "des");
+  }
+}
+
+}  // namespace
+}  // namespace ayd::sim

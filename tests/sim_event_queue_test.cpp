@@ -1,7 +1,12 @@
 #include "ayd/sim/event_queue.hpp"
 
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "ayd/rng/stream.hpp"
 #include "ayd/util/error.hpp"
 
 namespace ayd::sim {
@@ -41,6 +46,20 @@ TEST(EventQueue, CancelUnknownIdIsNoop) {
   (void)q.push(1.0, EventType::kPhaseEnd);
   q.cancel(999);
   EXPECT_TRUE(q.pop().has_value());
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  (void)q.push(1.0, EventType::kPhaseEnd);  // occupies the front slot
+  const auto a = q.push(2.0, EventType::kSilent);   // lands in the heap
+  const auto b = q.push(3.0, EventType::kFailStop);
+  q.cancel(a);
+  q.cancel(a);  // duplicate mark must not be recorded twice
+  EXPECT_EQ(q.live_size(), 2u);
+  EXPECT_DOUBLE_EQ(q.pop()->time, 1.0);
+  EXPECT_EQ(q.pop()->id, b);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_EQ(q.live_size(), 0u);  // no stale mark left to underflow
 }
 
 TEST(EventQueue, PeekDoesNotRemove) {
@@ -103,6 +122,151 @@ TEST(EventTypeName, AllNamed) {
   EXPECT_EQ(event_type_name(EventType::kFailStop), "fail-stop");
   EXPECT_EQ(event_type_name(EventType::kSilent), "silent");
   EXPECT_EQ(event_type_name(EventType::kPhaseEnd), "phase-end");
+}
+
+// ---- oracle tests for the arena heap + front slot ----------------------
+//
+// Reference model: std::priority_queue over the same (time, id) order
+// with a lazy-cancellation set — the structure the arena queue replaced.
+// Random workloads drive both and every pop must agree.
+
+class OracleQueue {
+ public:
+  std::uint64_t push(double time, EventType type) {
+    const std::uint64_t id = next_id_++;
+    heap_.push(Event{time, type, id});
+    return id;
+  }
+  void cancel(std::uint64_t id) { cancelled_.insert(id); }
+  std::optional<Event> pop() {
+    skip();
+    if (heap_.empty()) return std::nullopt;
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+  std::optional<Event> peek() {
+    skip();
+    if (heap_.empty()) return std::nullopt;
+    return heap_.top();
+  }
+  void clear() {
+    heap_ = {};
+    cancelled_.clear();
+    next_id_ = 0;
+  }
+
+ private:
+  void skip() {
+    while (!heap_.empty()) {
+      const auto it = cancelled_.find(heap_.top().id);
+      if (it == cancelled_.end()) return;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_id_ = 0;
+};
+
+void expect_same(const std::optional<Event>& a, const std::optional<Event>& b,
+                 const char* what, int step) {
+  ASSERT_EQ(a.has_value(), b.has_value()) << what << " at step " << step;
+  if (a.has_value()) {
+    EXPECT_EQ(a->time, b->time) << what << " at step " << step;
+    EXPECT_EQ(a->id, b->id) << what << " at step " << step;
+    EXPECT_EQ(a->type, b->type) << what << " at step " << step;
+  }
+}
+
+TEST(EventQueueOracle, RandomWorkloadsDrainIdentically) {
+  rng::RngStream rng(2024);
+  for (int round = 0; round < 50; ++round) {
+    EventQueue q;
+    OracleQueue oracle;
+    std::vector<std::uint64_t> live;  // ids that may still be pending
+    const int steps = 40 + static_cast<int>(rng.next_index(160));
+    for (int s = 0; s < steps; ++s) {
+      switch (rng.next_index(10)) {
+        case 0:
+        case 1:
+        case 2:
+        case 3: {  // push, with deliberate tie mass
+          const double time =
+              rng.next_bernoulli(0.25)
+                  ? static_cast<double>(rng.next_index(4))
+                  : rng.next_uniform(0.0, 100.0);
+          const auto type =
+              static_cast<EventType>(rng.next_index(3));
+          const auto a = q.push(time, type);
+          const auto b = oracle.push(time, type);
+          ASSERT_EQ(a, b);
+          live.push_back(a);
+          break;
+        }
+        case 4:
+        case 5:
+        case 6: {  // pop
+          expect_same(q.pop(), oracle.pop(), "pop", s);
+          break;
+        }
+        case 7: {  // peek
+          expect_same(q.peek(), oracle.peek(), "peek", s);
+          break;
+        }
+        case 8: {  // cancel a random (possibly already-popped) id
+          if (!live.empty()) {
+            const auto idx = rng.next_index(live.size());
+            q.cancel(live[idx]);
+            oracle.cancel(live[idx]);
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+          }
+          break;
+        }
+        case 9: {  // occasional clear: fresh id epoch on both sides
+          if (rng.next_bernoulli(0.2)) {
+            q.clear();
+            oracle.clear();
+            live.clear();
+          }
+          break;
+        }
+      }
+    }
+    // Drain completely; order must match to the end.
+    for (int guard = 0; guard < steps + 1; ++guard) {
+      const auto a = q.pop();
+      const auto b = oracle.pop();
+      expect_same(a, b, "drain", guard);
+      if (!a.has_value()) break;
+    }
+  }
+}
+
+TEST(EventQueueOracle, ReuseAcrossEpochsKeepsFreshIds) {
+  EventQueue q;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const auto a = q.push(2.0, EventType::kPhaseEnd);
+    const auto b = q.push(1.0, EventType::kSilent);
+    EXPECT_EQ(a, 0u) << "ids restart each clear() epoch";
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(q.pop()->id, b);
+    q.clear();
+  }
+}
+
+TEST(EventQueueOracle, SlotDisplacementKeepsHeapOrder) {
+  // Regression shape for the front slot: a newer-but-earlier push must
+  // displace the buffered event into the heap, not lose it.
+  EventQueue q;
+  (void)q.push(5.0, EventType::kPhaseEnd);   // slot
+  (void)q.push(3.0, EventType::kSilent);     // displaces slot
+  (void)q.push(4.0, EventType::kFailStop);   // lands in heap
+  EXPECT_DOUBLE_EQ(q.pop()->time, 3.0);
+  EXPECT_DOUBLE_EQ(q.pop()->time, 4.0);
+  EXPECT_DOUBLE_EQ(q.pop()->time, 5.0);
+  EXPECT_FALSE(q.pop().has_value());
 }
 
 }  // namespace
