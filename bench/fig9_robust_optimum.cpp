@@ -1,0 +1,171 @@
+// Figure 9 (beyond the paper): the price of the exponential closed form,
+// and the simulation-true optimum that replaces it.
+//
+// fig8 showed that executing the exponential-assumption optimum under
+// Weibull failures costs more than the model predicts. This experiment
+// closes the loop: at the platform's measured allocation it (1) plans
+// the period with the paper's exponential formula, (2) finds the *true*
+// optimum of the configured non-exponential process with the
+// simulation-driven optimizer (core/sim_optimizer: adaptive replication,
+// common random numbers, paired-CI stopping), and (3) executes both
+// under the true process. Columns report the period shift T*sim/T*exp
+// and the overhead gap H(T*exp)/H(T*sim) − 1 — the fraction of wall
+// clock the exponential assumption wastes, with confidence intervals.
+// At k = 1 (genuinely exponential inter-arrivals sampled through the
+// Weibull quantile) the gap must vanish within noise.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+#include "ayd/engine/engine.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/util/strings.hpp"
+
+namespace {
+
+using namespace ayd;
+
+engine::EvalSpec make_spec(const cli::ExperimentContext& ctx,
+                           std::size_t max_reps) {
+  engine::EvalSpec spec;
+  spec.numerical = true;  // the exponential-formula planner
+  spec.sim_optimize = true;
+  spec.sim_search.period.replication = ctx.replication();
+  spec.sim_search.period.adaptive.min_replicas = ctx.runs;
+  spec.sim_search.period.adaptive.max_replicas =
+      std::max(max_reps, ctx.runs);
+  return spec;
+}
+
+engine::Record eval_one(const model::System& sys, double procs,
+                        const std::string& family, double shape,
+                        const engine::EvalSpec& spec) {
+  const engine::PointEval ev = engine::evaluate_point(sys, spec, procs);
+
+  // Execute the exponential-formula period under the true process, with
+  // the same adaptive stopping rule (and the same CRN seed) the
+  // optimizer's candidates used, so the two overhead columns are
+  // comparable point estimates.
+  static thread_local sim::ReplicationScratch scratch;
+  const sim::ReplicationResult at_exp = sim::simulate_overhead_adaptive(
+      sys, {ev.period->period, procs}, spec.sim_search.period.replication,
+      spec.sim_search.period.adaptive, nullptr, &scratch);
+
+  const core::SimPeriodOptimum& sim = *ev.sim_period;
+  engine::Record r;
+  r.set("dist", sys.failure().dist().to_string());
+  r.set("family", family);
+  r.set("shape", shape);
+  r.set("exp_period", ev.period->period);
+  r.set("sim_period", sim.period);
+  r.set("period_ratio", sim.period / ev.period->period);
+  r.set("pred_overhead", ev.period->overhead);
+  r.set("exp_sim_cell", engine::mean_ci_cell(at_exp.overhead));
+  r.set("exp_sim_overhead", at_exp.overhead.mean);
+  r.set("opt_sim_cell", engine::mean_ci_cell(sim.overhead));
+  r.set("opt_sim_overhead", sim.overhead.mean);
+  r.set("gap", at_exp.overhead.mean / sim.overhead.mean - 1.0);
+  r.set("replicas", static_cast<double>(sim.total_replicas));
+  // 0 when max_reps capped either estimate before the CI target: the
+  // intervals on that row are wider than the requested ci_rel_tol.
+  r.set("ci_ok", sim.ci_converged && at_exp.ci_converged ? 1.0 : 0.0);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run_experiment_main(
+      argc, argv,
+      "Figure 9 — exponential-formula vs. simulation-true optima",
+      "period shift and overhead gap of the exponential-assumption "
+      "planner across Weibull shapes and lognormal sigmas (simulated "
+      "optima carry adaptive-replication confidence intervals)",
+      [](cli::ArgParser& p) {
+        p.add_option("platform", "hera", "platform preset to stress");
+        p.add_option("scenario", "3", "Table III resilience scenario");
+        p.add_option("alpha", "0.1", "sequential fraction");
+        p.add_option("ci-rel-tol", "0.02",
+                     "adaptive replication CI target (relative)");
+        p.add_option("max-reps", "4096",
+                     "adaptive replication cap per candidate");
+      },
+      [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
+        const model::Platform platform =
+            model::platform_by_name(args.option("platform"));
+        const model::Scenario scenario =
+            model::scenario_from_string(args.option("scenario"));
+        const double alpha = args.option_double("alpha");
+        const double procs = platform.measured_procs;
+        auto pool = ctx.make_pool();
+
+        const engine::EvalSpec base_spec = make_spec(
+            ctx, static_cast<std::size_t>(args.option_uint("max-reps")));
+        const engine::SystemSpec base{platform, scenario, alpha};
+
+        const auto run_family = [&](const char* family, const char* axis,
+                                    std::vector<double> shapes) {
+          engine::GridSpec grid;
+          grid.axis(engine::Axis::list(axis, std::move(shapes)));
+          // The CI target rides along as an evaluation-level axis so the
+          // per-point spec comes out of apply_eval_axes, exactly like a
+          // ci_rel_tol sweep would.
+          grid.axis(engine::Axis::list(
+              "ci_rel_tol", {args.option_double("ci-rel-tol")}));
+          return engine::run_grid(
+              grid, pool.get(), [&](const engine::Point& pt) {
+                const model::System sys = engine::system_for_point(base, pt);
+                const engine::EvalSpec spec =
+                    engine::apply_eval_axes(base_spec, pt);
+                return eval_one(sys, procs, family, pt.var(axis), spec);
+              });
+        };
+
+        std::vector<engine::Record> records =
+            run_family("weibull", "weibull_k", {0.5, 0.7, 0.85, 1.0, 1.5});
+        for (engine::Record& r :
+             run_family("lognormal", "lognormal_sigma", {0.6, 1.0, 1.5})) {
+          records.push_back(std::move(r));
+        }
+
+        std::printf("platform %s, scenario %s, alpha=%s, P=%s (measured)\n\n",
+                    platform.name.c_str(),
+                    model::scenario_name(scenario).c_str(),
+                    util::format_sig(alpha).c_str(),
+                    util::format_sig(procs).c_str());
+        engine::TableSink table({{"distribution", "dist"},
+                                 {"T* (exp formula)", "exp_period", 4},
+                                 {"T* (sim true)", "sim_period", 4},
+                                 {"T ratio", "period_ratio", 3},
+                                 {"H sim @ exp T*", "exp_sim_cell"},
+                                 {"H sim @ sim T*", "opt_sim_cell"},
+                                 {"gap", "gap", 3},
+                                 {"reps", "replicas", 4}});
+        engine::emit(records, {&table});
+        std::printf("%s\n", table.to_string().c_str());
+        std::printf(
+            "gap = H(exp-formula period)/H(simulated optimum) - 1: the "
+            "overhead fraction the exponential assumption wastes. It "
+            "vanishes (within CI noise) at weibull k = 1 and grows for "
+            "bursty shapes k << 1 and heavy-tailed sigmas.\n");
+
+        const std::vector<engine::ColumnSpec> series{
+            {"dist", "dist"},
+            {"family", "family"},
+            {"shape", "shape", 4},
+            {"exp_period", "exp_period", 6},
+            {"sim_period", "sim_period", 6},
+            {"period_ratio", "period_ratio", 6},
+            {"pred_overhead", "pred_overhead", 6},
+            {"exp_sim_overhead", "exp_sim_overhead", 6},
+            {"opt_sim_overhead", "opt_sim_overhead", 6},
+            {"gap", "gap", 6},
+            {"replicas", "replicas", 6},
+            {"ci_ok", "ci_ok", 1}};
+        engine::CsvSink csv(ctx.csv_path, series);
+        engine::JsonlSink jsonl(ctx.jsonl_path, series);
+        engine::emit(records, {&csv, &jsonl});
+      });
+}

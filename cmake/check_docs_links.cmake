@@ -1,0 +1,53 @@
+# Fails when a relative markdown link in README.md or docs/*.md points at
+# a file that does not exist. External (http/https/mailto) links and
+# in-page #anchors are out of scope — this is the cheap grep-style tier
+# that keeps intra-repo cross-references from rotting, not a web checker.
+#
+# Usage:
+#   cmake -DREPO_DIR=<repo root> -P cmake/check_docs_links.cmake
+# (REPO_DIR defaults to the parent of this script's directory.)
+
+if(NOT DEFINED REPO_DIR)
+  get_filename_component(REPO_DIR "${CMAKE_CURRENT_LIST_DIR}/.." ABSOLUTE)
+endif()
+
+file(GLOB doc_files "${REPO_DIR}/README.md" "${REPO_DIR}/docs/*.md")
+set(broken "")
+set(checked 0)
+
+foreach(doc IN LISTS doc_files)
+  file(READ "${doc}" content)
+  get_filename_component(doc_dir "${doc}" DIRECTORY)
+  file(RELATIVE_PATH doc_rel "${REPO_DIR}" "${doc}")
+  # Walk "](target)" occurrences one MATCH at a time (REGEX MATCHALL's
+  # result-list semantics corrupt on content containing semicolons, e.g.
+  # C++ snippets). Targets with whitespace are lambda captures / prose in
+  # code blocks, not links; the pattern excludes them.
+  set(rest "${content}")
+  while(rest MATCHES "\\]\\(([^()\r\n\t ]+)\\)")
+    set(target "${CMAKE_MATCH_1}")
+    # Consume through this match so the loop advances.
+    string(FIND "${rest}" "](${target})" pos)
+    string(LENGTH "](${target})" match_len)
+    math(EXPR next "${pos} + ${match_len}")
+    string(SUBSTRING "${rest}" ${next} -1 rest)
+
+    if(target MATCHES "^(https?|mailto):" OR target MATCHES "^#")
+      continue()
+    endif()
+    # Drop a "#section" suffix; the file part is what must exist.
+    string(REGEX REPLACE "#[^#]*$" "" target_path "${target}")
+    if(target_path STREQUAL "")
+      continue()
+    endif()
+    math(EXPR checked "${checked} + 1")
+    if(NOT EXISTS "${doc_dir}/${target_path}")
+      string(APPEND broken "\n  ${doc_rel}: (${target})")
+    endif()
+  endwhile()
+endforeach()
+
+if(NOT broken STREQUAL "")
+  message(FATAL_ERROR "broken intra-docs links:${broken}")
+endif()
+message(STATUS "docs links OK: ${checked} relative links resolve")

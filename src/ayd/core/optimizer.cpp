@@ -117,6 +117,10 @@ AllocationOptimum optimal_allocation(const model::System& sys,
   out.period = best.period;
   out.overhead = best.overhead;
   out.log_overhead = best.log_overhead;
+  // A boundary hit by the *inner* period search is just as load-bearing
+  // as one on P: the reported (T, P) then sits on a search-domain edge
+  // and must not masquerade as a converged interior optimum.
+  out.at_boundary = out.at_boundary || best.at_boundary;
   out.outer_evaluations = outer_evals;
   return out;
 }

@@ -26,18 +26,18 @@ struct PeriodSearchOptions {
   double min_period = 1e-3;  ///< seconds; lower edge of the search domain
   double max_period = 1e13;  ///< seconds; upper edge of the search domain
   double tolerance = 1e-10;  ///< relative tolerance on log T
-  int max_iterations = 200;
+  int max_iterations = 200;  ///< Brent iteration cap
 };
 
 struct PeriodOptimum {
-  double period = 0.0;
+  double period = 0.0;        ///< T*, the optimal checkpointing period
   double overhead = 0.0;      ///< H(T*, P); may be +inf if log form needed
   double log_overhead = 0.0;  ///< log H(T*, P), always finite
-  bool converged = false;
+  bool converged = false;     ///< tolerance met before the iteration cap
   /// True when the minimiser stopped at a search-domain edge (the overhead
   /// is monotone in T over the domain — e.g. error-free platforms).
   bool at_boundary = false;
-  int evaluations = 0;
+  int evaluations = 0;        ///< objective evaluations consumed
 };
 
 /// Minimises H(T, P) over T for the given processor count.
@@ -46,11 +46,11 @@ struct PeriodOptimum {
                                            const PeriodSearchOptions& opt = {});
 
 struct AllocationSearchOptions {
-  double min_procs = 1.0;
+  double min_procs = 1.0;  ///< lower edge of the allocation search
   double max_procs = 1e7;  ///< raise for α = 0 sweeps (paper probes 10^13)
   double tolerance = 1e-9; ///< relative tolerance on log P
-  int max_iterations = 200;
-  PeriodSearchOptions period{};
+  int max_iterations = 200;      ///< outer Brent iteration cap
+  PeriodSearchOptions period{};  ///< inner period-search options
   /// Evaluate floor(P*) and ceil(P*) and keep the better one.
   bool refine_integer = true;
 };
@@ -58,15 +58,17 @@ struct AllocationSearchOptions {
 struct AllocationOptimum {
   double procs = 0.0;    ///< optimal allocation (integer if refined)
   double period = 0.0;   ///< optimal period at that allocation
-  double overhead = 0.0;
-  double log_overhead = 0.0;
+  double overhead = 0.0;      ///< H(T*, P*); may be +inf if log form needed
+  double log_overhead = 0.0;  ///< log H(T*, P*), always finite
   /// Continuous optimiser output before integer refinement.
   double procs_continuous = 0.0;
-  bool converged = false;
-  /// True when P ran into min_procs/max_procs (monotone overhead in P over
-  /// the domain: scenario 6, α = 0 with constant costs, error-free...).
+  bool converged = false;  ///< tolerance met before the iteration cap
+  /// True when the optimum sits on a search-domain edge: either P ran
+  /// into min_procs/max_procs (monotone overhead in P over the domain:
+  /// scenario 6, α = 0 with constant costs, error-free...) or the inner
+  /// period search at the reported P stopped at min_period/max_period.
   bool at_boundary = false;
-  int outer_evaluations = 0;
+  int outer_evaluations = 0;  ///< inner period searches performed
 };
 
 /// Jointly minimises H(T, P) over both parameters.

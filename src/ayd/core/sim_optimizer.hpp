@@ -1,0 +1,143 @@
+// Simulation-driven robust optimisation of the expected overhead.
+//
+// The closed form behind optimizer.hpp (Proposition 1) holds only for
+// exponential inter-arrivals; under Weibull / lognormal / trace-replay
+// failures the analytic "optimum" drifts off the true one (the fig8/fig9
+// robustness results). This module finds the true optimum for *any*
+// configured FailureDistribution by minimising the *simulated* overhead:
+//
+//  * sim_optimal_period     — noise-aware 1-D search over log T at fixed
+//    P: a coarse log-spaced scan seeded by the exponential-assumption
+//    optimum, refined by golden-section. Every candidate is evaluated by
+//    adaptive replication (sim::simulate_overhead_adaptive) under common
+//    random numbers — all candidates share the replica substreams
+//    (seed, i) — and neighbouring candidates are compared with a *paired*
+//    Student-t test on the per-replica differences, so the search stops
+//    exactly when the remaining bracket cannot be resolved at the
+//    requested noise level (ci_limited) instead of chasing noise.
+//  * sim_optimal_allocation — nested search over P (a geometric candidate
+//    ladder around the exponential Theorem-2/3 seed) with the period
+//    search inside.
+//
+// Both fall back to the exact analytic optimisers — bit-for-bit — when
+// the configured distribution *is* exponential (used_closed_form), so the
+// simulation machinery costs nothing when the paper's model applies.
+// Everything downstream of the seed is deterministic: same system, same
+// options ⇒ the same candidate sequence, the same replica counts, the
+// same optimum, on any machine and thread count.
+
+#pragma once
+
+#include <cstdint>
+
+#include "ayd/core/optimizer.hpp"
+#include "ayd/exec/thread_pool.hpp"
+#include "ayd/model/system.hpp"
+#include "ayd/sim/runner.hpp"
+#include "ayd/stats/summary.hpp"
+
+namespace ayd::core {
+
+/// Knobs of the noise-aware period search.
+struct SimSearchOptions {
+  double min_period = 1e-3;  ///< seconds; lower edge of the search domain
+  double max_period = 1e13;  ///< seconds; upper edge of the search domain
+  /// Initial bracket half-span around the exponential seed T0:
+  /// [T0/bracket_span, T0·bracket_span], clamped to the domain.
+  double bracket_span = 16.0;
+  /// Coarse log-spaced candidates scanned across the bracket before the
+  /// golden-section refinement (>= 3; odd counts include the seed).
+  int coarse_points = 7;
+  /// Stop refining once the bracket width on log T falls below this.
+  double x_tol = 5e-3;
+  int max_iterations = 32;  ///< golden-section shrink cap
+  /// Run the search even for exponential distributions instead of
+  /// returning the closed-form optimum (validation / testing hook).
+  bool force_search = false;
+  /// Monte-Carlo backend, seed, patterns per replica and CI level.
+  /// `replication.replicas` is ignored — the adaptive driver owns the
+  /// count. The same seed is reused for every candidate period (common
+  /// random numbers), which is what makes paired comparisons sharp.
+  sim::ReplicationOptions replication{};
+  /// Adaptive stopping rule applied to every candidate evaluation.
+  sim::AdaptiveOptions adaptive{};
+};
+
+/// Result of the simulation-driven period search.
+struct SimPeriodOptimum {
+  double period = 0.0;      ///< argmin of the simulated overhead
+  /// Simulated overhead at `period`: mean, Student-t CI, replica count.
+  stats::Summary overhead;
+  /// The exponential-assumption optimum used to seed the search (the
+  /// period the paper's planner would deploy).
+  double seed_period = 0.0;
+  /// True when the distribution is exponential and the closed-form
+  /// optimiser answered exactly (no search ran).
+  bool used_closed_form = false;
+  /// True when the search terminated on a principled criterion — the
+  /// bracket shrank to x_tol, the noise floor was reached (ci_limited),
+  /// or the closed form answered — rather than the iteration cap.
+  bool converged = false;
+  /// True when the search stopped because neighbouring candidates became
+  /// statistically indistinguishable (paired CI over the common replicas
+  /// contains 0). Tighten adaptive.ci_rel_tol to localise further.
+  bool ci_limited = false;
+  /// True when the reported optimum's CI met adaptive.ci_rel_tol; false
+  /// when its evaluation hit adaptive.max_replicas first (the interval
+  /// in `overhead` is then wider than requested).
+  bool ci_converged = false;
+  /// True when the optimum sits at the search-domain edge.
+  bool at_boundary = false;
+  int evaluations = 0;      ///< simulated candidate periods
+  std::uint64_t total_replicas = 0;  ///< replicas across all candidates
+};
+
+/// Minimises the simulated overhead over T at fixed `procs` under the
+/// system's configured failure distribution. `pool` parallelises the
+/// replicas of each candidate evaluation (results are identical with or
+/// without it).
+[[nodiscard]] SimPeriodOptimum sim_optimal_period(
+    const model::System& sys, double procs, const SimSearchOptions& opt = {},
+    exec::ThreadPool* pool = nullptr);
+
+/// Knobs of the nested (P, T) search.
+struct SimAllocationSearchOptions {
+  double min_procs = 1.0;
+  double max_procs = 1e7;
+  /// Geometric candidate ladder half-width around the exponential seed
+  /// P0: rungs_per_side rungs on each side, ratio `ladder_ratio` apart.
+  int rungs_per_side = 3;
+  double ladder_ratio = 1.5;
+  /// Inner period search (shares the seed across all P candidates).
+  SimSearchOptions period{};
+};
+
+/// Result of the simulation-driven joint search.
+struct SimAllocationOptimum {
+  double procs = 0.0;       ///< best allocation found (integer)
+  double period = 0.0;      ///< simulated period optimum at that P
+  stats::Summary overhead;  ///< simulated overhead there (Student-t CI)
+  double seed_procs = 0.0;  ///< exponential-assumption P* that seeded P
+  bool used_closed_form = false;  ///< exponential: exact optimiser answered
+  bool converged = false;   ///< every inner search converged
+  /// True when the reported optimum's CI met the adaptive target (see
+  /// SimPeriodOptimum::ci_converged).
+  bool ci_converged = false;
+  /// True when the best P sits at the end of the candidate ladder (the
+  /// true optimum may lie further out; widen the ladder).
+  bool at_boundary = false;
+  /// True when the inner period search at the reported P stopped on the
+  /// period-domain edge (widen min_period/max_period, not the ladder).
+  bool period_at_boundary = false;
+  int outer_evaluations = 0;
+  std::uint64_t total_replicas = 0;
+};
+
+/// Minimises the simulated overhead jointly over (T, P): an outer scan of
+/// a geometric P ladder seeded by the exponential closed form, with
+/// sim_optimal_period inside.
+[[nodiscard]] SimAllocationOptimum sim_optimal_allocation(
+    const model::System& sys, const SimAllocationSearchOptions& opt = {},
+    exec::ThreadPool* pool = nullptr);
+
+}  // namespace ayd::core

@@ -1,5 +1,6 @@
 #include "ayd/engine/evaluator.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "ayd/core/baselines.hpp"
@@ -111,6 +112,16 @@ PointEval evaluate_point(const model::System& sys, const EvalSpec& spec,
                                sim_pool, &sim_scratch);
   }
 
+  if (spec.sim_optimize) {
+    if (fixed_procs.has_value()) {
+      out.sim_period = core::sim_optimal_period(
+          sys, *fixed_procs, spec.sim_search.period, sim_pool);
+    } else {
+      out.sim_allocation =
+          core::sim_optimal_allocation(sys, spec.sim_search, sim_pool);
+    }
+  }
+
   if (spec.simulate_first_order) {
     const bool have_fo =
         fixed_procs.has_value()
@@ -124,6 +135,24 @@ PointEval evaluate_point(const model::System& sys, const EvalSpec& spec,
   }
 
   return out;
+}
+
+EvalSpec apply_eval_axes(const EvalSpec& base, const Point& pt) {
+  EvalSpec spec = base;
+  if (pt.has_var("ci_rel_tol")) {
+    spec.sim_search.period.adaptive.ci_rel_tol = pt.var("ci_rel_tol");
+  }
+  if (pt.has_var("max_reps")) {
+    auto& adaptive = spec.sim_search.period.adaptive;
+    adaptive.max_replicas =
+        static_cast<std::size_t>(pt.var("max_reps"));
+    // A cap below the starting count means the cap wins (mirrors the
+    // CLI's --max-reps handling); leaving min above max would trip the
+    // adaptive driver's precondition and kill the whole sweep.
+    adaptive.min_replicas =
+        std::min(adaptive.min_replicas, adaptive.max_replicas);
+  }
+  return spec;
 }
 
 }  // namespace ayd::engine

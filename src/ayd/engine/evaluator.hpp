@@ -23,6 +23,7 @@
 
 #include "ayd/core/first_order.hpp"
 #include "ayd/core/optimizer.hpp"
+#include "ayd/core/sim_optimizer.hpp"
 #include "ayd/engine/grid.hpp"
 #include "ayd/exec/thread_pool.hpp"
 #include "ayd/model/system.hpp"
@@ -61,8 +62,16 @@ struct EvalSpec {
   bool simulate_numerical = false;   ///< replicated sim at the exact optimum
   bool simulate_first_order = false; ///< replicated sim at the FO pattern
   bool baseline_silent_blind = false;///< fail-stop-only planner period
+  /// Simulation-driven robust optimum under the point's configured
+  /// failure distribution (core::sim_optimal_period at fixed P, else
+  /// core::sim_optimal_allocation) — the mode the fig9 bench and
+  /// `ayd optimize --simulate` run in. Its knobs live in `sim_search`
+  /// (the fixed-P mode reads `sim_search.period`); the "ci_rel_tol" and
+  /// "max_reps" grid axes override them per point via apply_eval_axes.
+  bool sim_optimize = false;
   core::AllocationSearchOptions search{};
   sim::ReplicationOptions replication{};
+  core::SimAllocationSearchOptions sim_search{};
 };
 
 /// Everything the standard evaluator produced at one point. Optional
@@ -79,6 +88,11 @@ struct PointEval {
   std::optional<double> silent_blind_period;
   std::optional<sim::ReplicationResult> sim_numerical;
   std::optional<sim::ReplicationResult> sim_first_order;
+  /// Simulation-driven optimum (EvalSpec::sim_optimize): the fixed-P
+  /// period search, or the joint (T, P) search when no "procs" axis
+  /// fixes the allocation.
+  std::optional<core::SimPeriodOptimum> sim_period;
+  std::optional<core::SimAllocationOptimum> sim_allocation;
 
   /// The FO pattern that was (or would be) simulated: Theorem 1 period at
   /// fixed procs, else the Theorem 2/3 pattern with P rounded to >= 1.
@@ -96,5 +110,11 @@ struct PointEval {
     const model::System& sys, const EvalSpec& spec,
     std::optional<double> fixed_procs = std::nullopt,
     exec::ThreadPool* sim_pool = nullptr);
+
+/// Applies a point's evaluation-level axes to a spec copy: "ci_rel_tol"
+/// sets the adaptive CI target and "max_reps" the replication cap of the
+/// sim-optimize mode. System-level axes are apply_axes' business; axes
+/// absent from the point leave the base spec untouched.
+[[nodiscard]] EvalSpec apply_eval_axes(const EvalSpec& base, const Point& pt);
 
 }  // namespace ayd::engine

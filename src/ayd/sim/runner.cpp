@@ -1,9 +1,11 @@
 #include "ayd/sim/runner.hpp"
 
+#include <cmath>
 #include <vector>
 
 #include "ayd/core/expected_time.hpp"
 #include "ayd/core/overhead.hpp"
+#include "ayd/stats/ci.hpp"
 #include "ayd/util/contracts.hpp"
 
 namespace ayd::sim {
@@ -39,24 +41,71 @@ void run_replica_range(const model::System& sys, const core::Pattern& pattern,
   }
 }
 
+/// Runs replicas [first, outcomes.size()) into the tail of `outcomes`
+/// (earlier entries are kept — this is what lets the adaptive driver
+/// append rounds without re-simulating). Parallel chunks are offset by
+/// `first` so replica i still draws substream (seed, i) regardless of how
+/// many rounds preceded it.
 void run_replicas(const model::System& sys, const core::Pattern& pattern,
                   const ReplicationOptions& opt, exec::ThreadPool* pool,
-                  std::vector<ReplicaOutcome>& outcomes) {
-  outcomes.resize(opt.replicas);
+                  std::vector<ReplicaOutcome>& outcomes, std::size_t first) {
+  const std::size_t count = outcomes.size() - first;
   const auto run_chunk = [&](std::size_t begin, std::size_t end) {
     if (opt.backend == Backend::kDes) {
-      run_replica_range<DesProtocolSimulator>(sys, pattern, opt, begin, end,
-                                              outcomes.data() + begin);
+      run_replica_range<DesProtocolSimulator>(
+          sys, pattern, opt, first + begin, first + end,
+          outcomes.data() + first + begin);
     } else {
-      run_replica_range<FastProtocolSimulator>(sys, pattern, opt, begin, end,
-                                               outcomes.data() + begin);
+      run_replica_range<FastProtocolSimulator>(
+          sys, pattern, opt, first + begin, first + end,
+          outcomes.data() + first + begin);
     }
   };
   if (pool != nullptr) {
-    exec::parallel_for_chunks(*pool, opt.replicas, run_chunk);
+    exec::parallel_for_chunks(*pool, count, run_chunk);
   } else {
-    run_chunk(0, opt.replicas);
+    run_chunk(0, count);
   }
+}
+
+/// Deterministic reduction of the outcomes, in replica order, into the
+/// result summaries and telemetry. `student_ci` selects Student-t
+/// intervals (adaptive driver) over normal-theory ones (fixed driver).
+ReplicationResult reduce_outcomes(const model::System& sys,
+                                  const core::Pattern& pattern,
+                                  const ReplicationOptions& opt,
+                                  const std::vector<ReplicaOutcome>& outcomes,
+                                  bool student_ci) {
+  stats::RunningStats overhead_stats;
+  stats::RunningStats time_stats;
+  PatternStats totals;
+  for (const ReplicaOutcome& o : outcomes) {
+    overhead_stats.add(o.overhead);
+    time_stats.add(o.mean_pattern_time);
+    totals.merge(o.totals);
+  }
+
+  ReplicationResult result;
+  if (student_ci) {
+    result.overhead = stats::summarize_student(overhead_stats, opt.ci_level);
+    result.pattern_time = stats::summarize_student(time_stats, opt.ci_level);
+  } else {
+    result.overhead = stats::summarize(overhead_stats, opt.ci_level);
+    result.pattern_time = stats::summarize(time_stats, opt.ci_level);
+  }
+  result.analytic_overhead = core::pattern_overhead(sys, pattern);
+  result.analytic_pattern_time = core::expected_pattern_time(sys, pattern);
+  result.total_patterns = static_cast<std::uint64_t>(outcomes.size()) *
+                          opt.patterns_per_replica;
+  const auto n = static_cast<double>(result.total_patterns);
+  result.fail_stops_per_pattern =
+      static_cast<double>(totals.fail_stop_errors) / n;
+  result.silent_detections_per_pattern =
+      static_cast<double>(totals.silent_detections) / n;
+  result.masked_silent_per_pattern =
+      static_cast<double>(totals.masked_silent) / n;
+  result.attempts_per_pattern = static_cast<double>(totals.attempts) / n;
+  return result;
 }
 
 }  // namespace
@@ -74,33 +123,64 @@ ReplicationResult simulate_overhead(const model::System& sys,
   std::vector<ReplicaOutcome> local;
   std::vector<ReplicaOutcome>& outcomes =
       scratch != nullptr ? scratch->outcomes : local;
-  run_replicas(sys, pattern, opt, pool, outcomes);
+  outcomes.resize(opt.replicas);
+  run_replicas(sys, pattern, opt, pool, outcomes, 0);
+  return reduce_outcomes(sys, pattern, opt, outcomes, /*student_ci=*/false);
+}
 
-  // Deterministic reduction in replica order.
-  stats::RunningStats overhead_stats;
-  stats::RunningStats time_stats;
-  PatternStats totals;
-  for (const ReplicaOutcome& o : outcomes) {
-    overhead_stats.add(o.overhead);
-    time_stats.add(o.mean_pattern_time);
-    totals.merge(o.totals);
+ReplicationResult simulate_overhead_adaptive(const model::System& sys,
+                                             const core::Pattern& pattern,
+                                             const ReplicationOptions& opt,
+                                             const AdaptiveOptions& adapt,
+                                             exec::ThreadPool* pool,
+                                             ReplicationScratch* scratch) {
+  AYD_REQUIRE(opt.patterns_per_replica >= 1,
+              "need at least one pattern per replica");
+  AYD_REQUIRE(adapt.min_replicas >= 2,
+              "adaptive replication needs min_replicas >= 2 for a CI");
+  AYD_REQUIRE(adapt.max_replicas >= adapt.min_replicas,
+              "adaptive replication cap below the starting count");
+  AYD_REQUIRE(adapt.ci_rel_tol > 0.0 && std::isfinite(adapt.ci_rel_tol),
+              "ci_rel_tol must be finite and > 0");
+  AYD_REQUIRE(adapt.growth > 1.0, "adaptive growth factor must be > 1");
+  core::validate(pattern);
+
+  std::vector<ReplicaOutcome> local;
+  std::vector<ReplicaOutcome>& outcomes =
+      scratch != nullptr ? scratch->outcomes : local;
+  outcomes.clear();
+
+  // Grow-and-recheck rounds. The CI is recomputed over *all* replicas so
+  // far (replica order, so the reduction matches a fixed-count run); the
+  // next round size depends only on the current one, never on timing.
+  int rounds = 0;
+  bool converged = false;
+  std::size_t target = adapt.min_replicas;
+  while (true) {
+    const std::size_t first = outcomes.size();
+    outcomes.resize(target);
+    run_replicas(sys, pattern, opt, pool, outcomes, first);
+    ++rounds;
+
+    stats::RunningStats overhead_stats;
+    for (const ReplicaOutcome& o : outcomes) overhead_stats.add(o.overhead);
+    const stats::ConfidenceInterval ci =
+        stats::mean_ci_student(overhead_stats, opt.ci_level);
+    if (stats::relative_half_width(ci, overhead_stats.mean()) <=
+        adapt.ci_rel_tol) {
+      converged = true;
+      break;
+    }
+    if (target >= adapt.max_replicas) break;
+    const auto grown = static_cast<std::size_t>(
+        std::ceil(adapt.growth * static_cast<double>(target)));
+    target = std::min(adapt.max_replicas, std::max(target + 1, grown));
   }
 
-  ReplicationResult result;
-  result.overhead = stats::summarize(overhead_stats, opt.ci_level);
-  result.pattern_time = stats::summarize(time_stats, opt.ci_level);
-  result.analytic_overhead = core::pattern_overhead(sys, pattern);
-  result.analytic_pattern_time = core::expected_pattern_time(sys, pattern);
-  result.total_patterns =
-      static_cast<std::uint64_t>(opt.replicas) * opt.patterns_per_replica;
-  const auto n = static_cast<double>(result.total_patterns);
-  result.fail_stops_per_pattern =
-      static_cast<double>(totals.fail_stop_errors) / n;
-  result.silent_detections_per_pattern =
-      static_cast<double>(totals.silent_detections) / n;
-  result.masked_silent_per_pattern =
-      static_cast<double>(totals.masked_silent) / n;
-  result.attempts_per_pattern = static_cast<double>(totals.attempts) / n;
+  ReplicationResult result =
+      reduce_outcomes(sys, pattern, opt, outcomes, /*student_ci=*/true);
+  result.rounds = rounds;
+  result.ci_converged = converged;
   return result;
 }
 

@@ -49,6 +49,31 @@ struct ReplicationResult {
   double masked_silent_per_pattern = 0.0;
   double attempts_per_pattern = 0.0;
   std::uint64_t total_patterns = 0;
+  /// Replication rounds executed (1 for the fixed-count driver; the
+  /// adaptive driver counts its grow-and-recheck rounds).
+  int rounds = 1;
+  /// True when the overhead CI met the requested relative tolerance
+  /// (vacuously true for the fixed-count driver, which has no target).
+  bool ci_converged = true;
+};
+
+/// Stopping rule of the adaptive replication driver: keep adding replicas
+/// until the Student-t CI of the mean overhead is relatively tight, or a
+/// hard replica cap is reached. The growth schedule is deterministic and
+/// every replica i draws from RNG substream (seed, i), so the number of
+/// replicas consumed — not just their values — is a pure function of
+/// (system, pattern, options): same inputs ⇒ bit-identical replication
+/// count and estimate on every machine and thread count.
+struct AdaptiveOptions {
+  /// Target: CI half-width <= ci_rel_tol · |mean overhead|.
+  double ci_rel_tol = 0.05;
+  /// Replicas of the first round (>= 2 so a CI exists).
+  std::size_t min_replicas = 24;
+  /// Hard cap; reaching it reports ci_converged = false.
+  std::size_t max_replicas = 4096;
+  /// Round-size multiplier (> 1); next target is
+  /// min(max_replicas, ceil(growth · current)).
+  double growth = 1.6;
 };
 
 /// One replica's reduced measurements (simulate_overhead's intermediate).
@@ -80,5 +105,19 @@ struct ReplicationScratch {
     const model::System& sys, const core::Pattern& pattern,
     const ReplicationOptions& opt = {}, exec::ThreadPool* pool = nullptr,
     ReplicationScratch* scratch = nullptr);
+
+/// Adaptive-replication variant: ignores `opt.replicas` and instead grows
+/// the replica count on the `adapt` schedule until the Student-t CI of
+/// the mean overhead satisfies `adapt.ci_rel_tol` (or `adapt.max_replicas`
+/// is hit, reported via ci_converged = false). Replicas are *appended*
+/// across rounds — replica i always draws substream (opt.seed, i) — so
+/// the returned estimate is bit-identical to a fixed-count run at the
+/// final count, and the count itself is deterministic. The returned
+/// summaries carry Student-t intervals (honest at small counts), not the
+/// normal-theory intervals of the fixed driver.
+[[nodiscard]] ReplicationResult simulate_overhead_adaptive(
+    const model::System& sys, const core::Pattern& pattern,
+    const ReplicationOptions& opt, const AdaptiveOptions& adapt,
+    exec::ThreadPool* pool = nullptr, ReplicationScratch* scratch = nullptr);
 
 }  // namespace ayd::sim

@@ -14,7 +14,7 @@ namespace ayd::stats {
 struct KsResult {
   double statistic = 0.0;  ///< sup-norm distance D_n
   double p_value = 1.0;    ///< asymptotic Kolmogorov p-value
-  std::size_t n = 0;
+  std::size_t n = 0;       ///< sample size the test was run on
 };
 
 /// Tests the sample against the continuous CDF `cdf`. The sample is copied

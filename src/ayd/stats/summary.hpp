@@ -13,22 +13,24 @@ namespace ayd::stats {
 
 /// A two-sided confidence interval for a mean.
 struct ConfidenceInterval {
-  double lo = 0.0;
-  double hi = 0.0;
-  double level = 0.95;
+  double lo = 0.0;     ///< lower bound
+  double hi = 0.0;     ///< upper bound
+  double level = 0.95; ///< confidence level in (0, 1)
   [[nodiscard]] double half_width() const { return 0.5 * (hi - lo); }
   [[nodiscard]] bool contains(double x) const { return lo <= x && x <= hi; }
 };
 
 /// Full summary of a sample.
 struct Summary {
-  std::size_t count = 0;
-  double mean = 0.0;
-  double stddev = 0.0;
-  double stderr_mean = 0.0;
-  double min = 0.0;
-  double max = 0.0;
-  ConfidenceInterval ci;  ///< normal-theory CI for the mean at `ci.level`
+  std::size_t count = 0;      ///< sample size
+  double mean = 0.0;          ///< sample mean
+  double stddev = 0.0;        ///< unbiased sample standard deviation
+  double stderr_mean = 0.0;   ///< standard error of the mean
+  double min = 0.0;           ///< smallest sample
+  double max = 0.0;           ///< largest sample
+  /// CI for the mean at `ci.level`: normal-theory from summarize(),
+  /// Student-t from summarize_student() (stats/ci.hpp).
+  ConfidenceInterval ci;
 };
 
 /// Standard normal quantile z_p (wraps the RNG-module approximation; it is
@@ -55,9 +57,9 @@ struct Summary {
 /// orders reported next to Figures 5 and 6 (e.g. P* ~ λ^{-1/4}).
 /// Returns {slope, intercept}. Requires xs.size() == ys.size() >= 2.
 struct LinearFit {
-  double slope = 0.0;
-  double intercept = 0.0;
-  double r_squared = 0.0;
+  double slope = 0.0;      ///< least-squares slope of y against x
+  double intercept = 0.0;  ///< least-squares intercept
+  double r_squared = 0.0;  ///< coefficient of determination (1 = exact fit)
 };
 [[nodiscard]] LinearFit linear_fit(std::span<const double> xs,
                                    std::span<const double> ys);

@@ -1,7 +1,10 @@
 // `ayd optimize` — the paper's core question answered for one system:
 // how long should the checkpointing period be, and how many processors
 // should the job enroll? Prints the closed-form first-order solution
-// (Theorems 1-3) next to the exact numerical optimum.
+// (Theorems 1-3) next to the exact numerical optimum and, with
+// --simulate, the simulation-driven robust optimum under the configured
+// failure distribution (the only optimum that is meaningful when
+// --failure-dist is not exponential).
 
 #include "ayd/tool/commands.hpp"
 
@@ -11,30 +14,176 @@
 #include "ayd/core/first_order.hpp"
 #include "ayd/core/optimizer.hpp"
 #include "ayd/core/overhead.hpp"
+#include "ayd/core/sim_optimizer.hpp"
 #include "ayd/core/young_daly.hpp"
+#include "ayd/engine/sink.hpp"
+#include "ayd/exec/thread_pool.hpp"
 #include "ayd/io/json.hpp"
 #include "ayd/io/table.hpp"
+#include "ayd/util/error.hpp"
 #include "ayd/util/strings.hpp"
 
 namespace ayd::tool {
+
+namespace {
+
+/// Reads the --simulate knobs into the nested search options. `--runs`
+/// seeds the adaptive driver's starting count; the CI target and cap come
+/// from --ci-rel-tol / --max-reps.
+core::SimAllocationSearchOptions sim_search_from_args(
+    const cli::ArgParser& parser) {
+  core::SimAllocationSearchOptions opt;
+  opt.max_procs = parser.option_double("max-procs");
+  opt.period.replication = replication_from_args(parser);
+  if (opt.period.replication.replicas < 2) {
+    throw util::CliError(
+        "--simulate needs --runs >= 2 (a CI requires two replicas)");
+  }
+  opt.period.adaptive.min_replicas = opt.period.replication.replicas;
+  opt.period.adaptive.ci_rel_tol = parser.option_double("ci-rel-tol");
+  opt.period.adaptive.max_replicas =
+      static_cast<std::size_t>(parser.option_uint("max-reps"));
+  if (opt.period.adaptive.max_replicas < 2) {
+    throw util::CliError("--max-reps must be >= 2");
+  }
+  if (opt.period.adaptive.max_replicas < opt.period.adaptive.min_replicas) {
+    opt.period.adaptive.min_replicas = opt.period.adaptive.max_replicas;
+  }
+  return opt;
+}
+
+std::string sim_row_label(const model::System& sys, bool used_closed_form) {
+  if (used_closed_form) return "simulated (exponential: closed form)";
+  return "simulated (" + sys.failure().dist().to_string() + ")";
+}
+
+/// The status lines below the table, shared by the fixed-P and joint
+/// modes so the two cannot drift apart.
+struct SimNotes {
+  std::uint64_t total_replicas = 0;
+  int evaluations = 0;
+  const char* unit = "candidate periods";
+  bool used_closed_form = false;
+  bool ci_limited = false;
+  bool converged = true;
+  bool ci_converged = true;
+  bool ladder_edge = false;
+  bool period_edge = false;
+};
+
+void print_sim_notes(const SimNotes& n, double ci_rel_tol,
+                     std::ostream& out) {
+  out << "simulated optimum: " << n.total_replicas << " replicas over "
+      << n.evaluations << " " << n.unit << ", CI target "
+      << util::format_sig(ci_rel_tol, 3) << " relative";
+  if (n.used_closed_form) {
+    out << " (exponential input: closed-form optimum, CI attached)";
+  } else if (n.ci_limited) {
+    out << " (stopped at the noise floor; tighten --ci-rel-tol to "
+           "localise further)";
+  }
+  out << "\n";
+  if (!n.ci_converged) {
+    out << "warning: --max-reps capped the replication before the CI "
+           "target was met; the reported interval is wider than "
+           "requested\n";
+  }
+  if (!n.converged) {
+    out << "warning: the simulated search hit its iteration cap before "
+           "converging\n";
+  }
+  if (n.ladder_edge) {
+    out << "note: the best allocation sits at the candidate-ladder edge; "
+           "the true optimum may lie further out\n";
+  }
+  if (n.period_edge) {
+    out << "note: the simulated period optimum sits on the period "
+           "search-domain edge\n";
+  }
+}
+
+SimNotes notes_for(const core::SimPeriodOptimum& sim) {
+  return {sim.total_replicas, sim.evaluations,     "candidate periods",
+          sim.used_closed_form, sim.ci_limited,    sim.converged,
+          sim.ci_converged,     /*ladder_edge=*/false,
+          sim.at_boundary && !sim.used_closed_form};
+}
+
+SimNotes notes_for(const core::SimAllocationOptimum& sim) {
+  return {sim.total_replicas,   sim.outer_evaluations,
+          "candidate allocations", sim.used_closed_form,
+          /*ci_limited=*/false, sim.converged,
+          sim.ci_converged,     sim.at_boundary && !sim.used_closed_form,
+          sim.period_at_boundary};
+}
+
+void write_sim_json(io::JsonWriter& w, const char* key, double period,
+                    double procs, const stats::Summary& overhead,
+                    const SimNotes& notes, bool at_boundary) {
+  w.key(key);
+  w.begin_object();
+  if (procs > 0.0) w.kv("procs", procs);
+  w.kv("period", period);
+  w.kv("overhead", overhead.mean);
+  w.kv("overhead_ci_lo", overhead.ci.lo);
+  w.kv("overhead_ci_hi", overhead.ci.hi);
+  w.kv("replicas", static_cast<double>(overhead.count));
+  w.kv("total_replicas", static_cast<double>(notes.total_replicas));
+  w.kv("used_closed_form", notes.used_closed_form);
+  w.kv("converged", notes.converged);
+  w.kv("ci_converged", notes.ci_converged);
+  w.kv("ci_limited", notes.ci_limited);
+  w.kv("at_boundary", at_boundary);
+  w.end_object();
+}
+
+}  // namespace
 
 int cmd_optimize(const std::vector<std::string>& args, std::ostream& out) {
   cli::ArgParser parser(
       "ayd optimize",
       "optimal checkpointing period T* and processor allocation P* "
-      "(first-order formulas vs. exact numerical optimisation)");
+      "(first-order formulas vs. exact numerical optimisation, plus the "
+      "simulation-driven optimum under any failure distribution)");
   add_system_options(parser);
   parser.add_option("procs", "",
                     "fix the processor count and optimise the period only "
                     "(Theorem 1 mode)");
   parser.add_option("max-procs", "1e7",
                     "upper edge of the numerical allocation search");
+  add_simulation_options(parser);
+  parser.add_flag("simulate",
+                  "also search for the simulation-true optimum under the "
+                  "configured --failure-dist (adaptive replication with "
+                  "confidence intervals; exact closed-form fallback for "
+                  "exponential inputs)");
+  parser.add_option("ci-rel-tol", "0.02",
+                    "adaptive replication target: CI half-width <= this "
+                    "fraction of the mean overhead");
+  parser.add_option("max-reps", "4096",
+                    "adaptive replication cap per candidate pattern");
+  parser.add_option("threads", "0",
+                    "worker threads for the simulated search (0 = "
+                    "hardware concurrency)");
   parser.add_flag("json", "emit a machine-readable JSON record instead of "
                           "tables");
   if (parse_or_help(parser, args, out)) return 0;
 
   const model::System sys = system_from_args(parser);
   const bool json = parser.flag("json");
+  const bool simulate = parser.flag("simulate");
+  // Only resolved (and validated) when the simulated search will run; a
+  // plain analytic `ayd optimize` must not reject simulation knobs.
+  core::SimAllocationSearchOptions sim_search;
+  if (simulate) sim_search = sim_search_from_args(parser);
+  // The pool only ever parallelises the simulated search's replicas;
+  // don't spin up workers for the purely analytic paths.
+  std::unique_ptr<exec::ThreadPool> pool_storage;
+  if (simulate) {
+    pool_storage = std::make_unique<exec::ThreadPool>(
+        static_cast<unsigned>(parser.option_uint("threads")));
+  }
+  exec::ThreadPool* pool = pool_storage.get();
   if (!json) {
     print_system(sys, out);
     out << "\n";
@@ -42,7 +191,7 @@ int cmd_optimize(const std::vector<std::string>& args, std::ostream& out) {
 
   if (json) {
     // Machine-readable record: inputs + first-order, higher-order (fixed
-    // P only) and numerical solutions.
+    // P only), numerical and (on request) simulated solutions.
     io::JsonWriter w(out, /*pretty=*/true);
     w.begin_object();
     w.key("system");
@@ -51,6 +200,7 @@ int cmd_optimize(const std::vector<std::string>& args, std::ostream& out) {
     w.kv("fail_stop_fraction", sys.failure().fail_stop_fraction());
     w.kv("downtime", sys.downtime());
     w.kv("profile", sys.speedup_model().name());
+    w.kv("failure_dist", sys.failure().dist().to_string());
     w.kv("checkpoint", sys.costs().checkpoint.describe());
     w.kv("verification", sys.costs().verification.describe());
     w.end_object();
@@ -80,6 +230,12 @@ int cmd_optimize(const std::vector<std::string>& args, std::ostream& out) {
       w.kv("overhead", num.overhead);
       w.kv("at_boundary", num.at_boundary);
       w.end_object();
+      if (simulate) {
+        const core::SimPeriodOptimum sim =
+            core::sim_optimal_period(sys, procs, sim_search.period, pool);
+        write_sim_json(w, "simulated", sim.period, 0.0, sim.overhead,
+                       notes_for(sim), sim.at_boundary);
+      }
     } else {
       const core::FirstOrderSolution fo = core::solve_first_order(sys);
       core::AllocationSearchOptions search;
@@ -103,6 +259,12 @@ int cmd_optimize(const std::vector<std::string>& args, std::ostream& out) {
       w.kv("overhead", num.overhead);
       w.kv("at_boundary", num.at_boundary);
       w.end_object();
+      if (simulate) {
+        const core::SimAllocationOptimum sim =
+            core::sim_optimal_allocation(sys, sim_search, pool);
+        write_sim_json(w, "simulated", sim.period, sim.procs, sim.overhead,
+                       notes_for(sim), sim.at_boundary);
+      }
     }
     w.end_object();
     out << "\n";
@@ -132,8 +294,19 @@ int cmd_optimize(const std::vector<std::string>& args, std::ostream& out) {
                                    : "numerical",
                    util::format_sig(num.period, 6),
                    util::format_sig(num.overhead, 6)});
+    std::optional<core::SimPeriodOptimum> sim;
+    if (simulate) {
+      sim = core::sim_optimal_period(sys, procs, sim_search.period, pool);
+      table.add_row({sim_row_label(sys, sim->used_closed_form),
+                     util::format_sig(sim->period, 6),
+                     engine::mean_ci_cell(sim->overhead)});
+    }
     out << "P fixed at " << util::format_sig(procs, 6) << ":\n"
         << table.to_string();
+    if (sim.has_value()) {
+      print_sim_notes(notes_for(*sim), sim_search.period.adaptive.ci_rel_tol,
+                      out);
+    }
     return 0;
   }
 
@@ -157,11 +330,23 @@ int cmd_optimize(const std::vector<std::string>& args, std::ostream& out) {
                  util::format_sig(num.procs, 6),
                  util::format_sig(num.period, 6),
                  util::format_sig(num.overhead, 6)});
+  std::optional<core::SimAllocationOptimum> sim;
+  if (simulate) {
+    sim = core::sim_optimal_allocation(sys, sim_search, pool);
+    table.add_row({sim_row_label(sys, sim->used_closed_form),
+                   util::format_sig(sim->procs, 6),
+                   util::format_sig(sim->period, 6),
+                   engine::mean_ci_cell(sim->overhead)});
+  }
   out << table.to_string();
   if (!fo.note.empty()) out << "note: " << fo.note << "\n";
   if (num.at_boundary) {
     out << "note: the overhead is monotone in P over the search domain; "
            "raise --max-procs to explore further.\n";
+  }
+  if (sim.has_value()) {
+    print_sim_notes(notes_for(*sim), sim_search.period.adaptive.ci_rel_tol,
+                    out);
   }
   return 0;
 }

@@ -145,6 +145,24 @@ TEST(OptimalAllocation, MoreReliableMeansMoreProcessors) {
   }
 }
 
+TEST(OptimalAllocation, InnerPeriodBoundaryPropagatesToTheJointResult) {
+  // Cap the *period* domain far below the interior optimum: every inner
+  // search stops at max_period, so the joint result sits on a domain
+  // edge and must say so — not report a converged interior optimum.
+  const System sys = System::from_platform(model::hera(), Scenario::kS3);
+  AllocationSearchOptions opt;
+  opt.period.max_period = 30.0;  // T* is in the thousands of seconds
+  const AllocationOptimum capped = optimal_allocation(sys, opt);
+  EXPECT_TRUE(capped.at_boundary);
+  // It is indeed the inner search that hit the edge at the reported P.
+  const PeriodOptimum inner = optimal_period(sys, capped.procs, opt.period);
+  EXPECT_TRUE(inner.at_boundary);
+  EXPECT_NEAR(capped.period, 30.0, 1.0);
+  // The uncapped search on the same system is interior: the flag above
+  // comes from the period cap, not from P running out of room.
+  EXPECT_FALSE(optimal_allocation(sys).at_boundary);
+}
+
 TEST(OptimalAllocation, RespectsDomainOptions) {
   const System sys = System::from_platform(model::hera(), Scenario::kS1);
   AllocationSearchOptions opt;

@@ -1,0 +1,214 @@
+// Simulation-driven optimizer: exact closed-form fallback for exponential
+// inputs, agreement of the noise-aware search with the analytic optimum
+// where the analytic optimum is valid (Weibull k = 1 *is* exponential,
+// sampled through the Weibull quantile), determinism, and the expected
+// bursty-shape behaviour. All fixed-seed and deterministic.
+
+#include "ayd/core/sim_optimizer.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "ayd/core/overhead.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/util/error.hpp"
+
+namespace ayd::core {
+namespace {
+
+using model::Scenario;
+using model::System;
+
+constexpr double kProcs = 512.0;
+
+SimSearchOptions quick_search() {
+  SimSearchOptions opt;
+  opt.replication.patterns_per_replica = 60;
+  opt.replication.seed = 0x51A0u;
+  opt.adaptive.min_replicas = 12;
+  opt.adaptive.max_replicas = 512;
+  opt.adaptive.ci_rel_tol = 0.04;
+  opt.coarse_points = 5;
+  opt.bracket_span = 8.0;
+  opt.max_iterations = 20;
+  return opt;
+}
+
+TEST(SimOptimalPeriod, ExponentialFallsBackToClosedFormExactly) {
+  const System sys = System::from_platform(model::hera(), Scenario::kS3);
+  const SimSearchOptions opt = quick_search();
+  const SimPeriodOptimum sim = sim_optimal_period(sys, kProcs, opt);
+
+  PeriodSearchOptions popt;
+  popt.min_period = opt.min_period;
+  popt.max_period = opt.max_period;
+  const PeriodOptimum exact = optimal_period(sys, kProcs, popt);
+
+  EXPECT_TRUE(sim.used_closed_form);
+  EXPECT_TRUE(sim.converged);
+  EXPECT_DOUBLE_EQ(sim.period, exact.period);
+  EXPECT_DOUBLE_EQ(sim.seed_period, exact.period);
+  EXPECT_EQ(sim.evaluations, 1);  // one sim, only to attach the CI
+  // The attached CI must be consistent with the analytic prediction the
+  // exponential model makes at that pattern (loose z-style agreement).
+  EXPECT_NEAR(sim.overhead.mean, exact.overhead,
+              5.0 * sim.overhead.ci.half_width() + 0.01 * exact.overhead);
+}
+
+TEST(SimOptimalPeriod, WeibullK1SearchAgreesWithAnalyticOptimum) {
+  // Weibull with k = 1 is the exponential law but is not flagged
+  // memoryless, so the full noise-aware search runs — against a ground
+  // truth the closed form knows exactly.
+  const System sys =
+      System::from_platform(model::hera(), Scenario::kS3)
+          .with_failure_dist(model::FailureDistSpec::weibull(1.0));
+  const SimSearchOptions opt = quick_search();
+  const SimPeriodOptimum sim = sim_optimal_period(sys, kProcs, opt);
+  const PeriodOptimum exact = optimal_period(sys, kProcs);
+
+  EXPECT_FALSE(sim.used_closed_form);
+  EXPECT_TRUE(sim.converged);
+  EXPECT_GT(sim.evaluations, 5);
+  // The overhead surface is flat near the optimum, so assert optimality
+  // where it is meaningful: the *analytic* overhead at the found period
+  // must be within 1% of the analytic minimum, and the found period
+  // within the bracket the search was told to resolve.
+  const double h_at_found = pattern_overhead(sys, {sim.period, kProcs});
+  EXPECT_LE(h_at_found, 1.01 * exact.overhead);
+  EXPECT_GT(sim.period, exact.period / 4.0);
+  EXPECT_LT(sim.period, exact.period * 4.0);
+  // And the simulated overhead there must match the analytic prediction
+  // within CI-scale noise.
+  EXPECT_NEAR(sim.overhead.mean, h_at_found,
+              5.0 * sim.overhead.ci.half_width() + 0.01 * h_at_found);
+}
+
+TEST(SimOptimalPeriod, DeterministicAcrossRepeatRuns) {
+  const System sys =
+      System::from_platform(model::hera(), Scenario::kS3)
+          .with_failure_dist(model::FailureDistSpec::weibull(0.7));
+  const SimPeriodOptimum a = sim_optimal_period(sys, kProcs, quick_search());
+  const SimPeriodOptimum b = sim_optimal_period(sys, kProcs, quick_search());
+  EXPECT_EQ(a.period, b.period);  // bitwise
+  EXPECT_EQ(a.overhead.mean, b.overhead.mean);
+  EXPECT_EQ(a.total_replicas, b.total_replicas);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.ci_limited, b.ci_limited);
+}
+
+TEST(SimOptimalPeriod, ThreadPoolDoesNotChangeTheOptimum) {
+  const System sys =
+      System::from_platform(model::hera(), Scenario::kS3)
+          .with_failure_dist(model::FailureDistSpec::weibull(0.7));
+  const SimPeriodOptimum serial =
+      sim_optimal_period(sys, kProcs, quick_search());
+  exec::ThreadPool pool(3);
+  const SimPeriodOptimum parallel =
+      sim_optimal_period(sys, kProcs, quick_search(), &pool);
+  EXPECT_EQ(serial.period, parallel.period);  // bitwise
+  EXPECT_EQ(serial.total_replicas, parallel.total_replicas);
+}
+
+TEST(SimOptimalPeriod, ForcedSearchOnExponentialStaysNearClosedForm) {
+  const System sys = System::from_platform(model::hera(), Scenario::kS3);
+  SimSearchOptions opt = quick_search();
+  opt.force_search = true;
+  const SimPeriodOptimum sim = sim_optimal_period(sys, kProcs, opt);
+  const PeriodOptimum exact = optimal_period(sys, kProcs);
+  EXPECT_FALSE(sim.used_closed_form);
+  const double h_at_found = pattern_overhead(sys, {sim.period, kProcs});
+  EXPECT_LE(h_at_found, 1.01 * exact.overhead);
+}
+
+TEST(SimOptimalPeriod, BurstyWeibullMovesTheOptimumBelowTheSeed) {
+  // k = 0.5 is strongly bursty: failures cluster, so the true optimum
+  // checkpoints more often than the exponential formula suggests — and
+  // executing the exponential period must not beat the found optimum.
+  const System sys =
+      System::from_platform(model::hera(), Scenario::kS3)
+          .with_failure_dist(model::FailureDistSpec::weibull(0.5));
+  SimSearchOptions opt = quick_search();
+  opt.adaptive.ci_rel_tol = 0.03;
+  const SimPeriodOptimum found = sim_optimal_period(sys, kProcs, opt);
+  EXPECT_LT(found.period, found.seed_period);
+  const ayd::sim::ReplicationResult at_seed =
+      ayd::sim::simulate_overhead_adaptive(
+          sys, {found.seed_period, kProcs}, opt.replication, opt.adaptive);
+  EXPECT_LE(found.overhead.mean,
+            at_seed.overhead.mean + at_seed.overhead.ci.half_width());
+}
+
+TEST(SimOptimalPeriod, ReplicationCapSurfacesAsCiNotConverged) {
+  // An unreachable CI target with a tight replica cap must not be
+  // reported as a met target — the interval is wider than requested.
+  const System sys =
+      System::from_platform(model::hera(), Scenario::kS3)
+          .with_failure_dist(model::FailureDistSpec::weibull(0.7));
+  SimSearchOptions opt = quick_search();
+  opt.adaptive.min_replicas = 8;
+  opt.adaptive.max_replicas = 8;
+  opt.adaptive.ci_rel_tol = 1e-9;
+  const SimPeriodOptimum sim = sim_optimal_period(sys, kProcs, opt);
+  EXPECT_FALSE(sim.ci_converged);
+  // And the convergent configuration reports the target as met.
+  const SimPeriodOptimum ok = sim_optimal_period(sys, kProcs, quick_search());
+  EXPECT_TRUE(ok.ci_converged);
+}
+
+TEST(SimOptimalPeriod, RejectsInvalidOptions) {
+  const System sys = System::from_platform(model::hera(), Scenario::kS3);
+  SimSearchOptions opt = quick_search();
+  opt.coarse_points = 2;
+  EXPECT_THROW((void)sim_optimal_period(sys, kProcs, opt),
+               util::InvalidArgument);
+  opt = quick_search();
+  opt.bracket_span = 1.0;
+  EXPECT_THROW((void)sim_optimal_period(sys, kProcs, opt),
+               util::InvalidArgument);
+  EXPECT_THROW((void)sim_optimal_period(sys, 0.5, quick_search()),
+               util::InvalidArgument);
+}
+
+TEST(SimOptimalAllocation, ExponentialFallsBackToClosedFormExactly) {
+  const System sys = System::from_platform(model::hera(), Scenario::kS3);
+  SimAllocationSearchOptions opt;
+  opt.period = quick_search();
+  const SimAllocationOptimum sim = sim_optimal_allocation(sys, opt);
+
+  AllocationSearchOptions aopt;
+  aopt.min_procs = opt.min_procs;
+  aopt.max_procs = opt.max_procs;
+  const AllocationOptimum exact = optimal_allocation(sys, aopt);
+
+  EXPECT_TRUE(sim.used_closed_form);
+  EXPECT_DOUBLE_EQ(sim.procs, exact.procs);
+  EXPECT_DOUBLE_EQ(sim.period, exact.period);
+  EXPECT_EQ(sim.outer_evaluations, 1);
+  EXPECT_GE(sim.overhead.count, opt.period.adaptive.min_replicas);
+}
+
+TEST(SimOptimalAllocation, WeibullLadderSearchReturnsIntegerAllocation) {
+  const System sys =
+      System::from_platform(model::hera(), Scenario::kS3)
+          .with_failure_dist(model::FailureDistSpec::weibull(0.7));
+  SimAllocationSearchOptions opt;
+  opt.period = quick_search();
+  opt.period.adaptive.min_replicas = 8;
+  opt.period.adaptive.max_replicas = 128;
+  opt.period.adaptive.ci_rel_tol = 0.08;
+  opt.period.coarse_points = 3;
+  opt.period.max_iterations = 8;
+  opt.rungs_per_side = 1;
+  const SimAllocationOptimum sim = sim_optimal_allocation(sys, opt);
+  EXPECT_FALSE(sim.used_closed_form);
+  EXPECT_EQ(sim.outer_evaluations, 3);  // seed rung + one each side
+  EXPECT_GE(sim.procs, 1.0);
+  EXPECT_DOUBLE_EQ(sim.procs, std::round(sim.procs));
+  EXPECT_GT(sim.period, 0.0);
+  EXPECT_GT(sim.overhead.mean, 0.0);
+  EXPECT_GT(sim.seed_procs, 0.0);
+}
+
+}  // namespace
+}  // namespace ayd::core

@@ -292,5 +292,34 @@ TEST(Pivot, BuildsCrossTabWithMissingCells) {
   EXPECT_NE(s.find('-'), std::string::npos);
 }
 
+TEST(ApplyEvalAxes, OverridesAdaptiveKnobsPerPoint) {
+  EvalSpec base;
+  base.sim_optimize = true;
+  base.sim_search.period.adaptive.ci_rel_tol = 0.02;
+  base.sim_search.period.adaptive.max_replicas = 4096;
+
+  Point pt;
+  pt.vars = {{"ci_rel_tol", 0.1}, {"max_reps", 64.0}, {"weibull_k", 0.7}};
+  const EvalSpec spec = apply_eval_axes(base, pt);
+  EXPECT_DOUBLE_EQ(spec.sim_search.period.adaptive.ci_rel_tol, 0.1);
+  EXPECT_EQ(spec.sim_search.period.adaptive.max_replicas, 64u);
+  // A cap below the starting count pulls the start down with it instead
+  // of leaving an invalid min > max combination for the adaptive driver.
+  EvalSpec high_start = base;
+  high_start.sim_search.period.adaptive.min_replicas = 120;
+  Point capped;
+  capped.vars = {{"max_reps", 16.0}};
+  const EvalSpec clamped = apply_eval_axes(high_start, capped);
+  EXPECT_EQ(clamped.sim_search.period.adaptive.max_replicas, 16u);
+  EXPECT_EQ(clamped.sim_search.period.adaptive.min_replicas, 16u);
+  // The base spec is untouched and axes absent from a point stay at the
+  // base values.
+  EXPECT_DOUBLE_EQ(base.sim_search.period.adaptive.ci_rel_tol, 0.02);
+  Point plain;
+  const EvalSpec unchanged = apply_eval_axes(base, plain);
+  EXPECT_DOUBLE_EQ(unchanged.sim_search.period.adaptive.ci_rel_tol, 0.02);
+  EXPECT_EQ(unchanged.sim_search.period.adaptive.max_replicas, 4096u);
+}
+
 }  // namespace
 }  // namespace ayd::engine

@@ -1,0 +1,156 @@
+// Adaptive replication driver: determinism (the replica *count*, not just
+// the estimate, is a pure function of the inputs), tolerance compliance,
+// and equivalence with a fixed-count run at the final count.
+
+#include "ayd/sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/stats/ci.hpp"
+#include "ayd/util/error.hpp"
+
+namespace ayd::sim {
+namespace {
+
+using model::Scenario;
+using model::System;
+
+System weibull_system() {
+  return System::from_platform(model::hera(), Scenario::kS3)
+      .with_failure_dist(model::FailureDistSpec::weibull(0.7));
+}
+
+ReplicationOptions quick_replication() {
+  ReplicationOptions opt;
+  opt.patterns_per_replica = 40;
+  opt.seed = 0xADA77ULL;
+  return opt;
+}
+
+AdaptiveOptions quick_adaptive() {
+  AdaptiveOptions adapt;
+  adapt.ci_rel_tol = 0.05;
+  adapt.min_replicas = 8;
+  adapt.max_replicas = 2048;
+  return adapt;
+}
+
+const core::Pattern kPattern{6000.0, 512.0};
+
+TEST(AdaptiveReplication, SameSeedAndToleranceGiveBitIdenticalRuns) {
+  const System sys = weibull_system();
+  const ReplicationResult a = simulate_overhead_adaptive(
+      sys, kPattern, quick_replication(), quick_adaptive());
+  const ReplicationResult b = simulate_overhead_adaptive(
+      sys, kPattern, quick_replication(), quick_adaptive());
+  EXPECT_EQ(a.overhead.count, b.overhead.count);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.overhead.mean, b.overhead.mean);        // bitwise
+  EXPECT_EQ(a.overhead.stddev, b.overhead.stddev);    // bitwise
+  EXPECT_EQ(a.overhead.ci.lo, b.overhead.ci.lo);
+  EXPECT_EQ(a.overhead.ci.hi, b.overhead.ci.hi);
+}
+
+TEST(AdaptiveReplication, ThreadCountDoesNotChangeTheResult) {
+  const System sys = weibull_system();
+  const ReplicationResult serial = simulate_overhead_adaptive(
+      sys, kPattern, quick_replication(), quick_adaptive());
+  exec::ThreadPool pool(3);
+  ReplicationScratch scratch;
+  const ReplicationResult parallel = simulate_overhead_adaptive(
+      sys, kPattern, quick_replication(), quick_adaptive(), &pool, &scratch);
+  EXPECT_EQ(serial.overhead.count, parallel.overhead.count);
+  EXPECT_EQ(serial.overhead.mean, parallel.overhead.mean);  // bitwise
+  EXPECT_EQ(serial.rounds, parallel.rounds);
+}
+
+TEST(AdaptiveReplication, ConvergedRunsRespectTheRelativeTolerance) {
+  const System sys = weibull_system();
+  const AdaptiveOptions adapt = quick_adaptive();
+  const ReplicationResult res = simulate_overhead_adaptive(
+      sys, kPattern, quick_replication(), adapt);
+  ASSERT_TRUE(res.ci_converged);
+  EXPECT_LE(stats::relative_half_width(res.overhead.ci, res.overhead.mean),
+            adapt.ci_rel_tol);
+  EXPECT_GE(res.overhead.count, adapt.min_replicas);
+  EXPECT_LE(res.overhead.count, adapt.max_replicas);
+}
+
+TEST(AdaptiveReplication, TighterToleranceNeedsMoreReplicas) {
+  const System sys = weibull_system();
+  AdaptiveOptions loose = quick_adaptive();
+  loose.ci_rel_tol = 0.10;
+  AdaptiveOptions tight = quick_adaptive();
+  tight.ci_rel_tol = 0.02;
+  const ReplicationResult l = simulate_overhead_adaptive(
+      sys, kPattern, quick_replication(), loose);
+  const ReplicationResult t = simulate_overhead_adaptive(
+      sys, kPattern, quick_replication(), tight);
+  EXPECT_LT(l.overhead.count, t.overhead.count);
+  EXPECT_TRUE(t.ci_converged);
+}
+
+TEST(AdaptiveReplication, AgreesWithFixedCountRunAtTheFinalCount) {
+  // Replicas are appended across rounds from substreams (seed, i), so
+  // the adaptive estimate must equal a fixed run at the final count bit
+  // for bit (the interval differs by construction: t vs normal theory).
+  const System sys = weibull_system();
+  const ReplicationResult adaptive = simulate_overhead_adaptive(
+      sys, kPattern, quick_replication(), quick_adaptive());
+  ReplicationOptions fixed = quick_replication();
+  fixed.replicas = adaptive.overhead.count;
+  const ReplicationResult reference =
+      simulate_overhead(sys, kPattern, fixed);
+  EXPECT_EQ(adaptive.overhead.mean, reference.overhead.mean);      // bitwise
+  EXPECT_EQ(adaptive.overhead.stddev, reference.overhead.stddev);  // bitwise
+  EXPECT_EQ(adaptive.total_patterns, reference.total_patterns);
+  EXPECT_GT(adaptive.overhead.ci.half_width(),
+            reference.overhead.ci.half_width());  // t wider than z
+}
+
+TEST(AdaptiveReplication, CapIsReportedAsNotConverged) {
+  const System sys = weibull_system();
+  AdaptiveOptions capped = quick_adaptive();
+  capped.ci_rel_tol = 1e-9;  // unreachable
+  capped.min_replicas = 4;
+  capped.max_replicas = 16;
+  const ReplicationResult res = simulate_overhead_adaptive(
+      sys, kPattern, quick_replication(), capped);
+  EXPECT_FALSE(res.ci_converged);
+  EXPECT_EQ(res.overhead.count, 16u);
+  EXPECT_GT(res.rounds, 1);
+}
+
+TEST(AdaptiveReplication, FixedDriverReportsVacuousConvergence) {
+  const System sys = weibull_system();
+  ReplicationOptions opt = quick_replication();
+  opt.replicas = 8;
+  const ReplicationResult res = simulate_overhead(sys, kPattern, opt);
+  EXPECT_TRUE(res.ci_converged);
+  EXPECT_EQ(res.rounds, 1);
+}
+
+TEST(AdaptiveReplication, RejectsInvalidOptions) {
+  const System sys = weibull_system();
+  AdaptiveOptions bad = quick_adaptive();
+  bad.min_replicas = 1;
+  EXPECT_THROW((void)simulate_overhead_adaptive(sys, kPattern,
+                                                quick_replication(), bad),
+               util::InvalidArgument);
+  bad = quick_adaptive();
+  bad.max_replicas = 4;
+  bad.min_replicas = 8;
+  EXPECT_THROW((void)simulate_overhead_adaptive(sys, kPattern,
+                                                quick_replication(), bad),
+               util::InvalidArgument);
+  bad = quick_adaptive();
+  bad.growth = 1.0;
+  EXPECT_THROW((void)simulate_overhead_adaptive(sys, kPattern,
+                                                quick_replication(), bad),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ayd::sim
