@@ -1,0 +1,209 @@
+// Microbenchmark of the planning service: cold-miss vs warm-hit latency
+// of memoised `optimize --simulate` answers, and sustained throughput +
+// hit rate under a Zipf-like repeated workload (the shape of real
+// planning traffic: a few hot scenarios dominate, a long tail of
+// one-offs). Emits BENCH_service.json so the service's perf trajectory
+// is tracked across commits; CI greps the "SERVICE-BENCH" summary lines
+// and fails the warm/cold acceptance when memoisation stops paying.
+//
+// Requests are issued through PlanningService::handle_line — the same
+// code path `ayd serve` drives — so parse, canonicalisation, cache, and
+// reply assembly are all inside the measured latency.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+#include "ayd/io/json.hpp"
+#include "ayd/rng/stream.hpp"
+#include "ayd/service/server.hpp"
+#include "ayd/util/version.hpp"
+
+namespace {
+
+using namespace ayd;
+using bench::seconds_since;
+
+/// One distinct planning scenario: a fixed-P robust-optimum request
+/// under bursty Weibull failures (the expensive, cache-worthy op).
+std::string make_request(int id, double procs, std::uint64_t seed,
+                         std::size_t patterns, std::size_t max_reps) {
+  std::ostringstream os;
+  os << "{\"op\":\"optimize\",\"id\":" << id
+     << ",\"platform\":\"hera\",\"scenario\":3,\"procs\":" << procs
+     << ",\"failure-dist\":\"weibull:k=0.7\",\"simulate\":true"
+     << ",\"runs\":16,\"patterns\":" << patterns << ",\"seed\":" << seed
+     << ",\"ci-rel-tol\":0.02,\"max-reps\":" << max_reps << "}";
+  return os.str();
+}
+
+double mean_of(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+double median_of(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run_experiment_main(
+      argc, argv, "Micro — planning-service cache (cold vs warm, Zipf)",
+      "cold-miss vs warm-hit latency of memoised optimize answers and "
+      "throughput/hit-rate under a Zipf-like repeated workload; JSON "
+      "written for the perf trajectory",
+      [](cli::ArgParser& p) {
+        p.add_option("out", "BENCH_service.json",
+                     "output path for the JSON record");
+        p.add_option("scenarios", "16",
+                     "distinct cache-worthy scenarios (procs ladder)");
+        p.add_option("zipf-requests", "400",
+                     "requests in the Zipf-like throughput phase");
+        p.add_option("cache-entries", "4096",
+                     "memo-cache capacity for the service under test");
+      },
+      [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
+        const int scenarios = static_cast<int>(args.option_int("scenarios"));
+        const int zipf_requests =
+            static_cast<int>(args.option_int("zipf-requests"));
+        // Keep one cold evaluation in the milliseconds: small replica
+        // floor, ctx-scaled patterns, tight cap.
+        const std::size_t patterns = std::max<std::size_t>(ctx.patterns, 8);
+        const std::size_t max_reps = 160;
+
+        std::vector<std::string> requests;
+        requests.reserve(static_cast<std::size_t>(scenarios));
+        for (int i = 0; i < scenarios; ++i) {
+          // A geometric procs ladder: every request is a distinct
+          // canonical scenario.
+          const double procs = 64.0 * std::pow(1.35, i);
+          requests.push_back(
+              make_request(i, std::round(procs), ctx.seed, patterns,
+                           max_reps));
+        }
+
+        service::ServiceOptions options;
+        options.threads = ctx.threads;
+        options.cache_entries =
+            static_cast<std::size_t>(args.option_uint("cache-entries"));
+        service::PlanningService service(options);
+
+        // -- Cold pass: every request is a miss. --------------------------
+        std::vector<double> cold_ms;
+        cold_ms.reserve(requests.size());
+        std::vector<std::string> cold_replies;
+        for (const std::string& req : requests) {
+          const auto t0 = std::chrono::steady_clock::now();
+          cold_replies.push_back(service.handle_line(req));
+          cold_ms.push_back(seconds_since(t0) * 1e3);
+        }
+
+        // -- Warm pass: every request is a hit, replies byte-identical. ---
+        std::vector<double> warm_ms;
+        warm_ms.reserve(requests.size());
+        std::size_t identical = 0;
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          const auto t0 = std::chrono::steady_clock::now();
+          const std::string reply = service.handle_line(requests[i]);
+          warm_ms.push_back(seconds_since(t0) * 1e3);
+          if (reply == cold_replies[i]) ++identical;
+        }
+
+        const double cold_mean = mean_of(cold_ms);
+        const double warm_mean = mean_of(warm_ms);
+        const double speedup = warm_mean > 0.0 ? cold_mean / warm_mean : 0.0;
+        std::printf("SERVICE-BENCH cold-miss: %9.3f ms/req (median %.3f)\n",
+                    cold_mean, median_of(cold_ms));
+        std::printf(
+            "SERVICE-BENCH warm-hit : %9.3f ms/req (median %.3f, %.0fx "
+            "faster, %zu/%zu replies byte-identical)\n",
+            warm_mean, median_of(warm_ms), speedup, identical,
+            requests.size());
+
+        // -- Zipf-like phase: rank-r scenario drawn with weight 1/(r+1);
+        // a fresh service so the hit rate is the workload's, not the
+        // warm pass's. Drawn deterministically from the experiment seed.
+        service::PlanningService zipf_service(options);
+        std::vector<double> cumulative(requests.size());
+        double total = 0.0;
+        for (std::size_t r = 0; r < requests.size(); ++r) {
+          total += 1.0 / static_cast<double>(r + 1);
+          cumulative[r] = total;
+        }
+        rng::RngStream rng(ctx.seed, /*stream=*/0);
+        std::ostringstream session;
+        for (int i = 0; i < zipf_requests; ++i) {
+          const double u = rng.next_uniform01() * total;
+          const auto it =
+              std::lower_bound(cumulative.begin(), cumulative.end(), u);
+          const std::size_t rank = static_cast<std::size_t>(
+              std::min<std::ptrdiff_t>(it - cumulative.begin(),
+                                       static_cast<std::ptrdiff_t>(
+                                           requests.size() - 1)));
+          session << requests[rank] << "\n";
+        }
+        std::istringstream in(session.str());
+        std::ostringstream replies;
+        const auto t0 = std::chrono::steady_clock::now();
+        zipf_service.serve(in, replies);
+        const double zipf_seconds = seconds_since(t0);
+        const service::CacheStats stats = zipf_service.cache_stats();
+        const double throughput =
+            static_cast<double>(zipf_requests) / zipf_seconds;
+        const double hit_rate =
+            static_cast<double>(stats.hits + stats.coalesced) /
+            static_cast<double>(std::max<std::uint64_t>(
+                1, stats.hits + stats.coalesced + stats.misses));
+        std::printf(
+            "SERVICE-BENCH zipf     : %9.0f req/s over %d requests "
+            "(hit rate %.1f%%, %llu misses, %llu evictions)\n",
+            throughput, zipf_requests, 100.0 * hit_rate,
+            static_cast<unsigned long long>(stats.misses),
+            static_cast<unsigned long long>(stats.evictions));
+
+        const std::string out_path = args.option("out");
+        std::ofstream out(out_path);
+        if (!out) {
+          std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+          return;
+        }
+        io::JsonWriter json(out, /*pretty=*/true);
+        json.begin_object();
+        json.kv("benchmark", "service_cache");
+        json.kv("version", util::version_string());
+        json.kv("scenarios", static_cast<std::int64_t>(scenarios));
+        json.kv("patterns_per_replica",
+                static_cast<std::uint64_t>(patterns));
+        json.kv("seed", static_cast<std::uint64_t>(ctx.seed));
+        json.kv("threads", static_cast<std::uint64_t>(options.threads));
+        json.kv("cache_entries",
+                static_cast<std::uint64_t>(options.cache_entries));
+        json.kv("cold_miss_ms_mean", cold_mean);
+        json.kv("cold_miss_ms_median", median_of(cold_ms));
+        json.kv("warm_hit_ms_mean", warm_mean);
+        json.kv("warm_hit_ms_median", median_of(warm_ms));
+        json.kv("warm_speedup", speedup);
+        json.kv("warm_replies_byte_identical",
+                static_cast<std::uint64_t>(identical));
+        json.kv("zipf_requests", static_cast<std::int64_t>(zipf_requests));
+        json.kv("zipf_throughput_rps", throughput);
+        json.kv("zipf_hit_rate", hit_rate);
+        json.kv("zipf_misses", stats.misses);
+        json.kv("zipf_coalesced", stats.coalesced);
+        json.kv("zipf_evictions", stats.evictions);
+        json.end_object();
+        out << "\n";
+        std::printf("(JSON record written to %s)\n", out_path.c_str());
+      });
+}

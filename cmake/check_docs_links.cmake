@@ -2,6 +2,8 @@
 # a file that does not exist. External (http/https/mailto) links and
 # in-page #anchors are out of scope — this is the cheap grep-style tier
 # that keeps intra-repo cross-references from rotting, not a web checker.
+# The glob below is evaluated on every run, so newly added docs/*.md
+# files (e.g. docs/service.md) are scanned without touching this script.
 #
 # Usage:
 #   cmake -DREPO_DIR=<repo root> -P cmake/check_docs_links.cmake

@@ -40,6 +40,14 @@ ArgParser::Spec& ArgParser::lookup(const std::string& name) {
   return it->second;
 }
 
+void ArgParser::parse_args(const std::vector<std::string>& args) {
+  std::vector<const char*> argv;
+  argv.reserve(args.size() + 1);
+  argv.push_back(program_.c_str());  // synthetic argv[0]; parse skips it
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  parse(static_cast<int>(argv.size()), argv.data());
+}
+
 void ArgParser::parse(int argc, const char* const* argv) {
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);

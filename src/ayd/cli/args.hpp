@@ -27,6 +27,12 @@ class ArgParser {
   /// If --help is present, sets help_requested() and skips validation.
   void parse(int argc, const char* const* argv);
 
+  /// Same, for an argument vector *without* a program name (subcommand
+  /// tails, service request parameters): the one bridge between
+  /// string-vector callers and the argv contract, so no caller
+  /// hand-rolls a synthetic argv.
+  void parse_args(const std::vector<std::string>& args);
+
   [[nodiscard]] bool help_requested() const { return help_requested_; }
   [[nodiscard]] std::string help() const;
 

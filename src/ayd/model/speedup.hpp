@@ -49,6 +49,12 @@ class Speedup {
   [[nodiscard]] Kind kind() const { return kind_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 
+  /// Exact profile parameter: α for Amdahl/Gustafson, γ for the power
+  /// law, 0 otherwise. Unlike name() (which formats to 4 significant
+  /// digits for table output) this is lossless — the planning service
+  /// keys its memo cache on it.
+  [[nodiscard]] double parameter() const { return param_; }
+
   /// Sequential fraction α for Amdahl/Gustafson profiles (0 for perfect),
   /// nullopt otherwise.
   [[nodiscard]] std::optional<double> sequential_fraction() const;

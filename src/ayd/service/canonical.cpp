@@ -1,0 +1,88 @@
+#include "ayd/service/canonical.hpp"
+
+#include "ayd/model/failure_dist.hpp"
+
+namespace ayd::service {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+CanonicalKeyBuilder::CanonicalKeyBuilder(std::string_view op)
+    : writer_(os_, /*pretty=*/false) {
+  writer_.begin_object();
+  writer_.kv("op", op);
+}
+
+namespace {
+
+void write_cost(io::JsonWriter& w, std::string_view key,
+                const model::CostModel& cost) {
+  w.key(key);
+  w.begin_array();
+  w.value(cost.constant_coeff());
+  w.value(cost.inverse_coeff());
+  w.value(cost.linear_coeff());
+  w.end_array();
+}
+
+}  // namespace
+
+CanonicalKeyBuilder& CanonicalKeyBuilder::system(const model::System& sys) {
+  writer_.key("system");
+  writer_.begin_object();
+  writer_.kv("lambda_ind", sys.failure().lambda_ind());
+  writer_.kv("fail_stop_fraction", sys.failure().fail_stop_fraction());
+  writer_.key("failure_dist");
+  sys.failure().dist().write_json(writer_);
+  writer_.kv("downtime", sys.downtime());
+  write_cost(writer_, "checkpoint", sys.costs().checkpoint);
+  write_cost(writer_, "recovery", sys.costs().recovery);
+  write_cost(writer_, "verification", sys.costs().verification);
+  writer_.key("speedup");
+  writer_.begin_array();
+  writer_.value(static_cast<std::int64_t>(sys.speedup_model().kind()));
+  writer_.value(sys.speedup_model().parameter());
+  writer_.end_array();
+  writer_.end_object();
+  return *this;
+}
+
+CanonicalKeyBuilder& CanonicalKeyBuilder::field(std::string_view key,
+                                                double v) {
+  writer_.kv(key, v);
+  return *this;
+}
+
+CanonicalKeyBuilder& CanonicalKeyBuilder::field(std::string_view key,
+                                                std::uint64_t v) {
+  writer_.kv(key, v);
+  return *this;
+}
+
+CanonicalKeyBuilder& CanonicalKeyBuilder::field(std::string_view key,
+                                                bool v) {
+  writer_.kv(key, v);
+  return *this;
+}
+
+CanonicalKeyBuilder& CanonicalKeyBuilder::field(std::string_view key,
+                                                std::string_view v) {
+  writer_.kv(key, v);
+  return *this;
+}
+
+CanonicalKey CanonicalKeyBuilder::finish() {
+  writer_.end_object();
+  CanonicalKey key;
+  key.text = os_.str();
+  key.hash = fnv1a64(key.text);
+  return key;
+}
+
+}  // namespace ayd::service

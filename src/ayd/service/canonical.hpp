@@ -1,0 +1,72 @@
+// Canonical scenario keying for the planning service's memo cache.
+//
+// Two NDJSON requests that *mean* the same planning question must map to
+// the same cache entry no matter how they were spelled: member order in
+// the request object, "platform":"HERA" vs "hera", "scenario":3 vs "3",
+// a rate given as mtbf vs lambda, an explicitly-passed default — none of
+// these change the answer, so none may change the key. The service
+// therefore never keys on request text. It first *resolves* the request
+// through the same spec parsers the CLI uses (tool::system_from_args and
+// friends), then serialises the resolved semantics — the model::System's
+// exact field values, the evaluation knobs, seed, CI target, replica cap
+// — into a canonical compact JSON string with a fixed field order, and
+// keys on that string plus its 64-bit FNV-1a content hash.
+//
+// Doubles are serialised through io::JsonWriter's %.17g formatting, which
+// round-trips every finite double exactly: distinct systems cannot
+// collide textually, and equal systems cannot split. The full canonical
+// text is stored next to the hash, so even a 64-bit hash collision cannot
+// serve a wrong reply (shards compare the text on lookup).
+
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "ayd/io/json.hpp"
+#include "ayd/model/system.hpp"
+
+namespace ayd::service {
+
+/// A resolved request's canonical identity: the canonical serialisation
+/// and its 64-bit content hash. The hash routes to a cache shard; the
+/// text is the collision-proof key within the shard.
+struct CanonicalKey {
+  std::string text;
+  std::uint64_t hash = 0;
+};
+
+/// 64-bit FNV-1a over `bytes` (the service's content hash).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Streams the canonical fields of one request into a compact JSON
+/// object, then hashes it. Field order is fixed by call order — every
+/// handler writes its fields in one documented sequence, which *is* the
+/// canonicalisation.
+class CanonicalKeyBuilder {
+ public:
+  /// Opens the canonical object and records the operation name.
+  explicit CanonicalKeyBuilder(std::string_view op);
+
+  /// Writes the resolved system: exact failure-model rates, the failure
+  /// distribution (kind/shape/trace contents), downtime, the three cost
+  /// models' coefficients, and the speedup profile kind + exact
+  /// parameter.
+  CanonicalKeyBuilder& system(const model::System& sys);
+
+  CanonicalKeyBuilder& field(std::string_view key, double v);
+  CanonicalKeyBuilder& field(std::string_view key, std::uint64_t v);
+  CanonicalKeyBuilder& field(std::string_view key, bool v);
+  CanonicalKeyBuilder& field(std::string_view key, std::string_view v);
+
+  /// Closes the object and returns {text, fnv1a64(text)}.
+  [[nodiscard]] CanonicalKey finish();
+
+ private:
+  std::ostringstream os_;
+  io::JsonWriter writer_;
+};
+
+}  // namespace ayd::service

@@ -1,0 +1,134 @@
+#include "ayd/service/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "ayd/io/json.hpp"
+
+namespace ayd::service {
+
+namespace {
+
+std::string serialize_value(const io::JsonValue& v) {
+  std::ostringstream os;
+  io::JsonWriter w(os, /*pretty=*/false);
+  v.write(w);
+  return os.str();
+}
+
+/// The CLI option spelling of one scalar parameter value.
+std::string value_to_cli(const std::string& name, const io::JsonValue& v) {
+  switch (v.kind()) {
+    case io::JsonValue::Kind::kString:
+      return v.as_string();
+    case io::JsonValue::Kind::kNumber: {
+      if (v.is_integer()) return std::to_string(v.as_int());
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", v.as_double());
+      return buf;
+    }
+    default:
+      throw ProtocolError(
+          "bad_request",
+          "parameter \"" + name + "\" must be a scalar (string, number, "
+          "or boolean)");
+  }
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  io::JsonValue doc;
+  try {
+    doc = io::parse_json(line);
+  } catch (const util::Error& e) {
+    throw ProtocolError("parse_error", e.what());
+  }
+  if (!doc.is_object()) {
+    throw ProtocolError("parse_error", "request line must be a JSON object");
+  }
+  Request req;
+  // The id is extracted before anything can fail validation, so even a
+  // rejected request's error reply still carries the client's
+  // correlation handle (a non-scalar id is the one exception — there is
+  // nothing sensible to echo).
+  if (const io::JsonValue* id = doc.find("id")) {
+    if (id->is_array() || id->is_object()) {
+      throw ProtocolError("bad_request", "\"id\" must be a scalar");
+    }
+    req.id = *id;
+  }
+  const io::JsonValue* op = doc.find("op");
+  if (op == nullptr) {
+    throw ProtocolError(req.id, "bad_request", "request is missing \"op\"");
+  }
+  if (!op->is_string()) {
+    throw ProtocolError(req.id, "bad_request", "\"op\" must be a string");
+  }
+  req.op = op->as_string();
+  for (const auto& [key, value] : doc.members()) {
+    if (key == "op" || key == "id") continue;
+    req.params.emplace_back(key, value);
+  }
+  return req;
+}
+
+std::vector<std::string> params_to_argv(
+    const std::vector<std::pair<std::string, io::JsonValue>>& params) {
+  std::vector<std::string> argv;
+  argv.reserve(params.size());
+  for (const auto& [raw_name, value] : params) {
+    // A '=' inside a member name would silently splice into the
+    // --name=value argv syntax ({"procs=512": true} must not become
+    // --procs=512).
+    if (raw_name.find('=') != std::string::npos) {
+      throw ProtocolError("bad_request", "parameter name \"" + raw_name +
+                                             "\" must not contain '='");
+    }
+    // Accept underscores as hyphens so JSON-friendly spellings
+    // ("ci_rel_tol") reach the option table ("ci-rel-tol").
+    std::string name = raw_name;
+    for (char& c : name) {
+      if (c == '_') c = '-';
+    }
+    if (value.is_bool()) {
+      // Flags: true sets, false means "leave at default" (there is no
+      // --no-X vocabulary in the CLI either).
+      if (value.as_bool()) argv.push_back("--" + name);
+      continue;
+    }
+    if (value.is_null()) {
+      throw ProtocolError("bad_request",
+                          "parameter \"" + raw_name + "\" must not be null");
+    }
+    argv.push_back("--" + name + "=" + value_to_cli(raw_name, value));
+  }
+  return argv;
+}
+
+std::string make_ok_reply(const io::JsonValue& id, std::string_view op,
+                          std::string_view result_json) {
+  std::string out = "{\"id\":";
+  out += serialize_value(id);
+  out += ",\"ok\":true,\"op\":\"";
+  out += io::json_escape(op);
+  out += "\",\"result\":";
+  out += result_json;
+  out += "}";
+  return out;
+}
+
+std::string make_error_reply(const io::JsonValue& id, std::string_view code,
+                             std::string_view message) {
+  std::string out = "{\"id\":";
+  out += serialize_value(id);
+  out += ",\"ok\":false,\"error\":{\"code\":\"";
+  out += io::json_escape(code);
+  out += "\",\"message\":\"";
+  out += io::json_escape(message);
+  out += "\"}}";
+  return out;
+}
+
+}  // namespace ayd::service

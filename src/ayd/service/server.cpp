@@ -1,0 +1,274 @@
+#include "ayd/service/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "ayd/io/json.hpp"
+#include "ayd/model/application.hpp"
+#include "ayd/sim/runner.hpp"
+#include "ayd/tool/commands.hpp"
+#include "ayd/tool/optimize_json.hpp"
+#include "ayd/util/strings.hpp"
+#include "ayd/util/version.hpp"
+
+namespace ayd::service {
+
+namespace {
+
+/// Parses the request parameters with the op's ArgParser (the same spec
+/// parsers the CLI uses, so spellings and validation cannot drift).
+void parse_params(cli::ArgParser& parser, const Request& req) {
+  parser.parse_args(params_to_argv(req.params));
+  if (parser.help_requested()) {
+    throw ProtocolError("bad_request",
+                        "\"help\" is not a request parameter (see "
+                        "docs/service.md for the protocol)");
+  }
+}
+
+const char* backend_name(sim::Backend backend) {
+  return backend == sim::Backend::kDes ? "des" : "fast";
+}
+
+void write_summary(io::JsonWriter& w, std::string_view key,
+                   const stats::Summary& s) {
+  w.key(key);
+  w.begin_object();
+  w.kv("mean", s.mean);
+  w.kv("ci_lo", s.ci.lo);
+  w.kv("ci_hi", s.ci.hi);
+  w.kv("stddev", s.stddev);
+  w.kv("count", static_cast<std::uint64_t>(s.count));
+  w.end_object();
+}
+
+}  // namespace
+
+PlanningService::PlanningService(const ServiceOptions& options)
+    : options_(options),
+      cache_(options.cache_entries, options.cache_shards),
+      pool_(options.threads) {}
+
+std::string PlanningService::handle_line(const std::string& line) {
+  io::JsonValue id;  // null until the request parses far enough to know
+  try {
+    Request req = parse_request(line);
+    id = req.id;
+    return dispatch(req);
+  } catch (const ProtocolError& e) {
+    // Prefer the id the error carries (parse_request extracts it before
+    // any validation can fail); fall back to what this frame saw.
+    return make_error_reply(e.id().is_null() ? id : e.id(), e.code(),
+                            e.what());
+  } catch (const util::Error& e) {
+    // Spec-parser rejections (unknown option, malformed value, infeasible
+    // combination) are the caller's fault, not the service's.
+    return make_error_reply(id, "bad_request", e.what());
+  } catch (const std::exception& e) {
+    return make_error_reply(id, "internal", e.what());
+  }
+}
+
+void PlanningService::serve(std::istream& in, std::ostream& out) {
+  // One outstanding-request counter instead of a future per request: a
+  // long-lived session may stream millions of lines, and accumulating
+  // futures (or an unbounded pool queue) until EOF would grow memory
+  // without bound. The reader blocks once `kMaxOutstanding` requests are
+  // in flight — natural pipe backpressure — and handle_line never throws
+  // (every failure becomes an error envelope), so completion is the only
+  // signal the loop needs.
+  const std::size_t kMaxOutstanding = std::max<std::size_t>(
+      64, 4 * pool_.size());
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t outstanding = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (util::trim(line).empty()) continue;
+    {
+      std::unique_lock lock(mutex);
+      cv.wait(lock, [&] { return outstanding < kMaxOutstanding; });
+      ++outstanding;
+    }
+    pool_.submit([this, line, &out, &mutex, &cv, &outstanding] {
+      const std::string reply = handle_line(line);
+      const std::lock_guard lock(mutex);
+      out << reply << '\n' << std::flush;
+      --outstanding;
+      cv.notify_all();
+    });
+  }
+  std::unique_lock lock(mutex);
+  cv.wait(lock, [&] { return outstanding == 0; });
+}
+
+std::string PlanningService::dispatch(const Request& req) {
+  if (req.op == "optimize") return handle_optimize(req);
+  if (req.op == "simulate") return handle_simulate(req);
+  if (req.op == "plan") return handle_plan(req);
+  if (req.op == "stats") return handle_stats(req);
+  throw ProtocolError("unknown_op",
+                      "unknown op \"" + req.op +
+                          "\" (expected optimize, simulate, plan, stats)");
+}
+
+std::string PlanningService::handle_optimize(const Request& req) {
+  cli::ArgParser parser("ayd serve: optimize", "service op");
+  tool::add_optimize_options(parser);
+  parse_params(parser, req);
+  const model::System sys = tool::system_from_args(parser);
+  const tool::OptimizeRequest opt = tool::optimize_request_from_args(parser);
+
+  CanonicalKeyBuilder builder("optimize");
+  builder.system(sys)
+      .field("fixed_procs", opt.procs.has_value())
+      .field("procs", opt.procs.value_or(0.0))
+      .field("max_procs", opt.max_procs)
+      .field("simulate", opt.simulate);
+  if (opt.simulate) {
+    const sim::ReplicationOptions& rep = opt.sim_search.period.replication;
+    const sim::AdaptiveOptions& adapt = opt.sim_search.period.adaptive;
+    builder.field("runs", static_cast<std::uint64_t>(adapt.min_replicas))
+        .field("patterns",
+               static_cast<std::uint64_t>(rep.patterns_per_replica))
+        .field("seed", static_cast<std::uint64_t>(rep.seed))
+        .field("backend", backend_name(rep.backend))
+        .field("ci_rel_tol", adapt.ci_rel_tol)
+        .field("max_reps", static_cast<std::uint64_t>(adapt.max_replicas));
+  }
+  const CanonicalKey key = builder.finish();
+
+  const MemoCache::Lookup lookup = cache_.get_or_compute(key, [&] {
+    std::ostringstream os;
+    io::JsonWriter w(os, /*pretty=*/false);
+    tool::write_optimize_record(w, sys, opt, /*pool=*/nullptr);
+    return os.str();
+  });
+  return make_ok_reply(req.id, req.op, *lookup.value);
+}
+
+std::string PlanningService::handle_simulate(const Request& req) {
+  cli::ArgParser parser("ayd serve: simulate", "service op");
+  tool::add_system_options(parser);
+  tool::add_simulation_options(parser);
+  tool::add_pattern_options(parser);
+  parse_params(parser, req);
+  const model::System sys = tool::system_from_args(parser);
+
+  // Resolve pattern defaults exactly like `ayd simulate` (the shared
+  // helper), so the canonical key captures the pattern actually run.
+  const tool::ResolvedPattern resolved =
+      tool::resolve_pattern_from_args(parser, sys);
+  const double procs = resolved.procs;
+  const double period = resolved.period;
+  const sim::ReplicationOptions opt = tool::replication_from_args(parser);
+
+  const CanonicalKey key =
+      CanonicalKeyBuilder("simulate")
+          .system(sys)
+          .field("period", period)
+          .field("procs", procs)
+          .field("runs", static_cast<std::uint64_t>(opt.replicas))
+          .field("patterns",
+                 static_cast<std::uint64_t>(opt.patterns_per_replica))
+          .field("seed", static_cast<std::uint64_t>(opt.seed))
+          .field("backend", backend_name(opt.backend))
+          .finish();
+
+  const MemoCache::Lookup lookup = cache_.get_or_compute(key, [&] {
+    const sim::ReplicationResult r =
+        sim::simulate_overhead(sys, {period, procs}, opt);
+    std::ostringstream os;
+    io::JsonWriter w(os, /*pretty=*/false);
+    w.begin_object();
+    w.kv("period", period);
+    w.kv("procs", procs);
+    w.kv("replicas", static_cast<std::uint64_t>(opt.replicas));
+    w.kv("patterns_per_replica",
+         static_cast<std::uint64_t>(opt.patterns_per_replica));
+    w.kv("seed", static_cast<std::uint64_t>(opt.seed));
+    w.kv("backend", backend_name(opt.backend));
+    write_summary(w, "overhead", r.overhead);
+    write_summary(w, "pattern_time", r.pattern_time);
+    w.kv("analytic_overhead", r.analytic_overhead);
+    w.kv("analytic_pattern_time", r.analytic_pattern_time);
+    w.kv("fail_stops_per_pattern", r.fail_stops_per_pattern);
+    w.kv("silent_detections_per_pattern", r.silent_detections_per_pattern);
+    w.kv("masked_silent_per_pattern", r.masked_silent_per_pattern);
+    w.kv("attempts_per_pattern", r.attempts_per_pattern);
+    w.kv("total_patterns", static_cast<std::uint64_t>(r.total_patterns));
+    w.end_object();
+    return os.str();
+  });
+  return make_ok_reply(req.id, req.op, *lookup.value);
+}
+
+std::string PlanningService::handle_plan(const Request& req) {
+  cli::ArgParser parser("ayd serve: plan", "service op");
+  tool::add_system_options(parser);
+  tool::add_plan_options(parser);
+  parse_params(parser, req);
+  const model::System sys = tool::system_from_args(parser);
+  const model::Application app{parser.option("name"),
+                               parser.option_double("work"), 0.0};
+  const double max_procs = parser.option_double("max-procs");
+
+  const CanonicalKey key = CanonicalKeyBuilder("plan")
+                               .system(sys)
+                               .field("work", app.total_work)
+                               .field("max_procs", max_procs)
+                               .field("name", app.name)
+                               .finish();
+
+  const MemoCache::Lookup lookup = cache_.get_or_compute(key, [&] {
+    // The report math is tool::compute_plan — the same body `ayd plan`
+    // prints as tables.
+    const tool::PlanReport report = tool::compute_plan(sys, app, max_procs);
+    std::ostringstream os;
+    io::JsonWriter w(os, /*pretty=*/false);
+    w.begin_object();
+    w.kv("job", app.name);
+    w.kv("work", app.total_work);
+    w.kv("procs", report.optimum.procs);
+    w.kv("period", report.optimum.period);
+    w.kv("overhead", report.optimum.overhead);
+    w.kv("at_boundary", report.optimum.at_boundary);
+    w.kv("expected_makespan", report.expected_makespan);
+    w.kv("error_free_makespan", report.error_free_makespan);
+    w.kv("checkpoints", std::ceil(report.patterns));
+    w.end_object();
+    return os.str();
+  });
+  return make_ok_reply(req.id, req.op, *lookup.value);
+}
+
+std::string PlanningService::handle_stats(const Request& req) {
+  if (!req.params.empty()) {
+    throw ProtocolError("bad_request", "op \"stats\" takes no parameters");
+  }
+  const CacheStats stats = cache_.stats();
+  std::ostringstream os;
+  io::JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.kv("hits", stats.hits);
+  w.kv("misses", stats.misses);
+  w.kv("coalesced", stats.coalesced);
+  w.kv("evictions", stats.evictions);
+  w.kv("entries", static_cast<std::uint64_t>(stats.entries));
+  w.kv("cache_entries", static_cast<std::uint64_t>(cache_.max_entries()));
+  w.kv("cache_shards", static_cast<std::uint64_t>(cache_.shard_count()));
+  w.kv("threads", static_cast<std::uint64_t>(pool_.size()));
+  w.kv("version", util::version_string());
+  w.end_object();
+  return make_ok_reply(req.id, req.op, os.str());
+}
+
+}  // namespace ayd::service

@@ -1,0 +1,85 @@
+// The long-lived planning service behind `ayd serve`.
+//
+// PlanningService answers NDJSON planning requests (protocol.hpp) over
+// any istream/ostream pair, memoising every expensive answer in a
+// sharded single-flight LRU cache (memo_cache.hpp) keyed by canonical
+// scenario identity (canonical.hpp). Because every evaluation in this
+// repository is a pure, deterministic function of the resolved request,
+// a warm hit returns the *byte-identical* reply a recomputation would
+// produce — confidence intervals included — which is what makes serving
+// repeated planning queries (dashboards, sweep reruns, CI) from memory
+// sound.
+//
+// Concurrency model: serve() fans request lines out over an owned
+// exec::ThreadPool and writes each reply as it completes, so replies can
+// arrive out of request order (the id correlates them). Each request's
+// evaluation runs serially on its worker — request-level parallelism,
+// not replica-level — because nesting a parallel_for on the same pool
+// that runs the request could deadlock once every worker is busy.
+// Identical concurrent requests collapse to one computation
+// (single-flight); distinct requests scale across workers and cache
+// shards. The wire protocol is specified in docs/service.md.
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "ayd/exec/thread_pool.hpp"
+#include "ayd/service/memo_cache.hpp"
+#include "ayd/service/protocol.hpp"
+
+namespace ayd::service {
+
+/// Construction knobs of the service (the `ayd serve` flags).
+struct ServiceOptions {
+  /// Worker threads of the request pool (0 = hardware concurrency).
+  unsigned threads = 0;
+  /// Total memo-cache capacity in cached replies (--cache-entries).
+  std::size_t cache_entries = 4096;
+  /// Lock shards of the memo cache, rounded up to a power of two
+  /// (--cache-shards).
+  std::size_t cache_shards = 16;
+};
+
+class PlanningService {
+ public:
+  explicit PlanningService(const ServiceOptions& options = {});
+
+  PlanningService(const PlanningService&) = delete;
+  PlanningService& operator=(const PlanningService&) = delete;
+
+  /// Handles one request line synchronously on the calling thread and
+  /// returns the reply (no trailing newline). Never throws: every
+  /// failure becomes an error-envelope reply.
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// The NDJSON loop: reads one request per line from `in` until EOF,
+  /// fans the requests out over the worker pool, and writes each reply
+  /// to `out` (newline-terminated, flushed) as it completes — possibly
+  /// out of request order. Blank lines are skipped. Returns when every
+  /// accepted request has been answered.
+  void serve(std::istream& in, std::ostream& out);
+
+  /// Snapshot of the memo-cache counters (also served by op "stats").
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+ private:
+  /// Routes a parsed request to its op handler; throws ProtocolError /
+  /// util::Error on failures (handle_line wraps them into envelopes).
+  [[nodiscard]] std::string dispatch(const Request& req);
+
+  [[nodiscard]] std::string handle_optimize(const Request& req);
+  [[nodiscard]] std::string handle_simulate(const Request& req);
+  [[nodiscard]] std::string handle_plan(const Request& req);
+  [[nodiscard]] std::string handle_stats(const Request& req);
+
+  ServiceOptions options_;
+  MemoCache cache_;
+  exec::ThreadPool pool_;
+};
+
+}  // namespace ayd::service

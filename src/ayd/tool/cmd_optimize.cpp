@@ -5,10 +5,15 @@
 // --simulate, the simulation-driven robust optimum under the configured
 // failure distribution (the only optimum that is meaningful when
 // --failure-dist is not exponential).
+//
+// The option set and the --json record live in optimize_json.{hpp,cpp},
+// shared with the planning service (`ayd serve`) so the one-shot record
+// and a cached service reply cannot drift apart.
 
 #include "ayd/tool/commands.hpp"
 
 #include <cmath>
+#include <memory>
 #include <ostream>
 
 #include "ayd/core/first_order.hpp"
@@ -20,37 +25,12 @@
 #include "ayd/exec/thread_pool.hpp"
 #include "ayd/io/json.hpp"
 #include "ayd/io/table.hpp"
-#include "ayd/util/error.hpp"
+#include "ayd/tool/optimize_json.hpp"
 #include "ayd/util/strings.hpp"
 
 namespace ayd::tool {
 
 namespace {
-
-/// Reads the --simulate knobs into the nested search options. `--runs`
-/// seeds the adaptive driver's starting count; the CI target and cap come
-/// from --ci-rel-tol / --max-reps.
-core::SimAllocationSearchOptions sim_search_from_args(
-    const cli::ArgParser& parser) {
-  core::SimAllocationSearchOptions opt;
-  opt.max_procs = parser.option_double("max-procs");
-  opt.period.replication = replication_from_args(parser);
-  if (opt.period.replication.replicas < 2) {
-    throw util::CliError(
-        "--simulate needs --runs >= 2 (a CI requires two replicas)");
-  }
-  opt.period.adaptive.min_replicas = opt.period.replication.replicas;
-  opt.period.adaptive.ci_rel_tol = parser.option_double("ci-rel-tol");
-  opt.period.adaptive.max_replicas =
-      static_cast<std::size_t>(parser.option_uint("max-reps"));
-  if (opt.period.adaptive.max_replicas < 2) {
-    throw util::CliError("--max-reps must be >= 2");
-  }
-  if (opt.period.adaptive.max_replicas < opt.period.adaptive.min_replicas) {
-    opt.period.adaptive.min_replicas = opt.period.adaptive.max_replicas;
-  }
-  return opt;
-}
 
 std::string sim_row_label(const model::System& sys, bool used_closed_form) {
   if (used_closed_form) return "simulated (exponential: closed form)";
@@ -117,26 +97,6 @@ SimNotes notes_for(const core::SimAllocationOptimum& sim) {
           sim.period_at_boundary};
 }
 
-void write_sim_json(io::JsonWriter& w, const char* key, double period,
-                    double procs, const stats::Summary& overhead,
-                    const SimNotes& notes, bool at_boundary) {
-  w.key(key);
-  w.begin_object();
-  if (procs > 0.0) w.kv("procs", procs);
-  w.kv("period", period);
-  w.kv("overhead", overhead.mean);
-  w.kv("overhead_ci_lo", overhead.ci.lo);
-  w.kv("overhead_ci_hi", overhead.ci.hi);
-  w.kv("replicas", static_cast<double>(overhead.count));
-  w.kv("total_replicas", static_cast<double>(notes.total_replicas));
-  w.kv("used_closed_form", notes.used_closed_form);
-  w.kv("converged", notes.converged);
-  w.kv("ci_converged", notes.ci_converged);
-  w.kv("ci_limited", notes.ci_limited);
-  w.kv("at_boundary", at_boundary);
-  w.end_object();
-}
-
 }  // namespace
 
 int cmd_optimize(const std::vector<std::string>& args, std::ostream& out) {
@@ -145,23 +105,7 @@ int cmd_optimize(const std::vector<std::string>& args, std::ostream& out) {
       "optimal checkpointing period T* and processor allocation P* "
       "(first-order formulas vs. exact numerical optimisation, plus the "
       "simulation-driven optimum under any failure distribution)");
-  add_system_options(parser);
-  parser.add_option("procs", "",
-                    "fix the processor count and optimise the period only "
-                    "(Theorem 1 mode)");
-  parser.add_option("max-procs", "1e7",
-                    "upper edge of the numerical allocation search");
-  add_simulation_options(parser);
-  parser.add_flag("simulate",
-                  "also search for the simulation-true optimum under the "
-                  "configured --failure-dist (adaptive replication with "
-                  "confidence intervals; exact closed-form fallback for "
-                  "exponential inputs)");
-  parser.add_option("ci-rel-tol", "0.02",
-                    "adaptive replication target: CI half-width <= this "
-                    "fraction of the mean overhead");
-  parser.add_option("max-reps", "4096",
-                    "adaptive replication cap per candidate pattern");
+  add_optimize_options(parser);
   parser.add_option("threads", "0",
                     "worker threads for the simulated search (0 = "
                     "hardware concurrency)");
@@ -171,109 +115,31 @@ int cmd_optimize(const std::vector<std::string>& args, std::ostream& out) {
 
   const model::System sys = system_from_args(parser);
   const bool json = parser.flag("json");
-  const bool simulate = parser.flag("simulate");
-  // Only resolved (and validated) when the simulated search will run; a
-  // plain analytic `ayd optimize` must not reject simulation knobs.
-  core::SimAllocationSearchOptions sim_search;
-  if (simulate) sim_search = sim_search_from_args(parser);
+  const OptimizeRequest req = optimize_request_from_args(parser);
   // The pool only ever parallelises the simulated search's replicas;
   // don't spin up workers for the purely analytic paths.
   std::unique_ptr<exec::ThreadPool> pool_storage;
-  if (simulate) {
+  if (req.simulate) {
     pool_storage = std::make_unique<exec::ThreadPool>(
         static_cast<unsigned>(parser.option_uint("threads")));
   }
   exec::ThreadPool* pool = pool_storage.get();
-  if (!json) {
-    print_system(sys, out);
-    out << "\n";
-  }
 
   if (json) {
     // Machine-readable record: inputs + first-order, higher-order (fixed
     // P only), numerical and (on request) simulated solutions.
     io::JsonWriter w(out, /*pretty=*/true);
-    w.begin_object();
-    w.key("system");
-    w.begin_object();
-    w.kv("lambda_ind", sys.failure().lambda_ind());
-    w.kv("fail_stop_fraction", sys.failure().fail_stop_fraction());
-    w.kv("downtime", sys.downtime());
-    w.kv("profile", sys.speedup_model().name());
-    w.kv("failure_dist", sys.failure().dist().to_string());
-    w.kv("checkpoint", sys.costs().checkpoint.describe());
-    w.kv("verification", sys.costs().verification.describe());
-    w.end_object();
-    if (!parser.option("procs").empty()) {
-      const double procs = parser.option_double("procs");
-      w.kv("procs", procs);
-      const double t_fo = core::optimal_period_first_order(sys, procs);
-      const core::PeriodOptimum num = core::optimal_period(sys, procs);
-      w.key("first_order");
-      w.begin_object();
-      w.kv("period", t_fo);
-      if (std::isfinite(t_fo)) {
-        w.kv("overhead", core::pattern_overhead(sys, {t_fo, procs}));
-      }
-      w.end_object();
-      if (std::isfinite(t_fo)) {
-        const double t_ho = core::daly_period_vc(sys, procs);
-        w.key("higher_order");
-        w.begin_object();
-        w.kv("period", t_ho);
-        w.kv("overhead", core::pattern_overhead(sys, {t_ho, procs}));
-        w.end_object();
-      }
-      w.key("numerical");
-      w.begin_object();
-      w.kv("period", num.period);
-      w.kv("overhead", num.overhead);
-      w.kv("at_boundary", num.at_boundary);
-      w.end_object();
-      if (simulate) {
-        const core::SimPeriodOptimum sim =
-            core::sim_optimal_period(sys, procs, sim_search.period, pool);
-        write_sim_json(w, "simulated", sim.period, 0.0, sim.overhead,
-                       notes_for(sim), sim.at_boundary);
-      }
-    } else {
-      const core::FirstOrderSolution fo = core::solve_first_order(sys);
-      core::AllocationSearchOptions search;
-      search.max_procs = parser.option_double("max-procs");
-      const core::AllocationOptimum num =
-          core::optimal_allocation(sys, search);
-      w.key("first_order");
-      w.begin_object();
-      w.kv("has_optimum", fo.has_optimum);
-      if (fo.has_optimum) {
-        w.kv("procs", fo.procs);
-        w.kv("period", fo.period);
-        w.kv("overhead", fo.overhead);
-      }
-      if (!fo.note.empty()) w.kv("note", fo.note);
-      w.end_object();
-      w.key("numerical");
-      w.begin_object();
-      w.kv("procs", num.procs);
-      w.kv("period", num.period);
-      w.kv("overhead", num.overhead);
-      w.kv("at_boundary", num.at_boundary);
-      w.end_object();
-      if (simulate) {
-        const core::SimAllocationOptimum sim =
-            core::sim_optimal_allocation(sys, sim_search, pool);
-        write_sim_json(w, "simulated", sim.period, sim.procs, sim.overhead,
-                       notes_for(sim), sim.at_boundary);
-      }
-    }
-    w.end_object();
+    write_optimize_record(w, sys, req, pool);
     out << "\n";
     return 0;
   }
 
-  if (!parser.option("procs").empty()) {
+  print_system(sys, out);
+  out << "\n";
+
+  if (req.procs.has_value()) {
     // Fixed allocation: Theorem 1 against the exact period optimum.
-    const double procs = parser.option_double("procs");
+    const double procs = *req.procs;
     const double t_fo = core::optimal_period_first_order(sys, procs);
     const core::PeriodOptimum num = core::optimal_period(sys, procs);
 
@@ -295,8 +161,8 @@ int cmd_optimize(const std::vector<std::string>& args, std::ostream& out) {
                    util::format_sig(num.period, 6),
                    util::format_sig(num.overhead, 6)});
     std::optional<core::SimPeriodOptimum> sim;
-    if (simulate) {
-      sim = core::sim_optimal_period(sys, procs, sim_search.period, pool);
+    if (req.simulate) {
+      sim = core::sim_optimal_period(sys, procs, req.sim_search.period, pool);
       table.add_row({sim_row_label(sys, sim->used_closed_form),
                      util::format_sig(sim->period, 6),
                      engine::mean_ci_cell(sim->overhead)});
@@ -304,8 +170,8 @@ int cmd_optimize(const std::vector<std::string>& args, std::ostream& out) {
     out << "P fixed at " << util::format_sig(procs, 6) << ":\n"
         << table.to_string();
     if (sim.has_value()) {
-      print_sim_notes(notes_for(*sim), sim_search.period.adaptive.ci_rel_tol,
-                      out);
+      print_sim_notes(notes_for(*sim),
+                      req.sim_search.period.adaptive.ci_rel_tol, out);
     }
     return 0;
   }
@@ -313,7 +179,7 @@ int cmd_optimize(const std::vector<std::string>& args, std::ostream& out) {
   // Joint optimisation.
   const core::FirstOrderSolution fo = core::solve_first_order(sys);
   core::AllocationSearchOptions search;
-  search.max_procs = parser.option_double("max-procs");
+  search.max_procs = req.max_procs;
   const core::AllocationOptimum num = core::optimal_allocation(sys, search);
 
   io::Table table({"Solution", "P*", "T* (s)", "overhead H"});
@@ -331,8 +197,8 @@ int cmd_optimize(const std::vector<std::string>& args, std::ostream& out) {
                  util::format_sig(num.period, 6),
                  util::format_sig(num.overhead, 6)});
   std::optional<core::SimAllocationOptimum> sim;
-  if (simulate) {
-    sim = core::sim_optimal_allocation(sys, sim_search, pool);
+  if (req.simulate) {
+    sim = core::sim_optimal_allocation(sys, req.sim_search, pool);
     table.add_row({sim_row_label(sys, sim->used_closed_form),
                    util::format_sig(sim->procs, 6),
                    util::format_sig(sim->period, 6),
@@ -345,8 +211,8 @@ int cmd_optimize(const std::vector<std::string>& args, std::ostream& out) {
            "raise --max-procs to explore further.\n";
   }
   if (sim.has_value()) {
-    print_sim_notes(notes_for(*sim), sim_search.period.adaptive.ci_rel_tol,
-                    out);
+    print_sim_notes(notes_for(*sim),
+                    req.sim_search.period.adaptive.ci_rel_tol, out);
   }
   return 0;
 }

@@ -25,11 +25,7 @@ int cmd_plan(const std::vector<std::string>& args, std::ostream& out) {
       "capacity-plan a job: optimal pattern, expected makespan and "
       "checkpoint count, plus how nearby allocations compare");
   add_system_options(parser);
-  parser.add_option("work", "1e7",
-                    "total work W_total in seconds of sequential execution");
-  parser.add_option("name", "job", "job name for the report");
-  parser.add_option("max-procs", "1e7",
-                    "largest allocation available to the job");
+  add_plan_options(parser);
   if (parse_or_help(parser, args, out)) return 0;
 
   const model::System sys = system_from_args(parser);
@@ -40,16 +36,13 @@ int cmd_plan(const std::vector<std::string>& args, std::ostream& out) {
       << util::format_sig(app.total_work, 4) << " s sequential ("
       << util::format_duration(app.total_work) << ")\n\n";
 
-  core::AllocationSearchOptions search;
-  search.max_procs = parser.option_double("max-procs");
-  const core::AllocationOptimum opt = core::optimal_allocation(sys, search);
-  const core::Pattern best{opt.period, opt.procs};
-
-  const double makespan = core::expected_makespan(sys, best, app);
-  const double error_free =
-      app.total_work * sys.error_free_overhead(opt.procs);
-  const double patterns =
-      model::pattern_count(app, opt.period, sys.speedup(opt.procs));
+  // The report math is shared with the service's "plan" op.
+  const PlanReport report =
+      compute_plan(sys, app, parser.option_double("max-procs"));
+  const core::AllocationOptimum& opt = report.optimum;
+  const double makespan = report.expected_makespan;
+  const double error_free = report.error_free_makespan;
+  const double patterns = report.patterns;
 
   out << "optimal plan:\n"
       << "  processors      P* = " << util::format_sig(opt.procs, 6)

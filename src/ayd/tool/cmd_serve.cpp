@@ -1,0 +1,45 @@
+// `ayd serve` — the long-lived planning service: NDJSON requests on
+// stdin, NDJSON replies on stdout, answers memoised in a sharded
+// single-flight LRU cache keyed by canonical scenario identity. The CLI
+// entry is a thin shim; the machinery lives in src/ayd/service/ and the
+// wire protocol is specified in docs/service.md.
+
+#include "ayd/tool/commands.hpp"
+
+#include <iostream>
+#include <ostream>
+
+#include "ayd/service/server.hpp"
+
+namespace ayd::tool {
+
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
+  cli::ArgParser parser(
+      "ayd serve",
+      "long-lived planning service: one JSON request per stdin line "
+      "({\"op\":\"optimize\"|\"simulate\"|\"plan\"|\"stats\", \"id\":..., "
+      "params...}), one JSON reply per stdout line (same id; replies may "
+      "complete out of order), every answer memoised in a sharded LRU "
+      "cache — see docs/service.md for the wire protocol");
+  parser.add_option("threads", "0",
+                    "request worker threads (0 = hardware concurrency)");
+  parser.add_option("cache-entries", "4096",
+                    "memo-cache capacity in cached replies");
+  parser.add_option("cache-shards", "16",
+                    "lock shards of the memo cache (rounded up to a power "
+                    "of two)");
+  if (parse_or_help(parser, args, out)) return 0;
+
+  service::ServiceOptions options;
+  options.threads = static_cast<unsigned>(parser.option_uint("threads"));
+  options.cache_entries =
+      static_cast<std::size_t>(parser.option_uint("cache-entries"));
+  options.cache_shards =
+      static_cast<std::size_t>(parser.option_uint("cache-shards"));
+
+  service::PlanningService service(options);
+  service.serve(std::cin, out);
+  return 0;
+}
+
+}  // namespace ayd::tool

@@ -23,12 +23,7 @@ int cmd_simulate(const std::vector<std::string>& args, std::ostream& out) {
       "the measured overhead with the analytical prediction");
   add_system_options(parser);
   add_simulation_options(parser);
-  parser.add_option("period", "",
-                    "pattern length T in seconds (default: the numerically "
-                    "optimal period for --procs)");
-  parser.add_option("procs", "",
-                    "processor allocation P (default: the numerically "
-                    "optimal allocation)");
+  add_pattern_options(parser);
   parser.add_option("threads", "0",
                     "worker threads (0 = hardware concurrency)");
   if (parse_or_help(parser, args, out)) return 0;
@@ -39,24 +34,13 @@ int cmd_simulate(const std::vector<std::string>& args, std::ostream& out) {
   exec::ThreadPool pool(
       static_cast<unsigned>(parser.option_uint("threads")));
 
-  // Fill unspecified pattern parameters from the engine's evaluator.
-  engine::EvalSpec defaults;
-  defaults.numerical = true;
-  double procs = 0.0;
-  double period = 0.0;
-  if (parser.option("procs").empty()) {
-    const engine::PointEval ev = engine::evaluate_point(sys, defaults);
-    procs = ev.allocation->procs;
-    period = ev.allocation->period;
+  // Fill unspecified pattern parameters from the engine's evaluator
+  // (shared with the service's "simulate" op).
+  const ResolvedPattern resolved = resolve_pattern_from_args(parser, sys);
+  const double procs = resolved.procs;
+  const double period = resolved.period;
+  if (resolved.procs_defaulted) {
     out << "(no --procs given: using the numerical optimum)\n";
-  } else {
-    procs = parser.option_double("procs");
-    if (parser.option("period").empty()) {
-      period = engine::evaluate_point(sys, defaults, procs).period->period;
-    }
-  }
-  if (!parser.option("period").empty()) {
-    period = parser.option_double("period");
   }
 
   const core::Pattern pattern{period, procs};

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "ayd/cli/args.hpp"
+#include "ayd/core/optimizer.hpp"
+#include "ayd/model/application.hpp"
 #include "ayd/model/system.hpp"
 #include "ayd/sim/runner.hpp"
 
@@ -35,6 +37,7 @@ int cmd_simulate(const std::vector<std::string>& args, std::ostream& out);
 int cmd_sweep(const std::vector<std::string>& args, std::ostream& out);
 int cmd_plan(const std::vector<std::string>& args, std::ostream& out);
 int cmd_protocols(const std::vector<std::string>& args, std::ostream& out);
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out);
 
 // -- Shared system-description options ---------------------------------
 
@@ -82,5 +85,52 @@ void add_simulation_options(cli::ArgParser& parser);
 [[nodiscard]] bool parse_or_help(cli::ArgParser& parser,
                                  const std::vector<std::string>& args,
                                  std::ostream& out);
+
+// -- Shared op bodies (one-shot CLI + planning service) -----------------
+//
+// `ayd simulate` / `ayd plan` and the service's "simulate" / "plan" ops
+// must answer identically, so their option declarations, default
+// resolution, and report math live here once (exactly like
+// optimize_json.hpp does for "optimize"). The front-ends differ only in
+// presentation: tables vs JSON.
+
+/// Declares --period and --procs with the `ayd simulate` semantics
+/// (both default to the numerically optimal pattern).
+void add_pattern_options(cli::ArgParser& parser);
+
+/// The pattern a simulate request runs after default resolution.
+struct ResolvedPattern {
+  double period = 0.0;
+  double procs = 0.0;
+  /// True when no --procs was given and the joint numerical optimum
+  /// filled both fields (the CLI prints a note).
+  bool procs_defaulted = false;
+};
+
+/// Resolves --period/--procs against the numerical optimum for `sys`:
+/// no --procs -> joint (T, P) optimum; --procs without --period -> the
+/// fixed-P period optimum; explicit values always win.
+[[nodiscard]] ResolvedPattern resolve_pattern_from_args(
+    const cli::ArgParser& parser, const model::System& sys);
+
+/// Declares --work, --name, and --max-procs with the `ayd plan`
+/// defaults.
+void add_plan_options(cli::ArgParser& parser);
+
+/// The capacity-planning numbers `ayd plan` and the service report.
+struct PlanReport {
+  core::AllocationOptimum optimum;
+  double expected_makespan = 0.0;
+  double error_free_makespan = 0.0;
+  /// Patterns the job divides into (callers round up for the checkpoint
+  /// count).
+  double patterns = 0.0;
+};
+
+/// Optimal plan for `app` on `sys` with the allocation search capped at
+/// `max_procs`.
+[[nodiscard]] PlanReport compute_plan(const model::System& sys,
+                                      const model::Application& app,
+                                      double max_procs);
 
 }  // namespace ayd::tool

@@ -1,0 +1,69 @@
+// Shared bodies of the simulate and plan operations: option declaration,
+// default resolution, and report math used by both the one-shot CLI
+// commands and the planning service (see commands.hpp). Keeping these in
+// one place is what guarantees a served answer cannot drift from the
+// corresponding `ayd simulate` / `ayd plan` run.
+
+#include "ayd/tool/commands.hpp"
+
+#include "ayd/core/overhead.hpp"
+#include "ayd/engine/evaluator.hpp"
+
+namespace ayd::tool {
+
+void add_pattern_options(cli::ArgParser& parser) {
+  parser.add_option("period", "",
+                    "pattern length T in seconds (default: the numerically "
+                    "optimal period for --procs)");
+  parser.add_option("procs", "",
+                    "processor allocation P (default: the numerically "
+                    "optimal allocation)");
+}
+
+ResolvedPattern resolve_pattern_from_args(const cli::ArgParser& parser,
+                                          const model::System& sys) {
+  engine::EvalSpec defaults;
+  defaults.numerical = true;
+  ResolvedPattern out;
+  if (parser.option("procs").empty()) {
+    const engine::PointEval ev = engine::evaluate_point(sys, defaults);
+    out.procs = ev.allocation->procs;
+    out.period = ev.allocation->period;
+    out.procs_defaulted = true;
+  } else {
+    out.procs = parser.option_double("procs");
+    if (parser.option("period").empty()) {
+      out.period =
+          engine::evaluate_point(sys, defaults, out.procs).period->period;
+    }
+  }
+  if (!parser.option("period").empty()) {
+    out.period = parser.option_double("period");
+  }
+  return out;
+}
+
+void add_plan_options(cli::ArgParser& parser) {
+  parser.add_option("work", "1e7",
+                    "total work W_total in seconds of sequential execution");
+  parser.add_option("name", "job", "job name for the report");
+  parser.add_option("max-procs", "1e7",
+                    "largest allocation available to the job");
+}
+
+PlanReport compute_plan(const model::System& sys,
+                        const model::Application& app, double max_procs) {
+  core::AllocationSearchOptions search;
+  search.max_procs = max_procs;
+  PlanReport report;
+  report.optimum = core::optimal_allocation(sys, search);
+  const core::Pattern best{report.optimum.period, report.optimum.procs};
+  report.expected_makespan = core::expected_makespan(sys, best, app);
+  report.error_free_makespan =
+      app.total_work * sys.error_free_overhead(report.optimum.procs);
+  report.patterns = model::pattern_count(app, report.optimum.period,
+                                         sys.speedup(report.optimum.procs));
+  return report;
+}
+
+}  // namespace ayd::tool

@@ -297,11 +297,7 @@ sim::ReplicationOptions replication_from_args(const cli::ArgParser& parser) {
 
 bool parse_or_help(cli::ArgParser& parser,
                    const std::vector<std::string>& args, std::ostream& out) {
-  std::vector<const char*> argv;
-  argv.reserve(args.size() + 1);
-  argv.push_back("ayd");
-  for (const std::string& a : args) argv.push_back(a.c_str());
-  parser.parse(static_cast<int>(argv.size()), argv.data());
+  parser.parse_args(args);
   if (parser.help_requested()) {
     out << parser.help();
     return true;

@@ -27,6 +27,10 @@ const std::vector<Command>& commands() {
       {"protocols",
        "compare VC, multi-verification and two-level protocols",
        &cmd_protocols},
+      {"serve",
+       "long-lived NDJSON planning service with a sharded memo cache "
+       "(stdin/stdout; see docs/service.md)",
+       &cmd_serve},
   };
   return kCommands;
 }

@@ -1,0 +1,193 @@
+// Unit tests of the planning service's memoisation layer: canonical
+// scenario keying (service/canonical) and the sharded single-flight LRU
+// cache (service/memo_cache). The service-level cache semantics —
+// warm-hit replies byte-identical to cold-miss, spelling-invariant keys —
+// are covered end-to-end in service_protocol_test.cpp.
+
+#include "ayd/service/memo_cache.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <gtest/gtest.h>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/model/system.hpp"
+#include "ayd/service/canonical.hpp"
+
+namespace ayd::service {
+namespace {
+
+CanonicalKey key_of(const std::string& tag) {
+  return CanonicalKeyBuilder("test").field("tag", tag).finish();
+}
+
+// -- canonical keying ----------------------------------------------------
+
+TEST(CanonicalKey, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(CanonicalKey, BuilderIsDeterministic) {
+  const auto build = [] {
+    return CanonicalKeyBuilder("optimize")
+        .system(model::System::from_platform(model::hera(),
+                                             model::Scenario::kS3))
+        .field("procs", 512.0)
+        .field("simulate", true)
+        .finish();
+  };
+  const CanonicalKey a = build();
+  const CanonicalKey b = build();
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.hash, fnv1a64(a.text));
+}
+
+TEST(CanonicalKey, DistinguishesEverySemanticField) {
+  const model::System base =
+      model::System::from_platform(model::hera(), model::Scenario::kS3);
+  const CanonicalKey ref =
+      CanonicalKeyBuilder("optimize").system(base).finish();
+  const std::vector<model::System> variants = {
+      base.with_lambda(2e-8),
+      base.with_downtime(60.0),
+      base.with_speedup(model::Speedup::amdahl(0.2)),
+      base.with_failure_dist(model::FailureDistSpec::weibull(0.7)),
+      model::System::from_platform(model::hera(), model::Scenario::kS1),
+      model::System::from_platform(model::atlas(), model::Scenario::kS3),
+  };
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const CanonicalKey k =
+        CanonicalKeyBuilder("optimize").system(variants[i]).finish();
+    EXPECT_NE(k.text, ref.text) << "variant " << i;
+  }
+  // A different op over the same system is a different key too.
+  EXPECT_NE(CanonicalKeyBuilder("plan").system(base).finish().text,
+            ref.text);
+}
+
+TEST(CanonicalKey, ExactParametersNotFormattedOnes) {
+  // 0.1 and 0.1000001 collapse under 4-significant-digit formatting
+  // (Speedup::name()); canonical keys must keep them apart.
+  const model::System a =
+      model::System::from_platform(model::hera(), model::Scenario::kS3, 0.1);
+  const model::System b = model::System::from_platform(
+      model::hera(), model::Scenario::kS3, 0.1000001);
+  EXPECT_NE(CanonicalKeyBuilder("optimize").system(a).finish().text,
+            CanonicalKeyBuilder("optimize").system(b).finish().text);
+}
+
+// -- memo cache ----------------------------------------------------------
+
+TEST(MemoCache, MissThenHitServesTheCachedValue) {
+  MemoCache cache(8, 2);
+  int computed = 0;
+  const auto compute = [&] {
+    ++computed;
+    return std::string("value");
+  };
+  const auto first = cache.get_or_compute(key_of("k"), compute);
+  EXPECT_FALSE(first.hit);
+  EXPECT_EQ(*first.value, "value");
+  const auto second = cache.get_or_compute(key_of("k"), compute);
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(*second.value, "value");
+  EXPECT_EQ(computed, 1);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(MemoCache, EvictionRespectsCapacityLruOrder) {
+  // One shard makes the capacity and the LRU order exact.
+  MemoCache cache(3, 1);
+  const auto value_for = [](const std::string& tag) {
+    return [tag] { return "v:" + tag; };
+  };
+  (void)cache.get_or_compute(key_of("a"), value_for("a"));
+  (void)cache.get_or_compute(key_of("b"), value_for("b"));
+  (void)cache.get_or_compute(key_of("c"), value_for("c"));
+  // Touch "a" so "b" is the least recently used.
+  EXPECT_TRUE(cache.get_or_compute(key_of("a"), value_for("a")).hit);
+  (void)cache.get_or_compute(key_of("d"), value_for("d"));
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  // "b" was evicted: asking again recomputes; "a" survived.
+  EXPECT_FALSE(cache.get_or_compute(key_of("b"), value_for("b")).hit);
+  EXPECT_TRUE(cache.get_or_compute(key_of("a"), value_for("a")).hit);
+}
+
+TEST(MemoCache, CapacityHoldsAcrossManyInsertions) {
+  MemoCache cache(4, 4);
+  for (int i = 0; i < 64; ++i) {
+    const std::string tag = "k" + std::to_string(i);
+    (void)cache.get_or_compute(key_of(tag), [&] { return tag; });
+  }
+  const CacheStats stats = cache.stats();
+  // Per-shard LRU: at most max_entries resident in total.
+  EXPECT_LE(stats.entries, 4u);
+  EXPECT_EQ(stats.misses, 64u);
+  EXPECT_EQ(stats.misses - stats.entries, stats.evictions);
+}
+
+TEST(MemoCache, SingleFlightUnderEightThreads) {
+  MemoCache cache(8, 4);
+  std::atomic<int> computations{0};
+  const CanonicalKey key = key_of("shared");
+  std::vector<std::thread> threads;
+  std::vector<std::string> results(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      const auto lookup = cache.get_or_compute(key, [&] {
+        ++computations;
+        // Long enough that every other thread arrives while in flight.
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        return std::string("shared-value");
+      });
+      results[static_cast<std::size_t>(t)] = *lookup.value;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(computations.load(), 1);
+  for (const std::string& r : results) EXPECT_EQ(r, "shared-value");
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced, 7u);
+}
+
+TEST(MemoCache, FailedComputationIsNotCachedAndPropagates) {
+  MemoCache cache(8, 2);
+  const CanonicalKey key = key_of("throws");
+  EXPECT_THROW(
+      (void)cache.get_or_compute(
+          key, []() -> std::string { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  // The key retries cleanly after the failure.
+  const auto lookup =
+      cache.get_or_compute(key, [] { return std::string("recovered"); });
+  EXPECT_FALSE(lookup.hit);
+  EXPECT_EQ(*lookup.value, "recovered");
+}
+
+TEST(MemoCache, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MemoCache(64, 3).shard_count(), 4u);
+  EXPECT_EQ(MemoCache(64, 16).shard_count(), 16u);
+  EXPECT_EQ(MemoCache(64, 1).shard_count(), 1u);
+  // Shards never exceed the entry budget, so the total resident
+  // capacity (shards x per-shard LRU) honours max_entries.
+  EXPECT_EQ(MemoCache(2, 16).shard_count(), 2u);
+  EXPECT_EQ(MemoCache(5, 16).shard_count(), 4u);
+}
+
+}  // namespace
+}  // namespace ayd::service

@@ -1,0 +1,314 @@
+// End-to-end tests of the planning service: NDJSON protocol round-trips
+// (error envelopes, id correlation, out-of-order completion), cache
+// semantics at the service level (spelling-invariant keys, warm-hit
+// replies byte-identical to cold-miss, --cache-entries eviction,
+// single-flight under 8 threads), and the headline equivalence contract:
+// a served "optimize" result is value-identical to the one-shot
+// `ayd optimize --json` record for the same spec.
+
+#include "ayd/service/server.hpp"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ayd/io/json.hpp"
+#include "ayd/io/json_parse.hpp"
+#include "ayd/service/protocol.hpp"
+#include "ayd/tool/tool.hpp"
+
+namespace ayd::service {
+namespace {
+
+/// Canonical compact re-serialisation (strips formatting differences;
+/// double values round-trip exactly through %.17g, so equality below is
+/// value equality bit for bit).
+std::string compact(const io::JsonValue& v) {
+  std::ostringstream os;
+  io::JsonWriter w(os, /*pretty=*/false);
+  v.write(w);
+  return os.str();
+}
+
+std::string compact(const std::string& json) {
+  return compact(io::parse_json(json));
+}
+
+// A cheap but real simulated-optimizer request (Weibull arrivals force
+// the simulation path; small caps keep the test fast).
+const char* kSimulateParams =
+    R"("procs":512,"failure-dist":"weibull:k=0.7","simulate":true,)"
+    R"("runs":8,"patterns":20,"max-reps":32,"ci-rel-tol":0.05)";
+
+std::string optimize_request(int id, const std::string& params) {
+  return "{\"op\":\"optimize\",\"id\":" + std::to_string(id) + "," + params +
+         "}";
+}
+
+// -- protocol round-trip -------------------------------------------------
+
+TEST(ServiceProtocol, MalformedLineYieldsParseErrorReply) {
+  PlanningService service({/*threads=*/1});
+  const std::string reply = service.handle_line("this is not json");
+  const io::JsonValue v = io::parse_json(reply);
+  EXPECT_TRUE(v.at("id").is_null());
+  EXPECT_FALSE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("error").at("code").as_string(), "parse_error");
+}
+
+TEST(ServiceProtocol, NonObjectAndMissingOpAreRejected) {
+  PlanningService service({/*threads=*/1});
+  EXPECT_EQ(io::parse_json(service.handle_line("[1,2,3]"))
+                .at("error").at("code").as_string(),
+            "parse_error");
+  // A missing (or non-string) op still echoes the request's id — the
+  // client must be able to correlate the failure.
+  const io::JsonValue missing_op =
+      io::parse_json(service.handle_line(R"({"id":9})"));
+  EXPECT_EQ(missing_op.at("error").at("code").as_string(), "bad_request");
+  EXPECT_EQ(missing_op.at("id").as_int(), 9);
+  EXPECT_EQ(io::parse_json(service.handle_line(R"({"op":5,"id":11})"))
+                .at("id").as_int(),
+            11);
+}
+
+TEST(ServiceProtocol, ParameterNamesWithEqualsAreRejected) {
+  // {"procs=512": true} must not be spliced into the argv form
+  // --procs=512 (a parameter the client never set).
+  PlanningService service({/*threads=*/1});
+  const io::JsonValue v = io::parse_json(
+      service.handle_line(R"({"op":"optimize","id":1,"procs=512":true})"));
+  EXPECT_FALSE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("error").at("code").as_string(), "bad_request");
+  EXPECT_NE(v.at("error").at("message").as_string().find("procs=512"),
+            std::string::npos);
+}
+
+TEST(ServiceProtocol, UnknownOpEchoesIdWithUnknownOpCode) {
+  PlanningService service({/*threads=*/1});
+  const io::JsonValue v =
+      io::parse_json(service.handle_line(R"({"op":"frobnicate","id":17})"));
+  EXPECT_EQ(v.at("id").as_int(), 17);
+  EXPECT_FALSE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("error").at("code").as_string(), "unknown_op");
+  EXPECT_NE(v.at("error").at("message").as_string().find("frobnicate"),
+            std::string::npos);
+}
+
+TEST(ServiceProtocol, UnknownParameterIsABadRequest) {
+  PlanningService service({/*threads=*/1});
+  const io::JsonValue v = io::parse_json(
+      service.handle_line(R"({"op":"optimize","id":1,"bogus-knob":3})"));
+  EXPECT_FALSE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("error").at("code").as_string(), "bad_request");
+}
+
+TEST(ServiceProtocol, NonScalarParameterIsABadRequest) {
+  PlanningService service({/*threads=*/1});
+  const io::JsonValue v = io::parse_json(
+      service.handle_line(R"({"op":"optimize","id":1,"procs":[512]})"));
+  EXPECT_EQ(v.at("error").at("code").as_string(), "bad_request");
+}
+
+TEST(ServiceProtocol, StringAndNumberIdsEchoVerbatim) {
+  PlanningService service({/*threads=*/1});
+  const std::string num = service.handle_line(
+      R"({"op":"plan","id":42,"platform":"hera","scenario":3})");
+  EXPECT_EQ(num.rfind("{\"id\":42,", 0), 0u) << num;
+  const std::string str = service.handle_line(
+      R"({"op":"plan","id":"req-a","platform":"hera","scenario":3})");
+  EXPECT_EQ(str.rfind("{\"id\":\"req-a\",", 0), 0u) << str;
+}
+
+TEST(ServiceProtocol, OkReplyCarriesOpAndResult) {
+  PlanningService service({/*threads=*/1});
+  const io::JsonValue v = io::parse_json(service.handle_line(
+      R"({"op":"simulate","id":5,"procs":512,"period":6000,)"
+      R"("runs":6,"patterns":10})"));
+  EXPECT_TRUE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("op").as_string(), "simulate");
+  const io::JsonValue& result = v.at("result");
+  EXPECT_DOUBLE_EQ(result.at("procs").as_double(), 512.0);
+  EXPECT_DOUBLE_EQ(result.at("period").as_double(), 6000.0);
+  EXPECT_GT(result.at("overhead").at("mean").as_double(), 0.0);
+  EXPECT_GT(result.at("analytic_overhead").as_double(), 0.0);
+}
+
+TEST(ServiceProtocol, ServeAnswersEveryRequestOutOfOrderSafe) {
+  // serve() may reply in any order; ids are the correlation handle. A
+  // multi-worker pool plus one malformed line exercises the envelope on
+  // the same session.
+  PlanningService service({/*threads=*/4});
+  std::ostringstream session;
+  for (int id = 1; id <= 6; ++id) {
+    session << R"({"op":"plan","id":)" << id
+            << R"(,"platform":"hera","scenario":3,"work":)" << id * 1e6
+            << "}\n";
+  }
+  session << "garbage line\n";
+  std::istringstream in(session.str());
+  std::ostringstream out;
+  service.serve(in, out);
+
+  std::set<std::int64_t> ids;
+  int errors = 0;
+  std::istringstream replies(out.str());
+  std::string line;
+  while (std::getline(replies, line)) {
+    const io::JsonValue v = io::parse_json(line);
+    if (v.at("ok").as_bool()) {
+      ids.insert(v.at("id").as_int());
+    } else {
+      ++errors;
+      EXPECT_EQ(v.at("error").at("code").as_string(), "parse_error");
+    }
+  }
+  EXPECT_EQ(ids, (std::set<std::int64_t>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(errors, 1);
+}
+
+// -- cache semantics -----------------------------------------------------
+
+TEST(ServiceCacheSemantics, WarmHitReplyIsByteIdenticalToColdMiss) {
+  PlanningService service({/*threads=*/1});
+  const std::string request = optimize_request(7, kSimulateParams);
+  const std::string cold = service.handle_line(request);
+  const std::string warm = service.handle_line(request);
+  EXPECT_EQ(cold, warm);
+  const CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(ServiceCacheSemantics, SpellingAndOrderInvariantKeys) {
+  PlanningService service({/*threads=*/1});
+  // Same scenario four ways: member order, case, string-vs-number,
+  // underscore-vs-hyphen, defaults passed explicitly.
+  const std::vector<std::string> spellings = {
+      R"({"op":"optimize","id":1,"platform":"hera","scenario":3})",
+      R"({"op":"optimize","id":1,"scenario":"3","platform":"HERA"})",
+      R"({"op":"optimize","id":1,"platform":"Hera","scenario":3,)"
+      R"("alpha":0.1,"downtime":3600})",
+      R"({"op":"optimize","id":1,"max_procs":1e7,"platform":"hera",)"
+      R"("scenario":3})",
+  };
+  std::vector<std::string> replies;
+  for (const std::string& req : spellings) {
+    replies.push_back(service.handle_line(req));
+  }
+  for (const std::string& r : replies) EXPECT_EQ(r, replies.front());
+  const CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+}
+
+TEST(ServiceCacheSemantics, DistinctScenariosDoNotCollide) {
+  PlanningService service({/*threads=*/1});
+  (void)service.handle_line(
+      R"({"op":"optimize","id":1,"platform":"hera","scenario":3})");
+  (void)service.handle_line(
+      R"({"op":"optimize","id":2,"platform":"hera","scenario":1})");
+  (void)service.handle_line(
+      R"({"op":"optimize","id":3,"platform":"atlas","scenario":3})");
+  EXPECT_EQ(service.cache_stats().misses, 3u);
+  EXPECT_EQ(service.cache_stats().hits, 0u);
+}
+
+TEST(ServiceCacheSemantics, EvictionRespectsCacheEntries) {
+  ServiceOptions options;
+  options.threads = 1;
+  options.cache_entries = 2;
+  options.cache_shards = 1;
+  PlanningService service(options);
+  for (int scenario : {1, 2, 3, 4}) {
+    (void)service.handle_line(
+        R"({"op":"optimize","id":1,"platform":"hera","scenario":)" +
+        std::to_string(scenario) + "}");
+  }
+  CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 2u);
+  // Scenario 1 was evicted: repeating it recomputes (a miss, not a hit).
+  (void)service.handle_line(
+      R"({"op":"optimize","id":1,"platform":"hera","scenario":1})");
+  EXPECT_EQ(service.cache_stats().misses, 5u);
+}
+
+TEST(ServiceCacheSemantics, SingleFlightUnderEightThreads) {
+  PlanningService service({/*threads=*/1});
+  const std::string request = optimize_request(1, kSimulateParams);
+  std::vector<std::thread> threads;
+  std::vector<std::string> replies(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      replies[static_cast<std::size_t>(t)] = service.handle_line(request);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::string& r : replies) EXPECT_EQ(r, replies.front());
+  const CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced, 7u);
+}
+
+TEST(ServiceCacheSemantics, StatsOpReportsCounters) {
+  PlanningService service({/*threads=*/1});
+  const std::string request = optimize_request(1, kSimulateParams);
+  (void)service.handle_line(request);
+  (void)service.handle_line(request);
+  const io::JsonValue v =
+      io::parse_json(service.handle_line(R"({"op":"stats","id":99})"));
+  EXPECT_TRUE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("result").at("misses").as_int(), 1);
+  EXPECT_EQ(v.at("result").at("hits").as_int(), 1);
+  EXPECT_EQ(v.at("result").at("entries").as_int(), 1);
+  // Stats itself is never cached.
+  EXPECT_EQ(io::parse_json(service.handle_line(R"({"op":"stats","id":1})"))
+                .at("result").at("misses").as_int(),
+            1);
+}
+
+// -- equivalence with the one-shot CLI -----------------------------------
+
+TEST(ServiceEquivalence, OptimizeResultMatchesOneShotJsonRecord) {
+  // The same spec through `ayd optimize --json` (pretty) and the service
+  // (compact): after canonical compact re-serialisation the two records
+  // must be byte-identical — every double, CI bound and replica count.
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = tool::run_tool(
+      {"optimize", "--json", "--procs", "512", "--failure-dist",
+       "weibull:k=0.7", "--simulate", "--runs", "8", "--patterns", "20",
+       "--max-reps", "32", "--ci-rel-tol", "0.05"},
+      out, err);
+  ASSERT_EQ(code, 0) << err.str();
+  const std::string one_shot = compact(out.str());
+
+  PlanningService service({/*threads=*/1});
+  const io::JsonValue reply =
+      io::parse_json(service.handle_line(optimize_request(1, kSimulateParams)));
+  ASSERT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(compact(reply.at("result")), one_shot);
+}
+
+TEST(ServiceEquivalence, AnalyticOptimizeMatchesOneShotToo) {
+  std::ostringstream out;
+  std::ostringstream err;
+  ASSERT_EQ(tool::run_tool({"optimize", "--json", "--platform", "coastal",
+                            "--scenario", "5"},
+                           out, err),
+            0);
+  PlanningService service({/*threads=*/1});
+  const io::JsonValue reply = io::parse_json(service.handle_line(
+      R"({"op":"optimize","id":1,"platform":"coastal","scenario":5})"));
+  ASSERT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(compact(reply.at("result")), compact(out.str()));
+}
+
+}  // namespace
+}  // namespace ayd::service
