@@ -16,16 +16,7 @@
 #include "ayd/sim/runner.hpp"
 #include "ayd/util/strings.hpp"
 
-namespace {
-
-double seconds_since(
-    const std::chrono::steady_clock::time_point& start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
+using ayd::bench::seconds_since;
 
 int main(int argc, char** argv) {
   using namespace ayd;

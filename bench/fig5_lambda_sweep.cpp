@@ -5,6 +5,7 @@
 // cost (scenarios 3 and 5). The harness prints the sweep and the fitted
 // log-log slopes next to the theoretical exponents.
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -13,6 +14,7 @@
 #include "ayd/engine/engine.hpp"
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
+#include "ayd/rng/simd.hpp"
 #include "ayd/stats/summary.hpp"
 #include "ayd/util/strings.hpp"
 
@@ -33,6 +35,9 @@ int main(int argc, char** argv) {
       [](cli::ArgParser& p) {
         p.add_option("platform", "hera", "platform preset to sweep");
         p.add_option("alpha", "0.1", "sequential fraction");
+        p.add_flag("crn",
+                   "share one common-random-number variate pool across "
+                   "all lambda points (one sampling pass per grid)");
       },
       [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
         const model::Platform platform =
@@ -52,8 +57,11 @@ int main(int argc, char** argv) {
         spec.simulate_numerical = true;
         spec.search.max_procs = 1e10;
         spec.replication = ctx.replication();
+        sim::VariateCache crn_cache;  // outlives the grid run
+        if (args.flag("crn")) spec.crn = &crn_cache;
         const engine::SystemSpec base{platform, model::Scenario::kS1, alpha};
 
+        const auto sweep_t0 = std::chrono::steady_clock::now();
         const auto records =
             engine::run_grid(grid, pool.get(), [&](const engine::Point& pt) {
               const model::System sys = engine::system_for_point(base, pt);
@@ -110,6 +118,27 @@ int main(int argc, char** argv) {
             "Expected shape (paper): scenario 1 slopes -1/4 and -1/2; "
             "scenarios 3 and 5 slopes -1/3 and -1/3; overhead tends to "
             "alpha as lambda -> 0.\n");
+
+        // Grep-able speedup row, comparable across runs like the
+        // committed bench/baselines/sim_baseline.csv anchors: sweep wall
+        // time and replication throughput, plus the number of shared
+        // variate pools when --crn made the sweep a single sampling pass
+        // per (failure-dist shape, seed).
+        {
+          const double sweep_s = bench::seconds_since(sweep_t0);
+          const auto opts = ctx.replication();
+          const double replications =
+              static_cast<double>(records.size()) *
+              static_cast<double>(opts.replicas);
+          std::printf(
+              "FIG-BENCH fig5 [%s]: %zu points  %.3fs  %.0f replications/s"
+              "%s  crn pools: %zu\n",
+              rng::simd::tier_name(rng::simd::active_tier()), records.size(),
+              sweep_s, replications / sweep_s,
+              args.flag("crn") ? "  (one sampling pass per shared pool)"
+                               : "",
+              crn_cache.size());
+        }
 
         const std::vector<engine::ColumnSpec> series{
             {"scenario"},

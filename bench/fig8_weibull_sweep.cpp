@@ -14,6 +14,7 @@
 // overhead grows well past the prediction while the FO pattern stays
 // close to the re-optimised one.
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -21,6 +22,7 @@
 #include "ayd/engine/engine.hpp"
 #include "ayd/model/platform.hpp"
 #include "ayd/model/scenario.hpp"
+#include "ayd/rng/simd.hpp"
 #include "ayd/util/strings.hpp"
 
 int main(int argc, char** argv) {
@@ -34,6 +36,10 @@ int main(int argc, char** argv) {
         p.add_option("platform", "hera", "platform preset to stress");
         p.add_option("scenario", "3", "Table III resilience scenario");
         p.add_option("alpha", "0.1", "sequential fraction");
+        p.add_flag("crn",
+                   "share common-random-number variate pools across the "
+                   "sweep (one pool per swept shape; smoother "
+                   "shape-to-shape differences)");
       },
       [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
         const model::Platform platform =
@@ -54,8 +60,11 @@ int main(int argc, char** argv) {
         spec.simulate_numerical = true;
         spec.simulate_first_order = true;
         spec.replication = ctx.replication();
+        sim::VariateCache crn_cache;  // outlives the grid run
+        if (args.flag("crn")) spec.crn = &crn_cache;
         const engine::SystemSpec base{platform, scenario, alpha};
 
+        const auto sweep_t0 = std::chrono::steady_clock::now();
         const auto records =
             engine::run_grid(grid, pool.get(), [&](const engine::Point& pt) {
               // system_for_point applies the weibull_k axis; the planner
@@ -102,6 +111,28 @@ int main(int argc, char** argv) {
             "exponential prediction (drift ~ 0); for bursty k < 1 the "
             "drift is positive and grows as k falls, while FO and "
             "re-optimised patterns stay close to each other.\n");
+
+        // Grep-able speedup row (see bench/baselines/README.md): sweep
+        // wall time and replication throughput per variate tier; with
+        // --crn each swept shape owns one shared pool, so the pool count
+        // equals the number of sampling passes the sweep paid for.
+        {
+          const double sweep_s = bench::seconds_since(sweep_t0);
+          const auto opts = ctx.replication();
+          // Two simulated evaluations (FO and re-optimised pattern) per
+          // grid point.
+          const double replications =
+              2.0 * static_cast<double>(records.size()) *
+              static_cast<double>(opts.replicas);
+          std::printf(
+              "FIG-BENCH fig8 [%s]: %zu points  %.3fs  %.0f replications/s"
+              "%s  crn pools: %zu\n",
+              rng::simd::tier_name(rng::simd::active_tier()), records.size(),
+              sweep_s, replications / sweep_s,
+              args.flag("crn") ? "  (one sampling pass per swept shape)"
+                               : "",
+              crn_cache.size());
+        }
 
         const std::vector<engine::ColumnSpec> series{
             {"weibull_k", "", 4},

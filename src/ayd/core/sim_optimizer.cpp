@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "ayd/stats/ci.hpp"
@@ -24,18 +25,38 @@ struct Candidate {
 /// Shared evaluation context: counts candidates and replicas, reuses one
 /// scratch arena for every adaptive call.
 struct SearchContext {
+  SearchContext(const model::System& s, double p, const SimSearchOptions& o,
+                exec::ThreadPool* pl)
+      : sys(s), procs(p), opt(o), pool(pl), replication(o.replication) {
+    // Search-local CRN pool: candidate periods differ only in T, which
+    // the pool is keyed independently of, so one pool serves every
+    // candidate — variate generation is paid once per search, and the
+    // common random numbers the paired tests already relied on become
+    // literal shared memory instead of recomputed transforms. Results
+    // are bit-identical to per-candidate sampling under the scalar tier
+    // (sim/variate_pool.hpp). A caller-supplied sweep-level pool wins.
+    if (replication.shared_units == nullptr &&
+        sim::UnitVariatePool::eligible(sys.failure().dist())) {
+      owned_pool = std::make_unique<sim::UnitVariatePool>(
+          sys.failure().dist(), replication.seed);
+      replication.shared_units = owned_pool.get();
+    }
+  }
+
   const model::System& sys;
   double procs;
   const SimSearchOptions& opt;
   exec::ThreadPool* pool;
   sim::ReplicationScratch scratch;
+  std::unique_ptr<sim::UnitVariatePool> owned_pool;
+  sim::ReplicationOptions replication;
   int evaluations = 0;
   std::uint64_t total_replicas = 0;
 
   Candidate evaluate(double log_t) {
     const core::Pattern pattern{std::exp(log_t), procs};
     const sim::ReplicationResult res = sim::simulate_overhead_adaptive(
-        sys, pattern, opt.replication, opt.adaptive, pool, &scratch);
+        sys, pattern, replication, opt.adaptive, pool, &scratch);
     Candidate c;
     c.log_t = log_t;
     c.overhead = res.overhead;
@@ -94,7 +115,7 @@ SimPeriodOptimum sim_optimal_period(const model::System& sys, double procs,
   SimPeriodOptimum out;
   out.seed_period = seed.period;
 
-  SearchContext ctx{sys, procs, opt, pool, {}, 0, 0};
+  SearchContext ctx(sys, procs, opt, pool);
 
   // Exponential distributions are exactly the regime of Proposition 1:
   // answer with the closed-form optimiser and only spend simulation
@@ -244,11 +265,23 @@ SimAllocationOptimum sim_optimal_allocation(
     if (rungs.empty() || rungs.back() != p) rungs.push_back(p);
   }
 
+  // One CRN pool across the whole ladder: the allocation is not part of
+  // the pool key either, so the inner searches at every rung share it
+  // (each rung's SearchContext sees shared_units set and keeps it).
+  SimSearchOptions period_opt = opt.period;
+  std::unique_ptr<sim::UnitVariatePool> ladder_pool;
+  if (period_opt.replication.shared_units == nullptr &&
+      sim::UnitVariatePool::eligible(sys.failure().dist())) {
+    ladder_pool = std::make_unique<sim::UnitVariatePool>(
+        sys.failure().dist(), period_opt.replication.seed);
+    period_opt.replication.shared_units = ladder_pool.get();
+  }
+
   out.converged = true;
   std::size_t best = 0;
   std::vector<SimPeriodOptimum> inner(rungs.size());
   for (std::size_t i = 0; i < rungs.size(); ++i) {
-    inner[i] = sim_optimal_period(sys, rungs[i], opt.period, pool);
+    inner[i] = sim_optimal_period(sys, rungs[i], period_opt, pool);
     out.total_replicas += inner[i].total_replicas;
     out.outer_evaluations += 1;
     if (!inner[i].converged) out.converged = false;

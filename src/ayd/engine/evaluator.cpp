@@ -106,19 +106,42 @@ PointEval evaluate_point(const model::System& sys, const EvalSpec& spec,
   // reallocating — point-parallel sweeps allocate nothing steady-state.
   static thread_local sim::ReplicationScratch sim_scratch;
 
+  // Sweep-aware common random numbers: resolve this point's (failure-dist
+  // shape, seed) scenario against the grid-level registry. Points that
+  // differ only in lambda / period / procs map to the *same* pool, so the
+  // whole sweep pays for unit-variate generation once, and point-to-point
+  // differences are CRN comparisons. The shared_ptr keeps the pool alive
+  // through this evaluation; a null cache (or an ineligible spec) leaves
+  // replication.shared_units null — independent sampling, the historical
+  // behaviour.
+  sim::ReplicationOptions replication = spec.replication;
+  std::shared_ptr<sim::UnitVariatePool> crn_pool;
+  if (spec.crn != nullptr) {
+    crn_pool = spec.crn->pool_for(sys.failure().dist(), replication.seed);
+    replication.shared_units = crn_pool.get();
+  }
+
   if (spec.simulate_numerical) {
     out.sim_numerical =
-        sim::simulate_overhead(sys, out.numerical_pattern(), spec.replication,
+        sim::simulate_overhead(sys, out.numerical_pattern(), replication,
                                sim_pool, &sim_scratch);
   }
 
   if (spec.sim_optimize) {
+    // The sim-driven search builds its own search-local CRN pool when
+    // none is supplied; a grid-level pool extends the sharing across
+    // points (the search's seed is the replication seed either way).
+    core::SimAllocationSearchOptions sim_search = spec.sim_search;
+    if (crn_pool != nullptr &&
+        sim_search.period.replication.seed == replication.seed) {
+      sim_search.period.replication.shared_units = crn_pool.get();
+    }
     if (fixed_procs.has_value()) {
       out.sim_period = core::sim_optimal_period(
-          sys, *fixed_procs, spec.sim_search.period, sim_pool);
+          sys, *fixed_procs, sim_search.period, sim_pool);
     } else {
       out.sim_allocation =
-          core::sim_optimal_allocation(sys, spec.sim_search, sim_pool);
+          core::sim_optimal_allocation(sys, sim_search, sim_pool);
     }
   }
 
@@ -130,7 +153,7 @@ PointEval evaluate_point(const model::System& sys, const EvalSpec& spec,
     if (have_fo) {
       out.sim_first_order =
           sim::simulate_overhead(sys, out.first_order_pattern(),
-                                 spec.replication, sim_pool, &sim_scratch);
+                                 replication, sim_pool, &sim_scratch);
     }
   }
 

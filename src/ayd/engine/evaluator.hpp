@@ -72,6 +72,15 @@ struct EvalSpec {
   core::AllocationSearchOptions search{};
   sim::ReplicationOptions replication{};
   core::SimAllocationSearchOptions sim_search{};
+  /// Sweep-aware common random numbers: when non-null, every simulation
+  /// at a point resolves its (failure-dist shape, seed) scenario against
+  /// this registry and draws unit variates from the shared pool — one
+  /// sampling pass for all grid points that share a scenario, and CRN
+  /// comparisons between them (sim/variate_pool.hpp). Not owned; must
+  /// outlive the grid run. Thread-safe, so one cache serves a
+  /// point-parallel sweep. Points whose distribution cannot pool (trace
+  /// replay) silently fall back to independent sampling.
+  sim::VariateCache* crn = nullptr;
 };
 
 /// Everything the standard evaluator produced at one point. Optional

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "ayd/io/json.hpp"
+#include "ayd/rng/simd.hpp"
 #include "ayd/util/contracts.hpp"
 #include "ayd/util/error.hpp"
 #include "ayd/util/strings.hpp"
@@ -77,6 +78,20 @@ class ExponentialDist final : public FailureDistribution {
   [[nodiscard]] double from_unit(double z) const override {
     return z / rate_;
   }
+  void sample_units_fast(rng::RngStream& rng, double* z,
+                         std::size_t n) const override {
+    rng.fill_uniform01(z, n);
+    rng::simd::exponential_units(z, n);
+  }
+  void units_from_uniforms(double* z, std::size_t n) const override {
+    rng::simd::exponential_units(z, n);
+  }
+  void from_unit_bulk(const double* z, double* out,
+                      std::size_t n) const override {
+    // IEEE division is exactly rounded, so this loop is bitwise equal to
+    // elementwise from_unit however the compiler vectorizes it.
+    for (std::size_t i = 0; i < n; ++i) out[i] = z[i] / rate_;
+  }
 
  private:
   double rate_;
@@ -130,6 +145,19 @@ class WeibullDist final : public FailureDistribution {
   }
   [[nodiscard]] double from_unit(double z) const override {
     return scale_ * z;
+  }
+  void sample_units_fast(rng::RngStream& rng, double* z,
+                         std::size_t n) const override {
+    rng.fill_uniform01(z, n);
+    rng::simd::weibull_units(z, n, inv_k_);
+  }
+  void units_from_uniforms(double* z, std::size_t n) const override {
+    rng::simd::weibull_units(z, n, inv_k_);
+  }
+  void from_unit_bulk(const double* z, double* out,
+                      std::size_t n) const override {
+    // Exactly rounded multiplication: bitwise equal to from_unit.
+    for (std::size_t i = 0; i < n; ++i) out[i] = scale_ * z[i];
   }
 
  private:
@@ -188,6 +216,18 @@ class LogNormalDist final : public FailureDistribution {
   }
   [[nodiscard]] double from_unit(double z) const override {
     return std::exp(mu_ + sigma_ * z);
+  }
+  void sample_units_fast(rng::RngStream& rng, double* z,
+                         std::size_t n) const override {
+    rng.fill_uniform01(z, n);
+    rng::simd::lognormal_units(z, n);
+  }
+  void units_from_uniforms(double* z, std::size_t n) const override {
+    rng::simd::lognormal_units(z, n);
+  }
+  void from_unit_bulk(const double* z, double* out,
+                      std::size_t n) const override {
+    rng::simd::affine_exp(z, out, n, mu_, sigma_);
   }
 
  private:
@@ -288,6 +328,22 @@ double FailureDistribution::from_unit(double) const {
   throw util::LogicError(
       "from_unit: distribution has no unit-variate factorization "
       "(check unit_samplable() first)");
+}
+
+void FailureDistribution::sample_units_fast(rng::RngStream& rng, double* z,
+                                            std::size_t n) const {
+  sample_units(rng, z, n);
+}
+
+void FailureDistribution::units_from_uniforms(double*, std::size_t) const {
+  throw util::LogicError(
+      "units_from_uniforms: distribution has no unit-variate "
+      "factorization (check unit_samplable() first)");
+}
+
+void FailureDistribution::from_unit_bulk(const double* z, double* out,
+                                         std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = from_unit(z[i]);
 }
 
 std::string failure_dist_kind_name(FailureDistKind k) {

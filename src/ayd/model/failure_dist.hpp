@@ -111,6 +111,36 @@ class FailureDistribution {
   /// from_unit(unit-of(u)) == sample_value(u) bitwise. Only meaningful
   /// when unit_samplable(); the default throws util::LogicError.
   [[nodiscard]] virtual double from_unit(double z) const;
+
+  // --- SIMD-tier bulk sampling ------------------------------------------
+  //
+  // Tier-aware variants dispatched through rng::simd::active_tier().
+  // They consume exactly the same engine words in the same order as
+  // their scalar counterparts; under the scalar (reference) tier the
+  // values are bit-identical too, while under a SIMD tier the
+  // transcendental transforms run vectorized and may differ from the
+  // scalar tier by a few ULP (the two-golden-tier policy,
+  // docs/reproducing-the-paper.md). The scalar methods above are pinned
+  // and never change.
+
+  /// Tier-aware sample_units: same words, same order; bit-identical to
+  /// sample_units under the scalar tier. Default forwards to
+  /// sample_units (so non-analytic kinds keep their exact behaviour).
+  virtual void sample_units_fast(rng::RngStream& rng, double* z,
+                                 std::size_t n) const;
+  /// Transforms `n` uniform01 values in place into unit variates —
+  /// exactly the transform sample_units_fast applies after its fill.
+  /// Lets callers that already own the uniform words (the variate pool,
+  /// the fast simulator's block pipeline) run the tier-dispatched bulk
+  /// transform without touching a stream. Only meaningful when
+  /// unit_samplable(); the default throws util::LogicError.
+  virtual void units_from_uniforms(double* z, std::size_t n) const;
+  /// Bulk from_unit: out[i] = from_unit(z[i]) elementwise. Exact (any
+  /// tier) for the linear scalings (exponential, Weibull); the
+  /// lognormal's exp runs vectorized under a SIMD tier. Default loops
+  /// over from_unit.
+  virtual void from_unit_bulk(const double* z, double* out,
+                              std::size_t n) const;
 };
 
 /// Value-semantic shape spec; lives inside FailureModel.

@@ -1,9 +1,11 @@
 #include "ayd/sim/protocol.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <sstream>
 
+#include "ayd/rng/simd.hpp"
 #include "ayd/util/contracts.hpp"
 #include "ayd/util/error.hpp"
 
@@ -13,6 +15,15 @@ namespace {
 
 constexpr std::uint64_t kNoEvent = std::numeric_limits<std::uint64_t>::max();
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Minimum mean fraction of below-threshold (transform-needing) draws
+/// for the fast simulator's SIMD block pipeline to beat the
+/// scalar-dispatch loop. The block path transforms every lane, so it
+/// wins once the scalar loop would pay the per-element transform on
+/// roughly half the draws; measured crossover on the reference container
+/// is ~0.5 for the Weibull (the only shape whose transform is expensive
+/// enough to vectorize profitably), and the gate adds margin.
+constexpr double kBlockModeMinTransformFraction = 0.55;
 
 [[noreturn]] void throw_diverged(const core::Pattern& pattern, double lf,
                                  double ls) {
@@ -75,14 +86,26 @@ DesProtocolSimulator::DesProtocolSimulator(const model::System& sys,
   queue_.reserve(8);
 }
 
+void DesProtocolSimulator::set_unit_cursor(UnitVariatePool::Cursor* cursor) {
+  AYD_REQUIRE(cursor == nullptr || batched_,
+              "set_unit_cursor: an active source does not factor through "
+              "unit variates");
+  pool_cursor_ = cursor;
+}
+
 double DesProtocolSimulator::draw(const model::FailureDistribution& dist,
                                   rng::RngStream& rng) {
+  // Pool (CRN) mode: the unit variate comes from the shared sequence and
+  // the stream is left untouched; only the cheap scaling runs here.
+  if (pool_cursor_ != nullptr) return dist.from_unit(pool_cursor_->next());
   if (!batched_) return dist.sample(rng);
   // Shared unit block: uniforms leave the stream in the historical draw
-  // order, the expensive inversion runs in bulk, and each draw is
-  // dist.from_unit(z) == the value dist.sample() would have produced.
+  // order, the expensive inversion runs in bulk (tier-dispatched: the
+  // scalar reference transform or the vectorized kernels), and each draw
+  // is dist.from_unit(z) == the value dist.sample() would have produced
+  // under the scalar tier.
   return dist.from_unit(units_.next([&](double* z, std::size_t n) {
-    unit_src_->sample_units(rng, z, n);
+    unit_src_->sample_units_fast(rng, z, n);
     expected_state_ = rng.engine().state();
   }));
 }
@@ -296,7 +319,68 @@ FastProtocolSimulator::FastProtocolSimulator(const model::System& sys,
       mthr_rec_ = safe_word_threshold(*fail_dist_, r_);
     }
     if (ls_ > 0.0) mthr_silent_ = safe_word_threshold(*silent_dist_, t_);
+
+    // Devirtualized from_unit scaling for the pool and block loops. The
+    // expressions reproduce the scalar from_unit bit-for-bit: the
+    // Weibull multiplies by its scale (from_unit(1.0) == the scale
+    // exactly), the exponential divides by its rate, and the lognormal
+    // stays a virtual call (its scaling is an exp, not a constant).
+    const auto scaling_of = [](const model::FailureDistribution& dist,
+                               UnitScaling& scaling, double& factor) {
+      switch (dist.kind()) {
+        case model::FailureDistKind::kWeibull:
+          scaling = UnitScaling::kLinear;
+          factor = dist.from_unit(1.0);
+          break;
+        case model::FailureDistKind::kExponential:
+          scaling = UnitScaling::kDivide;
+          factor = dist.rate();
+          break;
+        default:
+          scaling = UnitScaling::kVirtual;
+          factor = 0.0;
+          break;
+      }
+    };
+    if (lf_ > 0.0) scaling_of(*fail_dist_, fail_scaling_, fail_factor_);
+    if (ls_ > 0.0) scaling_of(*silent_dist_, silent_scaling_, silent_factor_);
+
+    if (lf_ > 0.0 || ls_ > 0.0) {
+      unit_src_ = lf_ > 0.0 ? fail_dist_.get() : silent_dist_.get();
+      // The block pipeline pays a fixed per-draw staging cost (engine
+      // words staged through arrays instead of registers) and transforms
+      // every lane, so it only beats the scalar-dispatch loop when the
+      // unit transform is genuinely expensive per element — the
+      // Weibull's pow; the lognormal's scalar quantile is already cheap
+      // — AND enough draws land below threshold that the historical loop
+      // would pay that cost often. Each attempt draws once per active
+      // channel, so the mean of the active thresholds (as a fraction of
+      // the 2^53 word space) is exactly the expected transformed-draw
+      // rate. The exponential never enables it, so its fast path stays
+      // byte-identical to the scalar tier under every tier; the shapes
+      // that stay scalar here still reach the vectorized kernels through
+      // the DES prefetcher and the CRN variate pools, which batch
+      // naturally with no staging penalty.
+      std::uint64_t thr_sum = 0;
+      int channels = 0;
+      if (lf_ > 0.0) thr_sum += mthr_fail_, ++channels;
+      if (ls_ > 0.0) thr_sum += mthr_silent_, ++channels;
+      const double mean_transform_fraction =
+          static_cast<double>(thr_sum) * 0x1.0p-53 /
+          static_cast<double>(channels);
+      block_mode_ = !unit_src_->memoryless() &&
+                    unit_src_->kind() == model::FailureDistKind::kWeibull &&
+                    mean_transform_fraction >= kBlockModeMinTransformFraction &&
+                    rng::simd::active_tier() != rng::simd::Tier::kScalar;
+    }
   }
+}
+
+void FastProtocolSimulator::set_unit_cursor(UnitVariatePool::Cursor* cursor) {
+  AYD_REQUIRE(cursor == nullptr || lazy_,
+              "set_unit_cursor: an active source does not factor through "
+              "unit variates");
+  pool_cursor_ = cursor;
 }
 
 PatternStats FastProtocolSimulator::simulate_pattern(rng::RngStream& rng) {
@@ -394,6 +478,8 @@ PatternStats FastProtocolSimulator::simulate_replica(rng::RngStream& rng,
     }
     return totals;
   }
+  if (pool_cursor_ != nullptr) return simulate_replica_pool(n);
+  if (block_mode_) return simulate_replica_block(rng, n);
 
   // The threshold-filtered replica loop. Each draw consumes exactly the
   // word the historical sampler would have, but the expensive quantile
@@ -498,6 +584,414 @@ PatternStats FastProtocolSimulator::simulate_replica(rng::RngStream& rng,
       }
       if (x < tvc) {
         // Fail-stop while storing the checkpoint.
+        ++fail_stops;
+        wall += x + d;
+        run_recovery();
+        continue;
+      }
+      wall += tvc;
+      break;
+    }
+
+    totals.wall_time += wall;
+    totals.attempts += attempts;
+    totals.fail_stop_errors += fail_stops;
+    totals.recovery_fail_stops += recovery_fails;
+    totals.silent_detections += detections;
+    totals.masked_silent += masked;
+  }
+  return totals;
+}
+
+PatternStats FastProtocolSimulator::simulate_replica_pool(std::size_t n) {
+  // Under a SIMD tier the unit-space walk below is preferred: it makes
+  // the same decisions up to the rounding of the rescaled window bounds,
+  // which is exactly the freedom the SIMD golden tier declares. The
+  // scalar reference tier must stay bit-identical to per-point sampling
+  // (tests/engine_crn_test.cpp), so it keeps the exact loop.
+  if (rng::simd::active_tier() != rng::simd::Tier::kScalar &&
+      (lf_ <= 0.0 || fail_scaling_ != UnitScaling::kVirtual) &&
+      (ls_ <= 0.0 || silent_scaling_ != UnitScaling::kVirtual)) {
+    return simulate_replica_pool_units(n);
+  }
+  // CRN replica loop: the expensive unit transforms were paid once, in
+  // the shared pool; each draw here is one cursor read plus the cheap
+  // from_unit scaling. Computing every arrival exactly (no threshold
+  // filter) is bit-identical to the filtered loop in the scalar tier:
+  // the filter only ever suppresses computing values that lose every
+  // comparison they appear in, and here the value is nearly free.
+  // The cursor is walked through a local copy (as the filtered loop does
+  // with the engine state) so its position and chunk pointer live in
+  // registers between the rare refills; the guard writes the position
+  // back even if the divergence bound throws mid-replica. The scaling
+  // selectors and factors are hoisted for the same reason — they are
+  // loop-invariant, but the compiler cannot prove that across the stats
+  // stores without the local copies.
+  UnitVariatePool::Cursor cur = *pool_cursor_;
+  struct SyncCursor {
+    UnitVariatePool::Cursor& local;
+    UnitVariatePool::Cursor& shared;
+    ~SyncCursor() { shared = local; }
+  } sync{cur, *pool_cursor_};
+  PatternStats totals;
+
+  const bool have_fail = lf_ > 0.0;
+  const bool have_silent = ls_ > 0.0;
+  const UnitScaling fail_scaling = fail_scaling_;
+  const UnitScaling silent_scaling = silent_scaling_;
+  const double fail_factor = fail_factor_;
+  const double silent_factor = silent_factor_;
+  const double t = t_, tv = tv_, tvc = tvc_, r = r_, d = d_;
+
+  const auto fail_arrival = [&]() -> double {
+    if (!have_fail) return kInf;
+    const double z = cur.next();
+    switch (fail_scaling) {
+      case UnitScaling::kLinear: return fail_factor * z;
+      case UnitScaling::kDivide: return z / fail_factor;
+      default: return fail_dist_->from_unit(z);
+    }
+  };
+  const auto silent_arrival = [&]() -> double {
+    if (!have_silent) return kInf;
+    const double z = cur.next();
+    switch (silent_scaling) {
+      case UnitScaling::kLinear: return silent_factor * z;
+      case UnitScaling::kDivide: return z / silent_factor;
+      default: return silent_dist_->from_unit(z);
+    }
+  };
+
+  for (std::size_t p = 0; p < n; ++p) {
+    double wall = 0.0;
+    std::uint64_t attempts = 0;
+    std::uint64_t fail_stops = 0;
+    std::uint64_t recovery_fails = 0;
+    std::uint64_t detections = 0;
+    std::uint64_t masked = 0;
+
+    const auto run_recovery = [&] {
+      for (;;) {
+        const double y = fail_arrival();
+        if (y < r) {
+          if (fail_stops >= kMaxPatternAttempts) {
+            throw_diverged(pattern_, lf_, ls_);
+          }
+          ++fail_stops;
+          ++recovery_fails;
+          wall += y + d;
+          continue;
+        }
+        wall += r;
+        return;
+      }
+    };
+
+    for (;;) {
+      if (attempts >= kMaxPatternAttempts) {
+        throw_diverged(pattern_, lf_, ls_);
+      }
+      ++attempts;
+      const double x = fail_arrival();
+      const double s_arrival = silent_arrival();
+      const bool silent = s_arrival < t;
+
+      if (x < tv) {
+        ++fail_stops;
+        if (silent && s_arrival < x) ++masked;
+        wall += x + d;
+        run_recovery();
+        continue;
+      }
+      if (silent) {
+        ++detections;
+        wall += tv;
+        run_recovery();
+        continue;
+      }
+      if (x < tvc) {
+        ++fail_stops;
+        wall += x + d;
+        run_recovery();
+        continue;
+      }
+      wall += tvc;
+      break;
+    }
+
+    totals.wall_time += wall;
+    totals.attempts += attempts;
+    totals.fail_stop_errors += fail_stops;
+    totals.recovery_fail_stops += recovery_fails;
+    totals.silent_detections += detections;
+    totals.masked_silent += masked;
+  }
+  return totals;
+}
+
+PatternStats FastProtocolSimulator::simulate_replica_pool_units(
+    std::size_t n) {
+  // Unit-space CRN walk (SIMD golden tier). Instead of scaling every
+  // pool read into an arrival time and comparing it against the pattern
+  // windows, the windows are rescaled into unit space once — z < w/f
+  // decides what f·z < w decides, up to one rounding of the bound — so
+  // the hot path is a raw sequential read and a compare. Arrival times
+  // are materialized (with the exact from_unit expressions) only on the
+  // branches that add them to the wall clock or compare across channels,
+  // i.e. at the failure rate, not the draw rate. Decisions can differ
+  // from the exact loop only when a draw lands within an ulp of a
+  // window bound; that freedom belongs to the SIMD tier, whose results
+  // are its own golden tier — the scalar reference tier never routes
+  // here.
+  UnitVariatePool::Cursor cur = *pool_cursor_;
+  struct SyncCursor {
+    UnitVariatePool::Cursor& local;
+    UnitVariatePool::Cursor& shared;
+    ~SyncCursor() { shared = local; }
+  } sync{cur, *pool_cursor_};
+  PatternStats totals;
+
+  const bool have_fail = lf_ > 0.0;
+  const bool have_silent = ls_ > 0.0;
+  const bool both = have_fail && have_silent;
+  const UnitScaling fsc = fail_scaling_;
+  const UnitScaling ssc = silent_scaling_;
+  const double ff = fail_factor_;
+  const double sf = silent_factor_;
+  // A window bound in unit space; inactive channels draw kInf, which
+  // loses against any finite (or zero) bound just as the exact loop's
+  // kInf arrival loses against any window.
+  const auto unit_bound = [](UnitScaling sc, double factor, double window) {
+    return sc == UnitScaling::kLinear ? window / factor : window * factor;
+  };
+  const auto arrival_of = [](UnitScaling sc, double factor, double z) {
+    return sc == UnitScaling::kLinear ? factor * z : z / factor;
+  };
+  const double tv_z = have_fail ? unit_bound(fsc, ff, tv_) : 0.0;
+  const double tvc_z = have_fail ? unit_bound(fsc, ff, tvc_) : 0.0;
+  const double r_z = have_fail ? unit_bound(fsc, ff, r_) : 0.0;
+  const double t_z = have_silent ? unit_bound(ssc, sf, t_) : 0.0;
+  const double tv = tv_, tvc = tvc_, r = r_, d = d_;
+
+  for (std::size_t p = 0; p < n; ++p) {
+    // The wall clock decomposes into counter-weighted constants plus the
+    // sum of the consumed arrivals: every fail stop adds its arrival and
+    // one downtime d, every recovery that ends clean adds one r (each
+    // non-completing attempt runs recovery exactly once, so that count
+    // is attempts - 1), every detection adds one tv, and the completing
+    // attempt adds tvc. Accumulating the raw unit variates and scaling
+    // the sum once per pattern keeps the hot loop's only loop-carried
+    // float chain at one add per fail stop; the resulting rounding
+    // differs from the exact loop's running sum, which is within the
+    // SIMD tier's golden freedom.
+    double z_sum = 0.0;
+    std::uint64_t attempts = 0;
+    std::uint64_t fail_stops = 0;
+    std::uint64_t recovery_fails = 0;
+    std::uint64_t detections = 0;
+    std::uint64_t masked = 0;
+
+    const auto run_recovery = [&] {
+      for (;;) {
+        const double y_z = have_fail ? cur.next() : kInf;
+        if (y_z < r_z) {
+          if (fail_stops >= kMaxPatternAttempts) {
+            throw_diverged(pattern_, lf_, ls_);
+          }
+          ++fail_stops;
+          ++recovery_fails;
+          z_sum += y_z;
+          continue;
+        }
+        return;
+      }
+    };
+
+    for (;;) {
+      if (attempts >= kMaxPatternAttempts) {
+        throw_diverged(pattern_, lf_, ls_);
+      }
+      ++attempts;
+      double x_z, s_z;
+      if (both) {
+        cur.next2(x_z, s_z);
+      } else {
+        x_z = have_fail ? cur.next() : kInf;
+        s_z = have_silent ? cur.next() : kInf;
+      }
+      const bool silent = s_z < t_z;
+
+      if (x_z < tv_z) {
+        ++fail_stops;
+        if (silent &&
+            arrival_of(ssc, sf, s_z) < arrival_of(fsc, ff, x_z)) {
+          ++masked;
+        }
+        z_sum += x_z;
+        run_recovery();
+        continue;
+      }
+      if (silent) {
+        ++detections;
+        run_recovery();
+        continue;
+      }
+      if (x_z < tvc_z) {
+        ++fail_stops;
+        z_sum += x_z;
+        run_recovery();
+        continue;
+      }
+      break;
+    }
+
+    totals.wall_time += arrival_of(fsc, ff, z_sum) +
+                        d * static_cast<double>(fail_stops) +
+                        r * static_cast<double>(attempts - 1) +
+                        tv * static_cast<double>(detections) + tvc;
+    totals.attempts += attempts;
+    totals.fail_stop_errors += fail_stops;
+    totals.recovery_fail_stops += recovery_fails;
+    totals.silent_detections += detections;
+    totals.masked_silent += masked;
+  }
+  return totals;
+}
+
+PatternStats FastProtocolSimulator::simulate_replica_block(rng::RngStream& rng,
+                                                           std::size_t n) {
+  // SIMD-tier block pipeline for expensive non-memoryless transforms.
+  // Words leave the engine in the historical order but in blocks of
+  // kVariateBlockSize, and every lane is pushed through one full-width
+  // vectorized units_from_uniforms call — transforming all lanes beats
+  // compacting the below-threshold ones, because the vector kernel at
+  // full width costs less than the scatter/gather and the ragged-count
+  // calls the compaction needs. The attempt loop below then never calls
+  // a transcendental: a draw is two array reads, and a below-threshold
+  // arrival is one multiply (Weibull) away.
+  //
+  // Like the DES prefetcher, buffered words survive call boundaries via
+  // the engine-state fingerprint, so simulate_pattern n times ==
+  // simulate_replica(rng, n) and stream switches self-heal.
+  if (block_len_ > block_pos_ && rng.engine().state() != expected_state_) {
+    block_pos_ = block_len_ = 0;
+  }
+
+  rng::Xoshiro256 eng = rng.engine();
+  struct SyncEngine {
+    rng::Xoshiro256& local;
+    rng::RngStream& stream;
+    ~SyncEngine() { stream.engine() = local; }
+  } sync{eng, rng};
+
+  PatternStats totals;
+  const bool have_fail = lf_ > 0.0;
+  const bool have_silent = ls_ > 0.0;
+  const std::uint64_t mthr_fail = mthr_fail_;
+  const std::uint64_t mthr_silent = mthr_silent_;
+  const std::uint64_t mthr_rec = mthr_rec_;
+  const double t = t_, tv = tv_, tvc = tvc_, r = r_, d = d_;
+
+  const auto refill = [&] {
+    for (std::size_t i = 0; i < rng::kVariateBlockSize; ++i) {
+      const std::uint64_t m = eng() >> 11;
+      block_m_[i] = m;
+      block_z_[i] = static_cast<double>(m) * 0x1.0p-53;
+    }
+    unit_src_->units_from_uniforms(block_z_.data(), rng::kVariateBlockSize);
+    block_pos_ = 0;
+    block_len_ = rng::kVariateBlockSize;
+    expected_state_ = eng.state();
+  };
+  // Every lane carries a valid unit variate; above-threshold draws just
+  // never read theirs.
+  const auto next_draw = [&](std::uint64_t& m, double& z) {
+    if (block_pos_ == block_len_) refill();
+    m = block_m_[block_pos_];
+    z = block_z_[block_pos_];
+    ++block_pos_;
+  };
+  const auto scale_fail = [&](double z) {
+    switch (fail_scaling_) {
+      case UnitScaling::kLinear: return fail_factor_ * z;
+      case UnitScaling::kDivide: return z / fail_factor_;
+      default: return fail_dist_->from_unit(z);
+    }
+  };
+  const auto scale_silent = [&](double z) {
+    switch (silent_scaling_) {
+      case UnitScaling::kLinear: return silent_factor_ * z;
+      case UnitScaling::kDivide: return z / silent_factor_;
+      default: return silent_dist_->from_unit(z);
+    }
+  };
+
+  for (std::size_t p = 0; p < n; ++p) {
+    double wall = 0.0;
+    std::uint64_t attempts = 0;
+    std::uint64_t fail_stops = 0;
+    std::uint64_t recovery_fails = 0;
+    std::uint64_t detections = 0;
+    std::uint64_t masked = 0;
+
+    const auto run_recovery = [&] {
+      for (;;) {
+        double y = kInf;
+        if (have_fail) {
+          std::uint64_t m;
+          double z;
+          next_draw(m, z);
+          if (m < mthr_rec) y = scale_fail(z);
+        }
+        if (y < r) {
+          if (fail_stops >= kMaxPatternAttempts) {
+            throw_diverged(pattern_, lf_, ls_);
+          }
+          ++fail_stops;
+          ++recovery_fails;
+          wall += y + d;
+          continue;
+        }
+        wall += r;
+        return;
+      }
+    };
+
+    for (;;) {
+      if (attempts >= kMaxPatternAttempts) {
+        throw_diverged(pattern_, lf_, ls_);
+      }
+      ++attempts;
+      double x = kInf;
+      if (have_fail) {
+        std::uint64_t m;
+        double z;
+        next_draw(m, z);
+        if (m < mthr_fail) x = scale_fail(z);
+      }
+      double s_arrival = kInf;
+      if (have_silent) {
+        std::uint64_t m;
+        double z;
+        next_draw(m, z);
+        if (m < mthr_silent) s_arrival = scale_silent(z);
+      }
+      const bool silent = s_arrival < t;
+
+      if (x < tv) {
+        ++fail_stops;
+        if (silent && s_arrival < x) ++masked;
+        wall += x + d;
+        run_recovery();
+        continue;
+      }
+      if (silent) {
+        ++detections;
+        wall += tv;
+        run_recovery();
+        continue;
+      }
+      if (x < tvc) {
         ++fail_stops;
         wall += x + d;
         run_recovery();

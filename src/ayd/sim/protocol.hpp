@@ -55,6 +55,7 @@
 #include "ayd/rng/stream.hpp"
 #include "ayd/sim/event_queue.hpp"
 #include "ayd/sim/trace.hpp"
+#include "ayd/sim/variate_pool.hpp"
 
 namespace ayd::sim {
 
@@ -131,6 +132,15 @@ class DesProtocolSimulator {
   /// calls it at every replica switch.
   void begin_replica() { units_.reset(); }
 
+  /// Pool mode (common random numbers): draw unit variates from the
+  /// shared pool cursor instead of sampling the stream. The cursor must
+  /// be positioned at the replica's sequence start and outlive the
+  /// simulation calls; pass nullptr to return to stream sampling. Only
+  /// valid when every active source factors through the unit-variate
+  /// API (the pool registry never hands out a pool otherwise). In the
+  /// scalar tier, results are bit-identical to stream sampling.
+  void set_unit_cursor(UnitVariatePool::Cursor* cursor);
+
   [[nodiscard]] const core::Pattern& pattern() const { return pattern_; }
 
  private:
@@ -158,6 +168,8 @@ class DesProtocolSimulator {
   /// switched streams, and the stale buffer is discarded (256-bit
   /// fingerprint — a cross-stream collision is not a practical concern).
   std::array<std::uint64_t, 4> expected_state_{};
+  /// Non-null in pool (CRN) mode: draws come from the shared sequence.
+  UnitVariatePool::Cursor* pool_cursor_ = nullptr;
   EventQueue queue_;         ///< arena event queue, reused across patterns
 };
 
@@ -179,9 +191,17 @@ class FastProtocolSimulator {
   [[nodiscard]] PatternStats simulate_replica(rng::RngStream& rng,
                                               std::size_t n);
 
-  /// Stream-boundary hook for driver symmetry with the DES simulator.
-  /// The fast sampler never prefetches, so this is a no-op.
-  void begin_replica() {}
+  /// Discards words prefetched by the SIMD block pipeline (scalar-tier
+  /// runs never prefetch, so this is a no-op there). Stream switches are
+  /// also detected automatically via the engine-state fingerprint, like
+  /// the DES simulator; the replication driver calls this at every
+  /// replica switch.
+  void begin_replica() { block_pos_ = block_len_ = 0; }
+
+  /// Pool mode (common random numbers): see
+  /// DesProtocolSimulator::set_unit_cursor. In the scalar tier, pool-fed
+  /// results are bit-identical to stream sampling.
+  void set_unit_cursor(UnitVariatePool::Cursor* cursor);
 
   [[nodiscard]] const core::Pattern& pattern() const { return pattern_; }
 
@@ -189,6 +209,22 @@ class FastProtocolSimulator {
   /// The historical draw-everything loop; used when a source cannot be
   /// threshold-filtered (trace replay's variable word consumption).
   [[nodiscard]] PatternStats simulate_pattern_general(rng::RngStream& rng);
+
+  /// CRN replica loop: every draw comes from the shared pool sequence.
+  [[nodiscard]] PatternStats simulate_replica_pool(std::size_t n);
+
+  /// CRN replica loop in unit space (SIMD golden tier only): the window
+  /// bounds are rescaled into the pool's unit-variate space once per
+  /// replica call, so the hot path compares raw pool reads and only
+  /// branches that consume an arrival time compute the scaling multiply.
+  [[nodiscard]] PatternStats simulate_replica_pool_units(std::size_t n);
+
+  /// SIMD-tier replica loop: words are pulled from the engine in blocks,
+  /// the below-threshold lanes are transformed in bulk with the
+  /// vectorized kernels, and the attempt loop consumes (mantissa, unit
+  /// variate) pairs with no per-draw transcendental calls.
+  [[nodiscard]] PatternStats simulate_replica_block(rng::RngStream& rng,
+                                                    std::size_t n);
 
   core::Pattern pattern_;
   double lf_;
@@ -212,6 +248,36 @@ class FastProtocolSimulator {
   std::uint64_t mthr_fail_ = 0;    ///< fail-stop before T+V+C possible
   std::uint64_t mthr_silent_ = 0;  ///< silent arrival before T possible
   std::uint64_t mthr_rec_ = 0;     ///< fail-stop before R possible
+
+  /// How from_unit scales a unit variate, devirtualized for the pool and
+  /// block hot loops (the scalar expressions are kept bit-for-bit:
+  /// Weibull multiplies by its scale, the exponential divides by its
+  /// rate, the lognormal stays a virtual call).
+  enum class UnitScaling : int { kLinear, kDivide, kVirtual };
+
+  // --- SIMD block pipeline (non-memoryless sources, SIMD tier only) ----
+  //
+  // The exponential fast path never enables this (its draws are already
+  // transcendental-free), so exponential results stay byte-identical to
+  // the scalar tier under every tier.
+  bool block_mode_ = false;     ///< pipeline enabled at construction
+  /// Unit-transform source for the bulk kernels (fail and silent sources
+  /// share one spec, hence one unit transform).
+  const model::FailureDistribution* unit_src_ = nullptr;
+  UnitScaling fail_scaling_ = UnitScaling::kVirtual;
+  double fail_factor_ = 0.0;    ///< scale (kLinear) or rate (kDivide)
+  UnitScaling silent_scaling_ = UnitScaling::kVirtual;
+  double silent_factor_ = 0.0;
+  /// Pre-shifted 53-bit mantissas and the bulk-transformed unit variates
+  /// (above-threshold draws never read their variate).
+  std::array<std::uint64_t, rng::kVariateBlockSize> block_m_{};
+  std::array<double, rng::kVariateBlockSize> block_z_{};
+  std::size_t block_pos_ = 0;
+  std::size_t block_len_ = 0;
+  /// Stale-prefetch fingerprint, exactly like the DES simulator's.
+  std::array<std::uint64_t, 4> expected_state_{};
+  /// Non-null in pool (CRN) mode: draws come from the shared sequence.
+  UnitVariatePool::Cursor* pool_cursor_ = nullptr;
 };
 
 }  // namespace ayd::sim

@@ -31,9 +31,15 @@ void run_replica_range(const model::System& sys, const core::Pattern& pattern,
 
   for (std::size_t i = begin; i < end; ++i) {
     simulator.begin_replica();  // drop variates prefetched from stream i-1
+    UnitVariatePool::Cursor cursor;  // keep alive through the replica
+    if (opt.shared_units != nullptr) {
+      cursor = opt.shared_units->cursor(i);
+      simulator.set_unit_cursor(&cursor);
+    }
     rng::RngStream rng(opt.seed, i);
     const PatternStats totals =
         simulator.simulate_replica(rng, opt.patterns_per_replica);
+    if (opt.shared_units != nullptr) simulator.set_unit_cursor(nullptr);
     ReplicaOutcome& o = out[i - begin];
     o.totals = totals;
     o.overhead = totals.wall_time / work;
@@ -118,6 +124,11 @@ ReplicationResult simulate_overhead(const model::System& sys,
   AYD_REQUIRE(opt.replicas >= 1, "need at least one replica");
   AYD_REQUIRE(opt.patterns_per_replica >= 1,
               "need at least one pattern per replica");
+  AYD_REQUIRE(opt.shared_units == nullptr ||
+                  (opt.shared_units->seed() == opt.seed &&
+                   opt.shared_units->spec() == sys.failure().dist()),
+              "shared_units pool was built for a different (spec, seed) "
+              "scenario than this replication");
   core::validate(pattern);
 
   std::vector<ReplicaOutcome> local;
@@ -143,6 +154,11 @@ ReplicationResult simulate_overhead_adaptive(const model::System& sys,
   AYD_REQUIRE(adapt.ci_rel_tol > 0.0 && std::isfinite(adapt.ci_rel_tol),
               "ci_rel_tol must be finite and > 0");
   AYD_REQUIRE(adapt.growth > 1.0, "adaptive growth factor must be > 1");
+  AYD_REQUIRE(opt.shared_units == nullptr ||
+                  (opt.shared_units->seed() == opt.seed &&
+                   opt.shared_units->spec() == sys.failure().dist()),
+              "shared_units pool was built for a different (spec, seed) "
+              "scenario than this replication");
   core::validate(pattern);
 
   std::vector<ReplicaOutcome> local;

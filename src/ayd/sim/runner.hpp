@@ -33,6 +33,16 @@ struct ReplicationOptions {
   std::uint64_t seed = 0xA4D2016ULL;
   Backend backend = Backend::kFast;
   double ci_level = 0.95;
+  /// Common random numbers: when non-null, replica i draws its unit
+  /// variates from shared_units->cursor(i) instead of sampling substream
+  /// (seed, i) itself. The pool must have been built for the same
+  /// (failure-dist shape, seed) — sim/variate_pool.hpp — which makes the
+  /// draws identical in distribution (bit-identical under the scalar
+  /// tier) while sweeps over rate/period/procs pay for variate
+  /// generation once. Not owned; must outlive the call. Ignored by
+  /// non-unit-samplable sources' fallback paths (trace replay), which is
+  /// exactly the set for which VariateCache returns no pool.
+  UnitVariatePool* shared_units = nullptr;
 };
 
 struct ReplicationResult {

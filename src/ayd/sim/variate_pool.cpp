@@ -1,0 +1,64 @@
+#include "ayd/sim/variate_pool.hpp"
+
+#include "ayd/util/contracts.hpp"
+
+namespace ayd::sim {
+
+UnitVariatePool::UnitVariatePool(const model::FailureDistSpec& spec,
+                                 std::uint64_t seed)
+    : spec_(spec), seed_(seed), unit_dist_(spec.instantiate(1.0)) {
+  AYD_REQUIRE(eligible(spec),
+              "UnitVariatePool: spec does not factor through unit variates");
+  AYD_REQUIRE(unit_dist_->unit_samplable(),
+              "UnitVariatePool: rate-1 instantiation is not unit-samplable");
+}
+
+UnitVariatePool::Cursor UnitVariatePool::cursor(std::size_t replica) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (replicas_.size() <= replica) {
+    replicas_.push_back(std::make_unique<ReplicaStore>(
+        rng::RngStream(seed_, replicas_.size())));
+  }
+  return Cursor(this, replicas_[replica].get());
+}
+
+const double* UnitVariatePool::acquire_chunk(ReplicaStore& store,
+                                             std::size_t index) {
+  std::lock_guard<std::mutex> lock(store.mu);
+  while (store.chunks.size() <= index) {
+    auto chunk = std::make_unique<std::array<double, kVariatePoolChunk>>();
+    // Words leave the replica's stream in exactly the order per-point
+    // sampling would consume them; the tier-dispatched transform turns
+    // them into unit variates in bulk.
+    unit_dist_->sample_units_fast(store.stream, chunk->data(),
+                                  kVariatePoolChunk);
+    store.chunks.push_back(std::move(chunk));
+    generated_.fetch_add(kVariatePoolChunk, std::memory_order_relaxed);
+  }
+  return store.chunks[index]->data();
+}
+
+void UnitVariatePool::Cursor::refill() {
+  ptr_ = pool_->acquire_chunk(*store_, next_chunk_);
+  ++next_chunk_;
+  remaining_ = kVariatePoolChunk;
+}
+
+std::shared_ptr<UnitVariatePool> VariateCache::pool_for(
+    const model::FailureDistSpec& spec, std::uint64_t seed) {
+  if (!UnitVariatePool::eligible(spec)) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : entries_) {
+    if (e.seed == seed && e.spec == spec) return e.pool;
+  }
+  entries_.push_back(
+      {spec, seed, std::make_shared<UnitVariatePool>(spec, seed)});
+  return entries_.back().pool;
+}
+
+std::size_t VariateCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace ayd::sim

@@ -1,0 +1,175 @@
+// Sweep-aware common random numbers: one sampling pass per grid.
+//
+// Two grid points that share a (failure-dist shape, seed) scenario but
+// differ only in rate / period / allocation draw *the same* engine words
+// in the same order — replica i always reads RNG substream (seed, i) —
+// and the expensive part of each draw, the unit-variate transform
+// (-log(1-u), the unit Weibull deviate, the normal quantile), does not
+// depend on the rate at all (model/failure_dist.hpp). So the unit
+// variates of replica i form one shared sequence: every such point
+// consumes a prefix of it, scaled per point by the cheap from_unit.
+//
+// UnitVariatePool materializes that sequence once, lazily, per replica:
+// append-only chunks generated with the tier-dispatched bulk transform
+// (rng/simd.hpp), shared read-only by every simulator that walks them
+// through a Cursor. A fig5-style lambda sweep then pays for variate
+// generation once for the whole grid instead of once per point — and the
+// points become *common-random-number* comparisons, the classic variance
+// reduction for comparing configurations (differences between neighboring
+// points are no longer polluted by independent sampling noise).
+//
+// Reproducibility: under the scalar reference tier the pooled variates
+// are bit-identical to what per-point sampling produces, so CRN is
+// invisible in results there (tests/engine_crn_test.cpp pins this); under
+// a SIMD tier the pool inherits that tier's golden tier. Results remain
+// bit-identical at any thread count either way: chunk k of replica i has
+// exactly one possible content, whichever thread generates it first.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ayd/model/failure_dist.hpp"
+#include "ayd/rng/stream.hpp"
+
+namespace ayd::sim {
+
+/// Unit variates generated per growth step. Small enough that a
+/// replica's store stays close to what it actually consumes (a typical
+/// replica draws a few hundred variates, so the last chunk's average
+/// waste — half a chunk — must stay a small fraction of that), big
+/// enough for the bulk transforms to amortize dispatch. Chunking is
+/// invisible in the values: chunk k holds words [k·N, (k+1)·N) of the
+/// replica's stream, so the concatenated sequence does not depend on N.
+inline constexpr std::size_t kVariatePoolChunk = 256;
+
+/// The shared unit-variate sequences of one (failure-dist shape, seed)
+/// scenario, one lazily grown store per replica. Thread-safe: cursors
+/// only synchronize at chunk boundaries, and a chunk's content is a pure
+/// function of (spec, seed, replica, chunk index).
+class UnitVariatePool {
+ public:
+  /// `spec` must be eligible() (analytic kinds); trace replay does not
+  /// factor through unit variates (variable word consumption).
+  UnitVariatePool(const model::FailureDistSpec& spec, std::uint64_t seed);
+
+  /// True when the spec factors through the unit-variate API, i.e. a
+  /// pool can serve it.
+  [[nodiscard]] static bool eligible(const model::FailureDistSpec& spec) {
+    return spec.kind() != model::FailureDistKind::kTraceReplay;
+  }
+
+  struct ReplicaStore;
+
+  /// A position in one replica's variate sequence. Starts at draw 0;
+  /// next() returns successive unit variates, growing the shared store
+  /// on demand. Cheap to copy-construct from cursor(); not thread-safe
+  /// itself (one cursor per consuming simulator), but any number of
+  /// cursors may walk the same replica concurrently.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+    [[nodiscard]] double next() {
+      if (remaining_ == 0) refill();
+      --remaining_;
+      return *ptr_++;
+    }
+
+    /// Two consecutive variates with a single boundary check — the
+    /// simulator's attempt step always consumes a (fail, silent) pair,
+    /// and pairs straddle a chunk edge at most once per chunk.
+    void next2(double& a, double& b) {
+      if (remaining_ >= 2) {
+        a = ptr_[0];
+        b = ptr_[1];
+        ptr_ += 2;
+        remaining_ -= 2;
+        return;
+      }
+      a = next();
+      b = next();
+    }
+
+    [[nodiscard]] bool valid() const { return pool_ != nullptr; }
+
+   private:
+    friend class UnitVariatePool;
+    Cursor(UnitVariatePool* pool, ReplicaStore* store)
+        : pool_(pool), store_(store) {}
+
+    void refill();
+
+    UnitVariatePool* pool_ = nullptr;
+    ReplicaStore* store_ = nullptr;
+    const double* ptr_ = nullptr;
+    std::size_t remaining_ = 0;
+    std::size_t next_chunk_ = 0;
+  };
+
+  /// Cursor at the start of replica i's sequence (the position a fresh
+  /// RngStream(seed, i) would sample from).
+  [[nodiscard]] Cursor cursor(std::size_t replica);
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] const model::FailureDistSpec& spec() const { return spec_; }
+  /// Telemetry: unit variates generated so far, across all replicas.
+  [[nodiscard]] std::size_t generated() const {
+    return generated_.load(std::memory_order_relaxed);
+  }
+
+  struct ReplicaStore {
+    explicit ReplicaStore(rng::RngStream s) : stream(s) {}
+    std::mutex mu;
+    /// Append-only; each chunk is fully generated before it becomes
+    /// visible, then immutable (what makes lock-free reads safe).
+    std::vector<std::unique_ptr<std::array<double, kVariatePoolChunk>>>
+        chunks;
+    /// Positioned after the words consumed by the generated chunks.
+    rng::RngStream stream;
+  };
+
+ private:
+  /// Chunk `index` of `store`, generating it (and any gap) if needed.
+  [[nodiscard]] const double* acquire_chunk(ReplicaStore& store,
+                                            std::size_t index);
+
+  model::FailureDistSpec spec_;
+  std::uint64_t seed_;
+  /// Rate-1 instantiation: only its unit transform is used, which is
+  /// rate-independent by the factorization contract.
+  std::unique_ptr<const model::FailureDistribution> unit_dist_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<ReplicaStore>> replicas_;
+  std::atomic<std::size_t> generated_{0};
+};
+
+/// Engine-level registry: one UnitVariatePool per (failure-dist shape,
+/// seed) scenario encountered during a sweep. Returns nullptr for specs
+/// that cannot pool (trace replay) — callers fall back to independent
+/// per-point sampling. Thread-safe; pools live as long as the cache (or
+/// any caller-held shared_ptr).
+class VariateCache {
+ public:
+  [[nodiscard]] std::shared_ptr<UnitVariatePool> pool_for(
+      const model::FailureDistSpec& spec, std::uint64_t seed);
+
+  /// Number of distinct (shape, seed) pools created so far.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    model::FailureDistSpec spec;
+    std::uint64_t seed;
+    std::shared_ptr<UnitVariatePool> pool;
+  };
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ayd::sim

@@ -60,6 +60,12 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
                   "point under the configured --failure-dist (implied for "
                   "the distribution-shape variables, whose effect is "
                   "invisible to the analytic columns)");
+  parser.add_flag("crn",
+                  "common random numbers: share one unit-variate pool "
+                  "across all points of the sweep (one sampling pass per "
+                  "grid; identical results to independent sampling under "
+                  "AYD_SIMD=off, and smoother point-to-point differences "
+                  "everywhere)");
   parser.add_option("max-procs", "1e7",
                     "upper edge of the numerical allocation search");
   parser.add_option("threads", "0",
@@ -108,6 +114,10 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
   spec.simulate_numerical = simulate;
   spec.replication = replication_from_args(parser);
   spec.search.max_procs = parser.option_double("max-procs");
+  // The cache must outlive the grid run; pools resolve lazily per
+  // (shape, seed) scenario as points evaluate.
+  sim::VariateCache crn_cache;
+  if (parser.flag("crn") && simulate) spec.crn = &crn_cache;
 
   print_system(base, out);
   const auto pts = grid.points();

@@ -1,0 +1,173 @@
+// Sweep-aware common random numbers at the engine level.
+//
+// The contract under test (sim/variate_pool.hpp):
+//  1. Under the scalar reference tier, a CRN-pooled evaluation is
+//     bit-identical to independent per-point sampling — the pool merely
+//     materializes the exact unit variates the simulators would have
+//     computed themselves, for both backends.
+//  2. Grid points that differ only in swept rate/period/procs resolve to
+//     one shared pool (one sampling pass per grid).
+//  3. A CRN sweep is bit-identical at any thread count: chunk k of
+//     replica i has exactly one possible content, whichever worker
+//     generates it first.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ayd/engine/engine.hpp"
+#include "ayd/engine/evaluator.hpp"
+#include "ayd/exec/thread_pool.hpp"
+#include "ayd/model/system.hpp"
+#include "ayd/rng/simd.hpp"
+#include "ayd/sim/variate_pool.hpp"
+
+namespace ayd::engine {
+namespace {
+
+using model::CostModel;
+using model::FailureDistSpec;
+using model::FailureModel;
+using model::ResilienceCosts;
+using model::Speedup;
+using model::System;
+
+System test_system(const FailureDistSpec& spec) {
+  ResilienceCosts costs{CostModel::constant(300.0), CostModel::constant(300.0),
+                        CostModel::constant(30.0)};
+  return System(FailureModel(1e-7, 0.4), costs, 1800.0, Speedup::amdahl(0.1))
+      .with_failure_dist(spec);
+}
+
+EvalSpec sim_spec(sim::Backend backend) {
+  EvalSpec spec;
+  spec.numerical = true;
+  spec.simulate_numerical = true;
+  spec.replication.replicas = 40;
+  spec.replication.patterns_per_replica = 60;
+  spec.replication.backend = backend;
+  return spec;
+}
+
+TEST(EngineCrn, ScalarTierPooledEvaluationMatchesIndependentSampling) {
+  rng::simd::force_tier(rng::simd::Tier::kScalar);
+  for (const FailureDistSpec& dist :
+       {FailureDistSpec::weibull(0.7), FailureDistSpec::lognormal(1.2),
+        FailureDistSpec::exponential()}) {
+    const System sys = test_system(dist);
+    for (const sim::Backend backend : {sim::Backend::kFast,
+                                       sim::Backend::kDes}) {
+      const EvalSpec independent = sim_spec(backend);
+      EvalSpec pooled = independent;
+      sim::VariateCache cache;
+      pooled.crn = &cache;
+
+      const PointEval a = evaluate_point(sys, independent, 512.0);
+      const PointEval b = evaluate_point(sys, pooled, 512.0);
+      ASSERT_TRUE(a.sim_numerical.has_value());
+      ASSERT_TRUE(b.sim_numerical.has_value());
+      // Bitwise, not approximate: in the reference tier CRN must be
+      // invisible in results.
+      EXPECT_EQ(a.sim_numerical->overhead.mean, b.sim_numerical->overhead.mean)
+          << dist.to_string();
+      EXPECT_EQ(a.sim_numerical->overhead.stddev,
+                b.sim_numerical->overhead.stddev)
+          << dist.to_string();
+      EXPECT_EQ(a.sim_numerical->attempts_per_pattern,
+                b.sim_numerical->attempts_per_pattern)
+          << dist.to_string();
+      EXPECT_EQ(cache.size(), 1u);
+    }
+  }
+  rng::simd::clear_forced_tier();
+}
+
+TEST(EngineCrn, LambdaSweepSharesOnePoolAndOneSamplingPass) {
+  const System base = test_system(FailureDistSpec::weibull(0.7));
+  EvalSpec spec = sim_spec(sim::Backend::kFast);
+  sim::VariateCache cache;
+  spec.crn = &cache;
+
+  GridSpec grid;
+  grid.axis(Axis::log_spaced("lambda", 1e-8, 1e-7, 4));
+  const auto records = run_grid(grid, nullptr, [&](const Point& pt) {
+    const System sys = apply_axes(base, pt);
+    const PointEval eval = evaluate_point(sys, spec, 512.0);
+    Record r;
+    r.set("overhead", eval.sim_numerical->overhead.mean);
+    return r;
+  });
+  ASSERT_EQ(records.size(), 4u);
+  // Every lambda point mapped to the same (shape, seed) pool: the rate is
+  // applied by from_unit, not baked into the variates.
+  EXPECT_EQ(cache.size(), 1u);
+  const auto pool = cache.pool_for(FailureDistSpec::weibull(0.7),
+                                   spec.replication.seed);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_GT(pool->generated(), 0u);
+}
+
+TEST(EngineCrn, CrnSweepIsBitIdenticalAcrossThreadCounts) {
+  const System base = test_system(FailureDistSpec::lognormal(1.2));
+  const auto run = [&](exec::ThreadPool* pool) {
+    EvalSpec spec = sim_spec(sim::Backend::kFast);
+    sim::VariateCache cache;  // fresh cache per run: no trivial sharing
+    spec.crn = &cache;
+    GridSpec grid;
+    grid.axis(Axis::log_spaced("lambda", 1e-8, 1e-7, 5));
+    std::vector<double> overheads;
+    const auto records = run_grid(grid, pool, [&](const Point& pt) {
+      const System sys = apply_axes(base, pt);
+      Record r;
+      r.set("overhead",
+            evaluate_point(sys, spec, 256.0).sim_numerical->overhead.mean);
+      return r;
+    });
+    for (const Record& r : records) overheads.push_back(r.num("overhead"));
+    return overheads;
+  };
+
+  const std::vector<double> serial = run(nullptr);
+  exec::ThreadPool pool(4);
+  const std::vector<double> parallel = run(&pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "point " << i;
+  }
+}
+
+TEST(EngineCrn, CacheKeysOnShapeAndSeedAndRejectsTraces) {
+  sim::VariateCache cache;
+  const auto a = cache.pool_for(FailureDistSpec::weibull(0.7), 1);
+  const auto b = cache.pool_for(FailureDistSpec::weibull(0.7), 1);
+  const auto c = cache.pool_for(FailureDistSpec::weibull(0.7), 2);
+  const auto d = cache.pool_for(FailureDistSpec::weibull(1.5), 1);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_NE(a.get(), d.get());
+  EXPECT_EQ(cache.size(), 3u);
+  // Trace replay cannot factor through unit variates: no pool, caller
+  // falls back to independent sampling.
+  const auto t = cache.pool_for(
+      FailureDistSpec::trace_replay({1.0, 2.0, 3.0}, "test"), 1);
+  EXPECT_EQ(t, nullptr);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(EngineCrn, PoolCursorReplaysTheReplicaSequence) {
+  // Two cursors over the same replica see the same values; distinct
+  // replicas see the substream-(seed, i) sequences.
+  sim::UnitVariatePool pool(FailureDistSpec::weibull(0.7), 99);
+  auto c1 = pool.cursor(0);
+  auto c2 = pool.cursor(0);
+  for (int i = 0; i < 3000; ++i) {  // crosses a chunk boundary
+    ASSERT_EQ(c1.next(), c2.next()) << "draw " << i;
+  }
+  auto c3 = pool.cursor(1);
+  auto c4 = pool.cursor(0);
+  EXPECT_NE(c3.next(), c4.next());
+}
+
+}  // namespace
+}  // namespace ayd::engine

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include "ayd/model/failure_dist.hpp"
+#include "ayd/rng/simd.hpp"
 #include "ayd/rng/stream.hpp"
 #include "ayd/sim/event_queue.hpp"
 #include "ayd/stats/ks.hpp"
@@ -94,6 +95,43 @@ TEST(FailureDistKs, WeibullWearOutBothPaths) {
 TEST(FailureDistKs, LogNormalBothPaths) {
   expect_ks_passes(FailureDistSpec::lognormal(1.2), 1e-5);
   expect_ks_passes(FailureDistSpec::lognormal(0.5), 2e-3);
+}
+
+/// The SIMD sampling path: bulk unit variates through the tier-dispatched
+/// vectorized kernels, scaled by from_unit_bulk — exactly what the DES
+/// refill, the variate pool, and the fast simulator's block pipeline run
+/// in production under the AVX2 tier.
+std::vector<double> sample_simd_path(const FailureDistribution& dist,
+                                     std::uint64_t stream_id) {
+  rng::RngStream rng(kSeed, stream_id);
+  std::vector<double> z(kSamples), xs(kSamples);
+  dist.sample_units_fast(rng, z.data(), kSamples);
+  dist.from_unit_bulk(z.data(), xs.data(), kSamples);
+  return xs;
+}
+
+TEST(FailureDistKs, Avx2TierSamplingPassesForEveryAnalyticKind) {
+  if (!rng::simd::avx2_available()) {
+    GTEST_SKIP() << "AVX2 not available on this host";
+  }
+  rng::simd::force_tier(rng::simd::Tier::kAvx2);
+  struct Case {
+    FailureDistSpec spec;
+    double rate;
+  };
+  for (const Case& c : {Case{FailureDistSpec::exponential(), 1e-5},
+                        Case{FailureDistSpec::weibull(0.7), 1e-5},
+                        Case{FailureDistSpec::weibull(1.5), 3e-4},
+                        Case{FailureDistSpec::lognormal(1.2), 1e-5},
+                        Case{FailureDistSpec::lognormal(0.5), 2e-3}}) {
+    const auto dist = c.spec.instantiate(c.rate);
+    const auto cdf = [&](double x) { return dist->cdf(x); };
+    const auto xs = sample_simd_path(*dist, 3);
+    const auto ks = stats::ks_test(xs, cdf);
+    EXPECT_GT(ks.p_value, kPValueFloor)
+        << c.spec.to_string() << " SIMD path: D=" << ks.statistic;
+  }
+  rng::simd::clear_forced_tier();
 }
 
 TEST(FailureDistKs, TraceReplayMatchesSourceEmpiricalCdf) {

@@ -12,6 +12,13 @@
 //  2. A reference fast sampler reimplemented here from the paper's
 //     semantics (draw-everything, no thresholds, no batching) run
 //     against FastProtocolSimulator over many seeds and regimes.
+//
+// These pins define the *scalar reference tier* (rng/simd.hpp): the
+// whole suite runs with the SIMD tier forced off, because the vectorized
+// transcendental kernels are allowed to differ from libm by a few ULP
+// and carry their own golden tier (tests/failure_dist_simd_test.cpp).
+// The exponential fast path never calls a vectorized transform, so its
+// pin holds under every tier — one case below checks that explicitly.
 
 #include <cmath>
 #include <limits>
@@ -20,11 +27,18 @@
 
 #include "ayd/model/failure_dist.hpp"
 #include "ayd/model/system.hpp"
+#include "ayd/rng/simd.hpp"
 #include "ayd/sim/protocol.hpp"
 #include "ayd/sim/runner.hpp"
 
 namespace ayd::sim {
 namespace {
+
+/// Forces the scalar reference tier for every test in this binary.
+const int kForceScalarTier = [] {
+  rng::simd::force_tier(rng::simd::Tier::kScalar);
+  return 0;
+}();
 
 using model::CostModel;
 using model::FailureDistSpec;
@@ -320,6 +334,32 @@ TEST(SimBitCompat, SimulateReplicaEqualsPatternLoop) {
     EXPECT_EQ(loop.silent_detections, replica.silent_detections);
     EXPECT_EQ(loop.masked_silent, replica.masked_silent);
   }
+}
+
+// The exponential *fast* path never calls a transcendental (the CDF
+// threshold filter decides almost every draw from the raw word, and the
+// exceptions go through the pinned scalar sample_value), so its
+// pre-overhaul pin must hold under the auto-detected tier too — the
+// byte-identical-by-default guarantee for the paper's model on the
+// default backend. (The DES backend's batched refill does route -log
+// through the tier-dispatched kernel, so its pin is scalar-tier only,
+// like the non-exponential ones.)
+TEST(SimBitCompat, ExponentialFastPinHoldsUnderAutoDetectedTier) {
+  rng::simd::clear_forced_tier();
+  const System sys = pinned_system(FailureDistSpec::exponential());
+  for (const Pin& pin : kPins) {
+    if (std::string(pin.name) != "exponential" || pin.backend != Backend::kFast)
+      continue;
+    PatternStats totals;
+    rng::RngStream rng(42);
+    FastProtocolSimulator simulator(sys, {20000.0, 256.0});
+    for (int i = 0; i < 300; ++i) {
+      totals.merge(simulator.simulate_pattern(rng));
+    }
+    EXPECT_EQ(totals.wall_time, pin.wall_time) << pin.name;
+    EXPECT_EQ(totals.attempts, pin.attempts) << pin.name;
+  }
+  rng::simd::force_tier(rng::simd::Tier::kScalar);
 }
 
 }  // namespace
