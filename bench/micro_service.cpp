@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -156,7 +157,10 @@ int main(int argc, char** argv) {
         std::istringstream in(session.str());
         std::ostringstream replies;
         const auto t0 = std::chrono::steady_clock::now();
-        zipf_service.serve(in, replies);
+        if (!zipf_service.serve(in, replies)) {
+          std::fprintf(stderr, "error: zipf session reply write failed\n");
+          return;
+        }
         const double zipf_seconds = seconds_since(t0);
         const service::CacheStats stats = zipf_service.cache_stats();
         const double throughput =
@@ -171,6 +175,68 @@ int main(int argc, char** argv) {
             throughput, zipf_requests, 100.0 * hit_rate,
             static_cast<unsigned long long>(stats.misses),
             static_cast<unsigned long long>(stats.evictions));
+
+        // -- Persistent-tier phase: cold (compute + write-behind), then a
+        // simulated restart (fresh service, same --cache-dir, empty RAM
+        // tier) for warm-disk hits, then warm-ram on the same instance.
+        // The interesting ratio is warm-disk vs cold: a disk hit replaces
+        // a simulated optimisation with one read + CRC + promote, so it
+        // must land orders of magnitude under the cold mean while staying
+        // byte-identical across the restart.
+        namespace fs = std::filesystem;
+        const fs::path store_dir =
+            fs::temp_directory_path() / "ayd_bench_store";
+        std::error_code ec;
+        fs::remove_all(store_dir, ec);
+        service::ServiceOptions persist_options = options;
+        persist_options.cache_dir = store_dir.string();
+
+        std::vector<double> pcold_ms, pdisk_ms, pram_ms;
+        pcold_ms.reserve(requests.size());
+        pdisk_ms.reserve(requests.size());
+        pram_ms.reserve(requests.size());
+        std::vector<std::string> pcold_replies;
+        std::size_t restart_identical = 0;
+        {
+          service::PlanningService first(persist_options);
+          for (const std::string& req : requests) {
+            const auto t = std::chrono::steady_clock::now();
+            pcold_replies.push_back(first.handle_line(req));
+            pcold_ms.push_back(seconds_since(t) * 1e3);
+          }
+        }  // destructor = process exit: nothing but the store survives
+        service::PlanningService restarted(persist_options);
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          const auto t = std::chrono::steady_clock::now();
+          const std::string reply = restarted.handle_line(requests[i]);
+          pdisk_ms.push_back(seconds_since(t) * 1e3);
+          if (reply == pcold_replies[i]) ++restart_identical;
+        }
+        for (const std::string& req : requests) {
+          const auto t = std::chrono::steady_clock::now();
+          (void)restarted.handle_line(req);
+          pram_ms.push_back(seconds_since(t) * 1e3);
+        }
+        const service::CacheStats pstats = restarted.cache_stats();
+        const double pcold_mean = mean_of(pcold_ms);
+        const double pdisk_mean = mean_of(pdisk_ms);
+        const double pram_mean = mean_of(pram_ms);
+        const double disk_speedup =
+            pdisk_mean > 0.0 ? pcold_mean / pdisk_mean : 0.0;
+        std::printf(
+            "SERVICE-BENCH persist-cold     : %9.3f ms/req (median %.3f)\n",
+            pcold_mean, median_of(pcold_ms));
+        std::printf(
+            "SERVICE-BENCH persist-warm-disk: %9.3f ms/req (median %.3f, "
+            "%.0fx faster, %zu/%zu replies byte-identical across restart, "
+            "%llu disk hits)\n",
+            pdisk_mean, median_of(pdisk_ms), disk_speedup, restart_identical,
+            requests.size(),
+            static_cast<unsigned long long>(pstats.disk_hits));
+        std::printf(
+            "SERVICE-BENCH persist-warm-ram : %9.3f ms/req (median %.3f)\n",
+            pram_mean, median_of(pram_ms));
+        fs::remove_all(store_dir, ec);
 
         const std::string out_path = args.option("out");
         std::ofstream out(out_path);
@@ -202,6 +268,14 @@ int main(int argc, char** argv) {
         json.kv("zipf_misses", stats.misses);
         json.kv("zipf_coalesced", stats.coalesced);
         json.kv("zipf_evictions", stats.evictions);
+        json.kv("persist_cold_ms_mean", pcold_mean);
+        json.kv("persist_warm_disk_ms_mean", pdisk_mean);
+        json.kv("persist_warm_disk_ms_median", median_of(pdisk_ms));
+        json.kv("persist_warm_ram_ms_mean", pram_mean);
+        json.kv("disk_speedup", disk_speedup);
+        json.kv("disk_hits", pstats.disk_hits);
+        json.kv("restart_replies_byte_identical",
+                static_cast<std::uint64_t>(restart_identical));
         json.end_object();
         out << "\n";
         std::printf("(JSON record written to %s)\n", out_path.c_str());

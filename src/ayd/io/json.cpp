@@ -1,5 +1,6 @@
 #include "ayd/io/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -103,9 +104,16 @@ void JsonWriter::value(std::string_view s) {
 void JsonWriter::value(double d) {
   before_value();
   if (std::isfinite(d)) {
+    // std::to_chars, not snprintf("%.17g"): printf honours LC_NUMERIC, so
+    // a comma-decimal host locale would emit "0,5" — invalid JSON that
+    // also breaks the byte-identity guarantee of the persistent answer
+    // store. to_chars with chars_format::general and precision 17 is
+    // specified to produce exactly what %.17g produces in the "C" locale,
+    // so existing goldens stay byte-identical.
     char buf[64];
-    std::snprintf(buf, sizeof buf, "%.17g", d);
-    *os_ << buf;
+    const std::to_chars_result r = std::to_chars(
+        buf, buf + sizeof buf, d, std::chars_format::general, 17);
+    *os_ << std::string_view(buf, static_cast<std::size_t>(r.ptr - buf));
   } else {
     // JSON has no inf/nan; encode as null (documented behaviour).
     *os_ << "null";

@@ -1,7 +1,9 @@
 #include "ayd/io/json_parse.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
+#include <system_error>
 #include <utility>
 
 #include "ayd/io/json.hpp"
@@ -16,6 +18,45 @@ namespace {
                                        "string", "array", "object"};
   throw util::InvalidArgument(std::string("JsonValue: expected ") + want +
                               ", found " + kNames[static_cast<int>(got)]);
+}
+
+/// Approximate base-10 exponent of the first significant digit of an
+/// already-grammar-checked number token (0 for a zero mantissa), clamped
+/// to +-100000. Only consulted when from_chars reported
+/// result_out_of_range, to tell overflow (huge positive exponent) from
+/// underflow (huge negative) — C++17 from_chars does not say which.
+long decimal_magnitude(std::string_view token) {
+  std::size_t i = token.front() == '-' ? 1 : 0;
+  const std::size_t e_pos = token.find_first_of("eE", i);
+  const std::string_view mantissa =
+      token.substr(i, (e_pos == std::string_view::npos ? token.size()
+                                                       : e_pos) -
+                          i);
+  long exp10 = 0;
+  if (e_pos != std::string_view::npos) {
+    const std::string_view etext = token.substr(e_pos + 1);
+    const bool neg = etext.front() == '-';
+    for (const char c : etext) {
+      if (c < '0' || c > '9') continue;  // sign
+      if (exp10 < 100000) exp10 = exp10 * 10 + (c - '0');
+    }
+    if (neg) exp10 = -exp10;
+  }
+  const std::size_t dot = mantissa.find('.');
+  const std::string_view int_part =
+      dot == std::string_view::npos ? mantissa : mantissa.substr(0, dot);
+  const std::string_view frac_part =
+      dot == std::string_view::npos ? std::string_view{}
+                                    : mantissa.substr(dot + 1);
+  for (std::size_t k = 0; k < int_part.size(); ++k) {
+    if (int_part[k] != '0') {
+      return exp10 + static_cast<long>(int_part.size() - k) - 1;
+    }
+  }
+  for (std::size_t k = 0; k < frac_part.size(); ++k) {
+    if (frac_part[k] != '0') return exp10 - static_cast<long>(k) - 1;
+  }
+  return 0;  // zero mantissa: neither overflow nor underflow
 }
 
 class Parser {
@@ -253,7 +294,25 @@ class Parser {
       }
       // Out of int64 range: fall through to the double representation.
     }
-    const double d = std::strtod(token.c_str(), nullptr);
+    // std::from_chars, not strtod: strtod honours LC_NUMERIC, so under a
+    // comma-decimal locale (de_DE et al.) it would stop at the '.' and
+    // silently truncate "0.5" to 0 — a wire-protocol parser must not
+    // change meaning with the host locale. from_chars is specified to be
+    // locale-independent. The grammar above already validated the token,
+    // so the only failures left are range errors.
+    double d = 0.0;
+    const std::from_chars_result r =
+        std::from_chars(token.data(), token.data() + token.size(), d);
+    if (r.ec == std::errc::result_out_of_range) {
+      // C++17 leaves `d` unmodified here, so which way it went must be
+      // read off the token. Overflow is an error (JSON has no inf);
+      // underflow keeps strtod's old behaviour and rounds to zero.
+      if (decimal_magnitude(token) > 0) fail("number out of range");
+      return JsonValue::number(token[0] == '-' ? -0.0 : 0.0);
+    }
+    if (r.ec != std::errc() || r.ptr != token.data() + token.size()) {
+      fail("invalid number");
+    }
     if (!std::isfinite(d)) fail("number out of range");
     return JsonValue::number(d);
   }

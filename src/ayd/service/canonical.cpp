@@ -1,6 +1,7 @@
 #include "ayd/service/canonical.hpp"
 
 #include "ayd/model/failure_dist.hpp"
+#include "ayd/tool/optimize_json.hpp"
 
 namespace ayd::service {
 
@@ -83,6 +84,29 @@ CanonicalKey CanonicalKeyBuilder::finish() {
   key.text = os_.str();
   key.hash = fnv1a64(key.text);
   return key;
+}
+
+CanonicalKey optimize_canonical_key(const model::System& sys,
+                                    const tool::OptimizeRequest& req) {
+  CanonicalKeyBuilder builder("optimize");
+  builder.system(sys)
+      .field("fixed_procs", req.procs.has_value())
+      .field("procs", req.procs.value_or(0.0))
+      .field("max_procs", req.max_procs)
+      .field("simulate", req.simulate);
+  if (req.simulate) {
+    const sim::ReplicationOptions& rep = req.sim_search.period.replication;
+    const sim::AdaptiveOptions& adapt = req.sim_search.period.adaptive;
+    builder.field("runs", static_cast<std::uint64_t>(adapt.min_replicas))
+        .field("patterns",
+               static_cast<std::uint64_t>(rep.patterns_per_replica))
+        .field("seed", static_cast<std::uint64_t>(rep.seed))
+        .field("backend",
+               rep.backend == sim::Backend::kDes ? "des" : "fast")
+        .field("ci_rel_tol", adapt.ci_rel_tol)
+        .field("max_reps", static_cast<std::uint64_t>(adapt.max_replicas));
+  }
+  return builder.finish();
 }
 
 }  // namespace ayd::service

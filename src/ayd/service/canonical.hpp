@@ -28,6 +28,10 @@
 #include "ayd/io/json.hpp"
 #include "ayd/model/system.hpp"
 
+namespace ayd::tool {
+struct OptimizeRequest;
+}
+
 namespace ayd::service {
 
 /// A resolved request's canonical identity: the canonical serialisation
@@ -68,5 +72,12 @@ class CanonicalKeyBuilder {
   std::ostringstream os_;
   io::JsonWriter writer_;
 };
+
+/// The canonical key of one resolved `optimize` request — the exact
+/// field sequence the service's "optimize" op keys on, shared with
+/// `ayd optimize --cache-dir` so the one-shot CLI and the service
+/// address the same persistent-store records.
+[[nodiscard]] CanonicalKey optimize_canonical_key(
+    const model::System& sys, const tool::OptimizeRequest& req);
 
 }  // namespace ayd::service

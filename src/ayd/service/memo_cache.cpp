@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "ayd/service/store.hpp"
 #include "ayd/util/contracts.hpp"
 
 namespace ayd::service {
@@ -18,7 +19,9 @@ std::size_t round_up_pow2(std::size_t n) {
 
 }  // namespace
 
-MemoCache::MemoCache(std::size_t max_entries, std::size_t shards) {
+MemoCache::MemoCache(std::size_t max_entries, std::size_t shards,
+                     AnswerStore* store)
+    : store_(store) {
   AYD_REQUIRE(max_entries >= 1, "MemoCache: max_entries must be >= 1");
   max_entries_ = max_entries;
   // Round up to a power of two, then halve back under the entry budget
@@ -66,7 +69,8 @@ MemoCache::Lookup MemoCache::get_or_compute(const CanonicalKey& key,
       ++shard.coalesced;
       wait_on = entry.result;  // wait outside the lock
     } else {
-      ++shard.misses;
+      // The miss-vs-disk-hit counter is decided below, once the owner
+      // has consulted the persistent tier.
       owned.emplace();
       Entry entry;
       entry.result = owned->get_future().share();
@@ -75,10 +79,9 @@ MemoCache::Lookup MemoCache::get_or_compute(const CanonicalKey& key,
   }
 
   if (owned.has_value()) {
-    // Compute outside the lock (it may take seconds of simulation); the
-    // in-flight entry parked concurrent identical requests on the future.
-    try {
-      Value value = std::make_shared<const std::string>(compute());
+    // Publishes `value` as the completed entry: resolves the future,
+    // marks ready, touches the LRU, evicts over capacity.
+    const auto publish = [&](Value value) {
       owned->set_value(value);
       const std::lock_guard lock(shard.mutex);
       const auto it = shard.entries.find(key.text);
@@ -90,6 +93,49 @@ MemoCache::Lookup MemoCache::get_or_compute(const CanonicalKey& key,
           shard.entries.erase(shard.lru.back());
           shard.lru.pop_back();
           ++shard.evictions;
+        }
+      }
+    };
+
+    // Tier 2, read-through: the single-flight owner checks the
+    // persistent store before computing. Waiters on the in-flight
+    // entry are served either way; a store read failure (quarantined
+    // or concurrently damaged file) degrades to recomputation.
+    if (store_ != nullptr) {
+      std::optional<std::string> persisted;
+      try {
+        persisted = store_->get(key.text);
+      } catch (const util::Error&) {
+        persisted.reset();
+      }
+      if (persisted.has_value()) {
+        Value value =
+            std::make_shared<const std::string>(*std::move(persisted));
+        publish(value);
+        {
+          const std::lock_guard lock(shard.mutex);
+          ++shard.disk_hits;
+        }
+        return {std::move(value), /*hit=*/true};
+      }
+    }
+
+    {
+      const std::lock_guard lock(shard.mutex);
+      ++shard.misses;
+    }
+    // Compute outside the lock (it may take seconds of simulation); the
+    // in-flight entry parked concurrent identical requests on the future.
+    try {
+      Value value = std::make_shared<const std::string>(compute());
+      publish(value);
+      // Write-behind: persist after publishing so waiters are never
+      // delayed by disk I/O; an append failure only costs persistence.
+      if (store_ != nullptr) {
+        try {
+          store_->put(key.text, key.hash, *value);
+        } catch (const util::Error&) {
+          // Degraded store: keep serving from memory.
         }
       }
       return {std::move(value), /*hit=*/false};
@@ -117,6 +163,7 @@ CacheStats MemoCache::stats() const {
     const std::lock_guard lock(shard->mutex);
     out.hits += shard->hits;
     out.misses += shard->misses;
+    out.disk_hits += shard->disk_hits;
     out.coalesced += shard->coalesced;
     out.evictions += shard->evictions;
     out.entries += shard->entries.size();

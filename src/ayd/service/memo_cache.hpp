@@ -23,6 +23,14 @@
 //  * Eviction is per shard, LRU over *completed* entries only, with a
 //    per-shard capacity of max(1, max_entries / shards). In-flight
 //    entries are never evicted (their waiters hold the future).
+//  * Tier 2 (optional): a persistent AnswerStore (store.hpp). The
+//    single-flight owner of a miss consults the store *before*
+//    computing (read-through; a disk hit is promoted into the LRU and
+//    counted as `disk_hits`, not a miss) and appends every freshly
+//    computed answer after publishing it (write-behind). Concurrency
+//    semantics are unchanged: coalesced waiters never touch the store,
+//    and a store I/O failure silently degrades to recomputation —
+//    the disk tier can accelerate, never break, an answer.
 
 #pragma once
 
@@ -40,10 +48,13 @@
 
 namespace ayd::service {
 
+class AnswerStore;
+
 /// Cumulative cache telemetry (monotone counters + the resident size).
 struct CacheStats {
   std::uint64_t hits = 0;       ///< served from a completed entry
   std::uint64_t misses = 0;     ///< triggered a computation
+  std::uint64_t disk_hits = 0;  ///< served from the persistent tier (promoted)
   std::uint64_t coalesced = 0;  ///< waited on another thread's in-flight computation
   std::uint64_t evictions = 0;  ///< completed entries dropped by LRU pressure
   std::size_t entries = 0;      ///< resident entries (completed + in-flight)
@@ -55,7 +66,10 @@ class MemoCache {
   /// evenly across shards); `shards` is rounded up to a power of two,
   /// then halved while above `max_entries`, so the total resident
   /// capacity (shards x per-shard LRU) never exceeds `max_entries`.
-  MemoCache(std::size_t max_entries, std::size_t shards);
+  /// `store`, when non-null, is the persistent tier-2 (not owned; must
+  /// outlive the cache).
+  MemoCache(std::size_t max_entries, std::size_t shards,
+            AnswerStore* store = nullptr);
 
   MemoCache(const MemoCache&) = delete;
   MemoCache& operator=(const MemoCache&) = delete;
@@ -100,6 +114,7 @@ class MemoCache {
     std::list<std::string> lru;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t disk_hits = 0;
     std::uint64_t coalesced = 0;
     std::uint64_t evictions = 0;
   };
@@ -110,6 +125,7 @@ class MemoCache {
   std::size_t per_shard_capacity_;
   unsigned shard_shift_;  ///< shard index = hash >> shard_shift_
   std::vector<std::unique_ptr<Shard>> shards_;
+  AnswerStore* store_;  ///< optional persistent tier-2 (not owned)
 };
 
 }  // namespace ayd::service

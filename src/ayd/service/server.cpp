@@ -53,7 +53,11 @@ void write_summary(io::JsonWriter& w, std::string_view key,
 
 PlanningService::PlanningService(const ServiceOptions& options)
     : options_(options),
-      cache_(options.cache_entries, options.cache_shards),
+      store_(options.cache_dir.empty()
+                 ? nullptr
+                 : std::make_unique<AnswerStore>(
+                       AnswerStore::path_in_dir(options.cache_dir))),
+      cache_(options.cache_entries, options.cache_shards, store_.get()),
       pool_(options.threads) {}
 
 std::string PlanningService::handle_line(const std::string& line) {
@@ -76,7 +80,7 @@ std::string PlanningService::handle_line(const std::string& line) {
   }
 }
 
-void PlanningService::serve(std::istream& in, std::ostream& out) {
+bool PlanningService::serve(std::istream& in, std::ostream& out) {
   // One outstanding-request counter instead of a future per request: a
   // long-lived session may stream millions of lines, and accumulating
   // futures (or an unbounded pool queue) until EOF would grow memory
@@ -84,30 +88,50 @@ void PlanningService::serve(std::istream& in, std::ostream& out) {
   // in flight — natural pipe backpressure — and handle_line never throws
   // (every failure becomes an error envelope), so completion is the only
   // signal the loop needs.
+  //
+  // std::getline handles the final unterminated line for free: it
+  // extracts up to EOF and only sets failbit when *nothing* was read,
+  // so a client that omits the last '\n' still gets its reply (pinned
+  // by service_protocol_test).
   const std::size_t kMaxOutstanding = std::max<std::size_t>(
       64, 4 * pool_.size());
   std::mutex mutex;
   std::condition_variable cv;
   std::size_t outstanding = 0;
+  // Set (under `mutex`) when a reply write fails: the reader must stop
+  // accepting input — with the client's read side gone, draining stdin
+  // and discarding replies forever is indistinguishable from a hang.
+  bool output_failed = false;
 
   std::string line;
   while (std::getline(in, line)) {
     if (util::trim(line).empty()) continue;
     {
       std::unique_lock lock(mutex);
-      cv.wait(lock, [&] { return outstanding < kMaxOutstanding; });
+      cv.wait(lock, [&] {
+        return outstanding < kMaxOutstanding || output_failed;
+      });
+      if (output_failed) break;
       ++outstanding;
     }
-    pool_.submit([this, line, &out, &mutex, &cv, &outstanding] {
+    pool_.submit([this, line, &out, &mutex, &cv, &outstanding,
+                  &output_failed] {
       const std::string reply = handle_line(line);
       const std::lock_guard lock(mutex);
-      out << reply << '\n' << std::flush;
+      if (!output_failed) {
+        out << reply << '\n' << std::flush;
+        // A closed pipe surfaces as a stream failure here (cmd_serve
+        // ignores SIGPIPE so the write errors instead of killing the
+        // process).
+        if (out.fail()) output_failed = true;
+      }
       --outstanding;
       cv.notify_all();
     });
   }
   std::unique_lock lock(mutex);
   cv.wait(lock, [&] { return outstanding == 0; });
+  return !output_failed;
 }
 
 std::string PlanningService::dispatch(const Request& req) {
@@ -127,24 +151,10 @@ std::string PlanningService::handle_optimize(const Request& req) {
   const model::System sys = tool::system_from_args(parser);
   const tool::OptimizeRequest opt = tool::optimize_request_from_args(parser);
 
-  CanonicalKeyBuilder builder("optimize");
-  builder.system(sys)
-      .field("fixed_procs", opt.procs.has_value())
-      .field("procs", opt.procs.value_or(0.0))
-      .field("max_procs", opt.max_procs)
-      .field("simulate", opt.simulate);
-  if (opt.simulate) {
-    const sim::ReplicationOptions& rep = opt.sim_search.period.replication;
-    const sim::AdaptiveOptions& adapt = opt.sim_search.period.adaptive;
-    builder.field("runs", static_cast<std::uint64_t>(adapt.min_replicas))
-        .field("patterns",
-               static_cast<std::uint64_t>(rep.patterns_per_replica))
-        .field("seed", static_cast<std::uint64_t>(rep.seed))
-        .field("backend", backend_name(rep.backend))
-        .field("ci_rel_tol", adapt.ci_rel_tol)
-        .field("max_reps", static_cast<std::uint64_t>(adapt.max_replicas));
-  }
-  const CanonicalKey key = builder.finish();
+  // The field sequence lives in canonical.cpp, shared with
+  // `ayd optimize --cache-dir` so both front-ends address the same
+  // persistent-store records.
+  const CanonicalKey key = optimize_canonical_key(sys, opt);
 
   const MemoCache::Lookup lookup = cache_.get_or_compute(key, [&] {
     std::ostringstream os;
@@ -260,12 +270,18 @@ std::string PlanningService::handle_stats(const Request& req) {
   w.begin_object();
   w.kv("hits", stats.hits);
   w.kv("misses", stats.misses);
+  w.kv("disk_hits", stats.disk_hits);
   w.kv("coalesced", stats.coalesced);
   w.kv("evictions", stats.evictions);
   w.kv("entries", static_cast<std::uint64_t>(stats.entries));
   w.kv("cache_entries", static_cast<std::uint64_t>(cache_.max_entries()));
   w.kv("cache_shards", static_cast<std::uint64_t>(cache_.shard_count()));
   w.kv("threads", static_cast<std::uint64_t>(pool_.size()));
+  if (store_ != nullptr) {
+    w.kv("cache_dir", options_.cache_dir);
+    w.kv("store_entries", static_cast<std::uint64_t>(store_->entries()));
+    w.kv("store_bytes", store_->file_bytes());
+  }
   w.kv("version", util::version_string());
   w.end_object();
   return make_ok_reply(req.id, req.op, os.str());

@@ -3,12 +3,13 @@
 // PlanningService answers NDJSON planning requests (protocol.hpp) over
 // any istream/ostream pair, memoising every expensive answer in a
 // sharded single-flight LRU cache (memo_cache.hpp) keyed by canonical
-// scenario identity (canonical.hpp). Because every evaluation in this
-// repository is a pure, deterministic function of the resolved request,
-// a warm hit returns the *byte-identical* reply a recomputation would
-// produce — confidence intervals included — which is what makes serving
-// repeated planning queries (dashboards, sweep reruns, CI) from memory
-// sound.
+// scenario identity (canonical.hpp), optionally backed by a persistent
+// answer store (store.hpp, --cache-dir) that survives restarts. Because
+// every evaluation in this repository is a pure, deterministic function
+// of the resolved request, a warm hit — from RAM or from disk — returns
+// the *byte-identical* reply a recomputation would produce, confidence
+// intervals included, which is what makes serving repeated planning
+// queries (dashboards, sweep reruns, CI) from memory sound.
 //
 // Concurrency model: serve() fans request lines out over an owned
 // exec::ThreadPool and writes each reply as it completes, so replies can
@@ -24,11 +25,13 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "ayd/exec/thread_pool.hpp"
 #include "ayd/service/memo_cache.hpp"
 #include "ayd/service/protocol.hpp"
+#include "ayd/service/store.hpp"
 
 namespace ayd::service {
 
@@ -41,10 +44,17 @@ struct ServiceOptions {
   /// Lock shards of the memo cache, rounded up to a power of two
   /// (--cache-shards).
   std::size_t cache_shards = 16;
+  /// Directory of the persistent answer store (--cache-dir; empty
+  /// disables the disk tier). Created on demand; see store.hpp.
+  std::string cache_dir;
 };
 
 class PlanningService {
  public:
+  /// Throws StoreError when `options.cache_dir` is set but the
+  /// persistent store cannot be opened (incompatible header, unwritable
+  /// directory) — a service must not start quietly without the disk
+  /// tier its caller asked for.
   explicit PlanningService(const ServiceOptions& options = {});
 
   PlanningService(const PlanningService&) = delete;
@@ -58,12 +68,20 @@ class PlanningService {
   /// The NDJSON loop: reads one request per line from `in` until EOF,
   /// fans the requests out over the worker pool, and writes each reply
   /// to `out` (newline-terminated, flushed) as it completes — possibly
-  /// out of request order. Blank lines are skipped. Returns when every
-  /// accepted request has been answered.
-  void serve(std::istream& in, std::ostream& out);
+  /// out of request order. Blank lines are skipped; a final line
+  /// without a trailing newline is processed like any other. Returns
+  /// true when every accepted request was answered and `out` stayed
+  /// healthy; false when a reply write failed (client gone / pipe
+  /// closed) — the loop then stops reading further input instead of
+  /// spinning against a dead stream, and the caller should exit
+  /// non-zero.
+  [[nodiscard]] bool serve(std::istream& in, std::ostream& out);
 
   /// Snapshot of the memo-cache counters (also served by op "stats").
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+
+  /// The persistent tier, or null when --cache-dir was not given.
+  [[nodiscard]] const AnswerStore* store() const { return store_.get(); }
 
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
 
@@ -78,6 +96,8 @@ class PlanningService {
   [[nodiscard]] std::string handle_stats(const Request& req);
 
   ServiceOptions options_;
+  /// Constructed before cache_, which holds a non-owning pointer to it.
+  std::unique_ptr<AnswerStore> store_;
   MemoCache cache_;
   exec::ThreadPool pool_;
 };

@@ -1,0 +1,147 @@
+// `ayd cache` — operate on the persistent answer store that backs
+// `ayd serve --cache-dir` / `ayd optimize --cache-dir`:
+//
+//   ayd cache stats  --cache-dir DIR [--json]
+//   ayd cache export --cache-dir DIR --out FILE
+//   ayd cache import --cache-dir DIR --from FILE
+//
+// `export` writes a compacted, deduplicated copy of the store — the
+// artifact a CI matrix or a serve fleet pre-warms from; `import` merges
+// such an artifact into a store, validating the header (format version
+// and hash seed) and every record's checksum before a single byte is
+// mixed in. `stats` reports what the opening scan found, including any
+// torn-tail truncation or quarantine the recovery logic performed.
+
+#include "ayd/tool/commands.hpp"
+
+#include <ostream>
+
+#include "ayd/io/json.hpp"
+#include "ayd/service/store.hpp"
+#include "ayd/util/error.hpp"
+#include "ayd/util/version.hpp"
+
+namespace ayd::tool {
+
+namespace {
+
+/// Opens the store under --cache-dir (shared by all three verbs).
+service::AnswerStore open_store(const cli::ArgParser& parser) {
+  const std::string dir = parser.option("cache-dir");
+  if (dir.empty()) {
+    throw util::CliError("ayd cache: --cache-dir is required");
+  }
+  return service::AnswerStore(service::AnswerStore::path_in_dir(dir));
+}
+
+void print_open_report(const service::AnswerStore& store,
+                       std::ostream& out) {
+  const service::StoreOpenStats& open = store.open_stats();
+  if (open.truncated_bytes > 0) {
+    out << "note: truncated a torn tail of " << open.truncated_bytes
+        << " bytes (crash mid-append)\n";
+  }
+  if (open.quarantined) {
+    out << "warning: store had a corrupt record; the damaged file was "
+           "moved to "
+        << open.quarantine_path << " and a fresh store was started\n";
+  }
+}
+
+int cache_stats(const cli::ArgParser& parser, std::ostream& out) {
+  service::AnswerStore store = open_store(parser);
+  if (parser.flag("json")) {
+    io::JsonWriter w(out, /*pretty=*/true);
+    w.begin_object();
+    w.kv("path", store.path());
+    w.kv("format_version",
+         static_cast<std::uint64_t>(service::AnswerStore::kFormatVersion));
+    w.kv("entries", static_cast<std::uint64_t>(store.entries()));
+    w.kv("file_bytes", store.file_bytes());
+    w.kv("records_scanned", store.open_stats().records_scanned);
+    w.kv("truncated_bytes", store.open_stats().truncated_bytes);
+    w.kv("quarantined", store.open_stats().quarantined);
+    w.kv("version", util::version_string());
+    w.end_object();
+    out << "\n";
+    return 0;
+  }
+  out << "answer store " << store.path() << "\n"
+      << "  format version: " << service::AnswerStore::kFormatVersion
+      << "\n"
+      << "  entries:        " << store.entries() << "\n"
+      << "  file bytes:     " << store.file_bytes() << "\n"
+      << "  records scanned:" << " " << store.open_stats().records_scanned
+      << "\n";
+  print_open_report(store, out);
+  return 0;
+}
+
+int cache_export(const cli::ArgParser& parser, std::ostream& out) {
+  const std::string out_path = parser.option("out");
+  if (out_path.empty()) {
+    throw util::CliError("ayd cache export: --out FILE is required");
+  }
+  service::AnswerStore store = open_store(parser);
+  print_open_report(store, out);
+  store.export_to(out_path);
+  out << "exported " << store.entries() << " answers to " << out_path
+      << "\n";
+  return 0;
+}
+
+int cache_import(const cli::ArgParser& parser, std::ostream& out) {
+  const std::string from = parser.option("from");
+  if (from.empty()) {
+    throw util::CliError("ayd cache import: --from FILE is required");
+  }
+  service::AnswerStore store = open_store(parser);
+  print_open_report(store, out);
+  const service::AnswerStore::ImportStats stats = store.import_from(from);
+  out << "imported " << stats.imported << " answers from " << from << " ("
+      << stats.skipped << " already present, " << store.entries()
+      << " total)\n";
+  return 0;
+}
+
+}  // namespace
+
+int cmd_cache(const std::vector<std::string>& args, std::ostream& out) {
+  const char* kUsage =
+      "usage: ayd cache <stats|export|import> --cache-dir DIR [options]\n"
+      "  stats   --cache-dir DIR [--json]    store size and recovery "
+      "report\n"
+      "  export  --cache-dir DIR --out FILE  write a compacted artifact\n"
+      "  import  --cache-dir DIR --from FILE merge an artifact "
+      "(header-validated)\n";
+  if (args.empty() || args[0] == "--help" || args[0] == "-h" ||
+      args[0] == "help") {
+    out << kUsage;
+    return args.empty() ? 1 : 0;
+  }
+  const std::string verb = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+
+  cli::ArgParser parser("ayd cache " + verb,
+                        "persistent answer-store maintenance (see "
+                        "docs/service.md, \"Persistent cache\")");
+  parser.add_option("cache-dir", "",
+                    "directory holding the answer store (answers.aydstore)");
+  if (verb == "stats") {
+    parser.add_flag("json", "emit a machine-readable record");
+  } else if (verb == "export") {
+    parser.add_option("out", "", "path of the exported artifact");
+  } else if (verb == "import") {
+    parser.add_option("from", "", "store file or exported artifact to merge");
+  } else {
+    throw util::CliError("ayd cache: unknown verb '" + verb +
+                         "' (expected stats, export, import)");
+  }
+  if (parse_or_help(parser, rest, out)) return 0;
+
+  if (verb == "stats") return cache_stats(parser, out);
+  if (verb == "export") return cache_export(parser, out);
+  return cache_import(parser, out);
+}
+
+}  // namespace ayd::tool

@@ -1,15 +1,19 @@
 // `ayd serve` — the long-lived planning service: NDJSON requests on
 // stdin, NDJSON replies on stdout, answers memoised in a sharded
-// single-flight LRU cache keyed by canonical scenario identity. The CLI
-// entry is a thin shim; the machinery lives in src/ayd/service/ and the
-// wire protocol is specified in docs/service.md.
+// single-flight LRU cache keyed by canonical scenario identity, with an
+// optional persistent answer store (--cache-dir) that survives
+// restarts. The CLI entry is a thin shim; the machinery lives in
+// src/ayd/service/ and the wire protocol is specified in
+// docs/service.md.
 
 #include "ayd/tool/commands.hpp"
 
+#include <csignal>
 #include <iostream>
 #include <ostream>
 
 #include "ayd/service/server.hpp"
+#include "ayd/util/error.hpp"
 
 namespace ayd::tool {
 
@@ -28,6 +32,10 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   parser.add_option("cache-shards", "16",
                     "lock shards of the memo cache (rounded up to a power "
                     "of two)");
+  parser.add_option("cache-dir", "",
+                    "directory of the persistent answer store (tier 2): "
+                    "answers survive restarts and pre-warm the memo cache; "
+                    "empty disables the disk tier");
   if (parse_or_help(parser, args, out)) return 0;
 
   service::ServiceOptions options;
@@ -36,9 +44,22 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
       static_cast<std::size_t>(parser.option_uint("cache-entries"));
   options.cache_shards =
       static_cast<std::size_t>(parser.option_uint("cache-shards"));
+  options.cache_dir = parser.option("cache-dir");
+
+#ifdef SIGPIPE
+  // A client that closes the pipe mid-session must surface as a stream
+  // write failure (serve() returns false), not kill the process with
+  // the default SIGPIPE disposition before it can clean up.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
 
   service::PlanningService service(options);
-  service.serve(std::cin, out);
+  if (!service.serve(std::cin, out)) {
+    // Reporting on `out` is pointless — it is the stream that died.
+    throw util::IoError(
+        "ayd serve: reply write failed (client closed the pipe?); "
+        "shutting down");
+  }
   return 0;
 }
 

@@ -31,6 +31,10 @@ const std::vector<Command>& commands() {
        "long-lived NDJSON planning service with a sharded memo cache "
        "(stdin/stdout; see docs/service.md)",
        &cmd_serve},
+      {"cache",
+       "inspect, export or import the persistent answer store "
+       "(--cache-dir)",
+       &cmd_cache},
   };
   return kCommands;
 }

@@ -5,6 +5,7 @@
 
 #include "ayd/io/json_parse.hpp"
 
+#include <clocale>
 #include <gtest/gtest.h>
 #include <sstream>
 #include <string>
@@ -14,6 +15,32 @@
 
 namespace ayd::io {
 namespace {
+
+/// Installs a comma-decimal LC_NUMERIC for one test (restored on
+/// destruction) or reports that none is available on this host.
+class CommaLocaleGuard {
+ public:
+  CommaLocaleGuard() {
+    static const char* const kCandidates[] = {
+        "de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8",
+        "de_DE",       "fr_FR",      "nl_NL.UTF-8"};
+    for (const char* name : kCandidates) {
+      if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+        // Only a locale that actually uses ',' exercises the bug.
+        if (std::localeconv()->decimal_point[0] == ',') {
+          installed_ = true;
+          return;
+        }
+      }
+    }
+    std::setlocale(LC_NUMERIC, "C");
+  }
+  ~CommaLocaleGuard() { std::setlocale(LC_NUMERIC, "C"); }
+  [[nodiscard]] bool installed() const { return installed_; }
+
+ private:
+  bool installed_ = false;
+};
 
 std::string reserialize(const std::string& text) {
   std::ostringstream os;
@@ -110,6 +137,33 @@ TEST(JsonParse, CompactReserializationIsStable) {
 TEST(JsonParse, WhitespaceIsTolerantOutsideStrings) {
   const JsonValue v = parse_json("  \t{ \"a\" : [ 1 , 2 ] }\r\n ");
   EXPECT_EQ(v.at("a").as_array()[1].as_int(), 2);
+}
+
+TEST(JsonParse, NumbersAreLocaleIndependent) {
+  // Regression: the parser used std::strtod, which honours LC_NUMERIC —
+  // under a comma-decimal locale it stopped at the '.' and silently
+  // truncated "0.5" to 0. std::from_chars is locale-independent by
+  // specification; this pins it under a hostile locale when the host has
+  // one installed.
+  CommaLocaleGuard locale;
+  if (!locale.installed()) {
+    GTEST_SKIP() << "no comma-decimal locale installed on this host; the "
+                    "from_chars fix is locale-independent by construction";
+  }
+  const JsonValue v = parse_json(R"({"a":0.5,"b":1.25e-3,"c":-7.75})");
+  EXPECT_EQ(v.at("a").as_double(), 0.5);
+  EXPECT_EQ(v.at("b").as_double(), 1.25e-3);
+  EXPECT_EQ(v.at("c").as_double(), -7.75);
+  // And the writer emits '.' regardless of the locale (to_chars).
+  EXPECT_EQ(reserialize(R"({"a":0.5})"), R"({"a":0.5})");
+}
+
+TEST(JsonParse, NumberRangeLimits) {
+  // Overflow is an error; underflow resolves to the nearest
+  // representable value (zero), matching the old strtod behaviour.
+  EXPECT_THROW((void)parse_json("1e999"), util::Error);
+  EXPECT_THROW((void)parse_json("-1e999"), util::Error);
+  EXPECT_EQ(parse_json("1e-999").as_double(), 0.0);
 }
 
 }  // namespace

@@ -152,7 +152,7 @@ TEST(ServiceProtocol, ServeAnswersEveryRequestOutOfOrderSafe) {
   session << "garbage line\n";
   std::istringstream in(session.str());
   std::ostringstream out;
-  service.serve(in, out);
+  EXPECT_TRUE(service.serve(in, out));
 
   std::set<std::int64_t> ids;
   int errors = 0;
@@ -169,6 +169,43 @@ TEST(ServiceProtocol, ServeAnswersEveryRequestOutOfOrderSafe) {
   }
   EXPECT_EQ(ids, (std::set<std::int64_t>{1, 2, 3, 4, 5, 6}));
   EXPECT_EQ(errors, 1);
+}
+
+TEST(ServiceProtocol, ServeProcessesFinalUnterminatedLine) {
+  // A client that omits the trailing '\n' on its last request (common
+  // when the writer is killed, or with `printf '%s'`) still gets a
+  // reply: EOF terminates the line.
+  PlanningService service({/*threads=*/1});
+  std::istringstream in(
+      R"({"op":"plan","id":7,"platform":"hera","scenario":3,"work":1e6})");
+  std::ostringstream out;
+  EXPECT_TRUE(service.serve(in, out));
+  const io::JsonValue v = io::parse_json(out.str());
+  EXPECT_EQ(v.at("id").as_int(), 7);
+  EXPECT_TRUE(v.at("ok").as_bool());
+}
+
+TEST(ServiceProtocol, ServeReturnsFalseAndStopsReadingOnDeadOutput) {
+  // When the reply stream dies (client closed the pipe; cmd_serve turns
+  // SIGPIPE into a stream failure), serve() must report the failure and
+  // stop consuming input instead of draining stdin forever while every
+  // reply is discarded.
+  PlanningService service({/*threads=*/1});
+  std::ostringstream session;
+  for (int id = 1; id <= 500; ++id) {
+    session << R"({"op":"stats","id":)" << id << "}\n";
+  }
+  std::istringstream in(session.str());
+  std::ostringstream out;
+  out.setstate(std::ios::badbit);  // every write fails, like a closed pipe
+  EXPECT_FALSE(service.serve(in, out));
+  // The reader bailed early: most of the session is still unread (the
+  // backpressure window bounds how far ahead it got).
+  std::string leftover;
+  int unread = 0;
+  in.clear();
+  while (std::getline(in, leftover)) ++unread;
+  EXPECT_GT(unread, 300);
 }
 
 // -- cache semantics -----------------------------------------------------
