@@ -17,13 +17,17 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "bench_common.hpp"
 
 #include "ayd/io/json.hpp"
 #include "ayd/rng/stream.hpp"
 #include "ayd/service/server.hpp"
+#include "ayd/service/shm_transport.hpp"
 #include "ayd/util/version.hpp"
 
 namespace {
@@ -238,6 +242,68 @@ int main(int argc, char** argv) {
             pram_mean, median_of(pram_ms));
         fs::remove_all(store_dir, ec);
 
+        // -- Shared-memory multi-client phase: the same warm answers
+        // served over `ayd serve --shm`'s segment. One client first
+        // pins byte-identity against the pipe path (handle_line) and
+        // measures warm-hit round-trip latency through the rings; then
+        // client fleets of growing size share the segment to chart how
+        // throughput scales with concurrent local clients.
+        service::PlanningService shm_service(options);
+        std::vector<std::string> pipe_replies;
+        pipe_replies.reserve(requests.size());
+        for (const std::string& req : requests) {
+          pipe_replies.push_back(shm_service.handle_line(req));  // warm up
+        }
+        const std::string shm_name = "bench" + std::to_string(::getpid());
+        service::ShmServer shm_server(shm_name, shm_service);
+
+        std::size_t shm_identical = 0;
+        std::vector<double> shm_us;
+        shm_us.reserve(requests.size());
+        {
+          service::ShmClient client(shm_name);
+          for (std::size_t i = 0; i < requests.size(); ++i) {
+            const auto t = std::chrono::steady_clock::now();
+            const std::string reply = client.call(requests[i]);
+            shm_us.push_back(seconds_since(t) * 1e6);
+            if (reply == pipe_replies[i]) ++shm_identical;
+          }
+        }
+        std::printf(
+            "SERVICE-BENCH shm-warm-hit: %9.1f us/req (median %.1f, "
+            "%zu/%zu replies byte-identical to the pipe transport)\n",
+            mean_of(shm_us), median_of(shm_us), shm_identical,
+            requests.size());
+
+        const int kFleets[] = {1, 2, 4, 8};
+        const int calls_per_client = 400;
+        std::vector<double> fleet_rps;
+        for (const int clients : kFleets) {
+          std::vector<std::thread> fleet;
+          fleet.reserve(static_cast<std::size_t>(clients));
+          const auto t = std::chrono::steady_clock::now();
+          for (int c = 0; c < clients; ++c) {
+            fleet.emplace_back([&, c] {
+              service::ShmClient client(shm_name);
+              for (int i = 0; i < calls_per_client; ++i) {
+                (void)client.call(
+                    requests[static_cast<std::size_t>(c + i) %
+                             requests.size()]);
+              }
+            });
+          }
+          for (auto& worker : fleet) worker.join();
+          const double rps =
+              static_cast<double>(clients * calls_per_client) /
+              seconds_since(t);
+          fleet_rps.push_back(rps);
+          std::printf(
+              "SERVICE-BENCH shm-clients-%d: %9.0f req/s "
+              "(%d clients x %d warm requests)\n",
+              clients, rps, clients, calls_per_client);
+        }
+        shm_server.stop();
+
         const std::string out_path = args.option("out");
         std::ofstream out(out_path);
         if (!out) {
@@ -276,6 +342,13 @@ int main(int argc, char** argv) {
         json.kv("disk_hits", pstats.disk_hits);
         json.kv("restart_replies_byte_identical",
                 static_cast<std::uint64_t>(restart_identical));
+        json.kv("shm_replies_byte_identical",
+                static_cast<std::uint64_t>(shm_identical));
+        json.kv("shm_warm_hit_us_mean", mean_of(shm_us));
+        json.kv("shm_warm_hit_us_median", median_of(shm_us));
+        for (std::size_t f = 0; f < fleet_rps.size(); ++f) {
+          json.kv("shm_rps_" + std::to_string(kFleets[f]), fleet_rps[f]);
+        }
         json.end_object();
         out << "\n";
         std::printf("(JSON record written to %s)\n", out_path.c_str());

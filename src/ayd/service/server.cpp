@@ -80,6 +80,13 @@ std::string PlanningService::handle_line(const std::string& line) {
   }
 }
 
+void PlanningService::handle_async(std::string line,
+                                   std::function<void(std::string)> done) {
+  pool_.submit([this, line = std::move(line), done = std::move(done)] {
+    done(handle_line(line));
+  });
+}
+
 bool PlanningService::serve(std::istream& in, std::ostream& out) {
   // One outstanding-request counter instead of a future per request: a
   // long-lived session may stream millions of lines, and accumulating

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -64,6 +65,18 @@ class PlanningService {
   /// returns the reply (no trailing newline). Never throws: every
   /// failure becomes an error-envelope reply.
   [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// Handles one request line on the worker pool and invokes `done`
+  /// with the reply from the worker thread. Used by transports that do
+  /// their own reply routing (shm_transport.hpp); callers are
+  /// responsible for their own backpressure (the pool queue is
+  /// unbounded). Like handle_line, the reply is always produced — every
+  /// failure becomes an error envelope.
+  void handle_async(std::string line, std::function<void(std::string)> done);
+
+  /// Worker threads of the owned pool (transports size their in-flight
+  /// windows from this).
+  [[nodiscard]] std::size_t workers() const { return pool_.size(); }
 
   /// The NDJSON loop: reads one request per line from `in` until EOF,
   /// fans the requests out over the worker pool, and writes each reply

@@ -1,0 +1,68 @@
+// `ayd call` — the scripted client of a shared-memory `ayd serve --shm`
+// session: one NDJSON request per stdin line, one NDJSON reply per
+// stdout line, round trips through the segment's lock-free rings
+// instead of a pipe. Because call() is a blocking round trip, replies
+// come back in request order — handy for diffing against a pipe
+// session. The transport lives in src/ayd/service/shm_transport.hpp.
+
+#include "ayd/tool/commands.hpp"
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <ostream>
+#include <thread>
+
+#include "ayd/service/shm_transport.hpp"
+#include "ayd/util/error.hpp"
+#include "ayd/util/strings.hpp"
+
+namespace ayd::tool {
+
+int cmd_call(const std::vector<std::string>& args, std::ostream& out) {
+  cli::ArgParser parser(
+      "ayd call",
+      "client of a shared-memory planning-service segment: reads one "
+      "JSON request per stdin line, attaches to the segment published "
+      "by `ayd serve --shm NAME`, and writes each reply to stdout in "
+      "request order — see docs/service.md");
+  parser.add_option("shm", "", "segment name to attach to (required)");
+  parser.add_option("timeout-ms", "60000",
+                    "per-request reply timeout in milliseconds");
+  parser.add_option("wait-ms", "0",
+                    "keep retrying the attach for this long when the "
+                    "segment does not exist yet (races a just-started "
+                    "server)");
+  if (parse_or_help(parser, args, out)) return 0;
+
+  const std::string name = parser.option("shm");
+  if (name.empty()) {
+    throw util::CliError("ayd call: --shm NAME is required");
+  }
+  const auto timeout_ms = parser.option_uint("timeout-ms");
+  const auto wait_ms = parser.option_uint("wait-ms");
+
+  // Attach, optionally waiting out the window where the server was
+  // launched but has not published the segment yet.
+  std::unique_ptr<service::ShmClient> client;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(wait_ms);
+  for (;;) {
+    try {
+      client = std::make_unique<service::ShmClient>(name);
+      break;
+    } catch (const service::ShmError&) {
+      if (std::chrono::steady_clock::now() >= deadline) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (util::trim(line).empty()) continue;
+    out << client->call(line, timeout_ms) << '\n' << std::flush;
+  }
+  return 0;
+}
+
+}  // namespace ayd::tool

@@ -10,9 +10,11 @@
 
 #include <csignal>
 #include <iostream>
+#include <memory>
 #include <ostream>
 
 #include "ayd/service/server.hpp"
+#include "ayd/service/shm_transport.hpp"
 #include "ayd/util/error.hpp"
 
 namespace ayd::tool {
@@ -36,6 +38,13 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
                     "directory of the persistent answer store (tier 2): "
                     "answers survive restarts and pre-warm the memo cache; "
                     "empty disables the disk tier");
+  parser.add_option("shm", "",
+                    "also serve a named shared-memory segment (clients: "
+                    "`ayd call --shm NAME`); the pipe and the segment share "
+                    "one cache and worker pool — see docs/service.md");
+  parser.add_option("shm-slots", "64",
+                    "request-ring slots of the --shm segment (rounded up "
+                    "to a power of two)");
   if (parse_or_help(parser, args, out)) return 0;
 
   service::ServiceOptions options;
@@ -54,6 +63,25 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
 #endif
 
   service::PlanningService service(options);
+
+  // The shm transport serves ALONGSIDE the stdin/stdout pipe (same
+  // PlanningService, so both transports hit one memo cache); stdin EOF
+  // remains the shutdown signal, and the ShmServer destructor drains and
+  // unlinks the segment on the way out.
+  std::unique_ptr<service::ShmServer> shm;
+  const std::string shm_name = parser.option("shm");
+  if (!shm_name.empty()) {
+    service::ShmOptions shm_options;
+    shm_options.request_slots =
+        static_cast<std::size_t>(parser.option_uint("shm-slots"));
+    shm = std::make_unique<service::ShmServer>(shm_name, service,
+                                               shm_options);
+    // stdout is the pipe's reply channel; operator notices go to stderr.
+    std::cerr << "ayd serve: shared-memory transport at "
+              << service::ShmServer::segment_path(shm_name)
+              << " (EOF on stdin shuts down both transports)\n";
+  }
+
   if (!service.serve(std::cin, out)) {
     // Reporting on `out` is pointless — it is the stream that died.
     throw util::IoError(

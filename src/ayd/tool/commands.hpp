@@ -38,6 +38,7 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out);
 int cmd_plan(const std::vector<std::string>& args, std::ostream& out);
 int cmd_protocols(const std::vector<std::string>& args, std::ostream& out);
 int cmd_serve(const std::vector<std::string>& args, std::ostream& out);
+int cmd_call(const std::vector<std::string>& args, std::ostream& out);
 int cmd_cache(const std::vector<std::string>& args, std::ostream& out);
 
 // -- Shared system-description options ---------------------------------

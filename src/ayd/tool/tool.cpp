@@ -31,6 +31,10 @@ const std::vector<Command>& commands() {
        "long-lived NDJSON planning service with a sharded memo cache "
        "(stdin/stdout; see docs/service.md)",
        &cmd_serve},
+      {"call",
+       "client of a shared-memory `ayd serve --shm` segment: NDJSON "
+       "requests on stdin, replies on stdout",
+       &cmd_call},
       {"cache",
        "inspect, export or import the persistent answer store "
        "(--cache-dir)",

@@ -16,9 +16,12 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "ayd/io/json.hpp"
 #include "ayd/io/json_parse.hpp"
 #include "ayd/service/protocol.hpp"
+#include "ayd/service/shm_transport.hpp"
 #include "ayd/tool/tool.hpp"
 
 namespace ayd::service {
@@ -206,6 +209,74 @@ TEST(ServiceProtocol, ServeReturnsFalseAndStopsReadingOnDeadOutput) {
   in.clear();
   while (std::getline(in, leftover)) ++unread;
   EXPECT_GT(unread, 300);
+}
+
+// -- malformed / truncated frames, via both transports -------------------
+
+// The frame battery: every entry is one broken request line — cut off
+// mid-token, structurally invalid, or semantically wrong — paired with
+// the error code its envelope must carry. Shared by the pipe and shm
+// transport robustness tests below so the two byte channels are held to
+// the same contract.
+const std::vector<std::pair<const char*, const char*>>& broken_frames() {
+  static const std::vector<std::pair<const char*, const char*>> kFrames = {
+      {R"({"op":"plan","id":1,"pla)", "parse_error"},      // truncated mid-key
+      {R"({"op":"plan","id":1,"work":1e)", "parse_error"},  // truncated number
+      {R"({"op":"plan","id":1)", "parse_error"},            // missing brace
+      {"\x01\x02binary\xff", "parse_error"},                // not JSON at all
+      {R"("just a string")", "parse_error"},                // non-object
+      {R"({})", "bad_request"},                             // no op at all
+      {R"({"op":"plan","id":9,"work":{"nested":1}})",
+       "bad_request"},                                      // non-scalar param
+  };
+  return kFrames;
+}
+
+TEST(ServiceProtocol, BrokenFramesOverPipeYieldEnvelopesAndNeverWedge) {
+  PlanningService service({/*threads=*/2});
+  std::ostringstream session;
+  for (const auto& [frame, code] : broken_frames()) {
+    session << frame << "\n";
+  }
+  // A valid request after the battery proves the session survived.
+  session << R"({"op":"stats","id":"alive"})" << "\n";
+  std::istringstream in(session.str());
+  std::ostringstream out;
+  EXPECT_TRUE(service.serve(in, out));
+
+  int envelopes = 0;
+  bool alive_answered = false;
+  std::istringstream replies(out.str());
+  std::string line;
+  while (std::getline(replies, line)) {
+    const io::JsonValue v = io::parse_json(line);  // replies stay valid JSON
+    if (!v.at("ok").as_bool()) {
+      ++envelopes;
+      EXPECT_FALSE(v.at("error").at("message").as_string().empty());
+    } else if (v.at("id").as_string() == "alive") {
+      alive_answered = true;
+    }
+  }
+  EXPECT_EQ(envelopes, static_cast<int>(broken_frames().size()));
+  EXPECT_TRUE(alive_answered);
+}
+
+TEST(ServiceProtocol, BrokenFramesOverShmYieldTheSameEnvelopesAsThePipe) {
+  PlanningService service({/*threads=*/2});
+  ShmServer server("proto" + std::to_string(::getpid()), service);
+  ShmClient client(server.name());
+  for (const auto& [frame, code] : broken_frames()) {
+    // The documented envelope, byte-identical to the pipe transport's
+    // reply for the same broken frame, with the declared code.
+    const std::string reply = client.call(frame);
+    EXPECT_EQ(reply, service.handle_line(frame)) << frame;
+    const io::JsonValue v = io::parse_json(reply);
+    EXPECT_FALSE(v.at("ok").as_bool()) << frame;
+    EXPECT_EQ(v.at("error").at("code").as_string(), code) << frame;
+    // The session never wedges: a valid round trip follows every freak.
+    EXPECT_NE(client.call(R"({"op":"stats","id":1})").find("\"ok\":true"),
+              std::string::npos);
+  }
 }
 
 // -- cache semantics -----------------------------------------------------

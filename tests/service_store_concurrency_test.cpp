@@ -1,0 +1,162 @@
+// Threads racing the MemoCache's disk tier against one AnswerStore:
+// concurrent get_or_compute over a mix of pre-persisted keys (disk hits
+// that promote into the LRU) and cold keys (computed once, written
+// behind), all funnelled through the store's single mutex. Pins that
+//  * every caller sees the correct value regardless of which thread
+//    promoted/computed/persisted it first;
+//  * disk hits are counted as disk_hits (not misses) and cold keys are
+//    computed exactly once per key (single-flight across threads);
+//  * the write-behind records survive into a fresh cache+store pair.
+
+#include "ayd/service/memo_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ayd/service/canonical.hpp"
+#include "ayd/service/store.hpp"
+
+namespace ayd::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ayd_store_conc_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string store_path() const {
+    return (dir_ / AnswerStore::kFileName).string();
+  }
+
+  static CanonicalKey key_of(int i) {
+    return CanonicalKeyBuilder("race")
+        .field("i", static_cast<std::uint64_t>(i))
+        .finish();
+  }
+
+  static std::string value_of(int i) {
+    return "{\"answer\":" + std::to_string(i * 7) + "}";
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(StoreConcurrencyTest, ThreadsRacingGetPromotePersistStayCoherent) {
+  constexpr int kKeys = 32;
+  constexpr int kPersisted = 16;  // keys 0..15 are on disk before the race
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 400;
+
+  {
+    AnswerStore seed(store_path());
+    for (int i = 0; i < kPersisted; ++i) {
+      const CanonicalKey k = key_of(i);
+      seed.put(k.text, k.hash, value_of(i));
+    }
+  }
+
+  AnswerStore store(store_path());
+  ASSERT_EQ(store.entries(), static_cast<std::size_t>(kPersisted));
+  // Capacity far above kKeys even under shard skew: the exact-count
+  // assertions below need zero evictions (an evicted key re-promotes
+  // from disk and would inflate disk_hits).
+  MemoCache cache(/*max_entries=*/kKeys * 8, /*shards=*/4, &store);
+
+  std::atomic<int> computes{0};
+  std::atomic<int> wrong_values{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int it = 0; it < kIterations; ++it) {
+        // Interleave persisted and cold keys differently per thread so
+        // promotions and computations overlap.
+        const int i = (t * 13 + it) % kKeys;
+        const MemoCache::Lookup lookup =
+            cache.get_or_compute(key_of(i), [&, i] {
+              computes.fetch_add(1);
+              return value_of(i);
+            });
+        if (*lookup.value != value_of(i)) wrong_values.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(wrong_values.load(), 0);
+  // Persisted keys are served by promotion, never recomputed; each cold
+  // key computes exactly once (single-flight) no matter how many
+  // threads raced it.
+  EXPECT_EQ(computes.load(), kKeys - kPersisted);
+
+  const CacheStats stats = cache.stats();
+  ASSERT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.disk_hits, static_cast<std::uint64_t>(kPersisted));
+  EXPECT_EQ(stats.misses, static_cast<std::uint64_t>(kKeys - kPersisted));
+  // Every one of the kThreads * kIterations lookups is accounted for.
+  EXPECT_EQ(stats.hits + stats.misses + stats.disk_hits + stats.coalesced,
+            static_cast<std::uint64_t>(kThreads * kIterations));
+
+  // Write-behind persisted every cold key: a fresh store serves all 32
+  // keys from disk alone.
+  AnswerStore reopened(store_path());
+  EXPECT_EQ(reopened.entries(), static_cast<std::size_t>(kKeys));
+  MemoCache cold_cache(kKeys * 2, 4, &reopened);
+  for (int i = 0; i < kKeys; ++i) {
+    const MemoCache::Lookup lookup = cold_cache.get_or_compute(
+        key_of(i), [] { return std::string("MUST-NOT-COMPUTE"); });
+    EXPECT_EQ(*lookup.value, value_of(i)) << "key " << i;
+  }
+  EXPECT_EQ(cold_cache.stats().disk_hits,
+            static_cast<std::uint64_t>(kKeys));
+}
+
+TEST_F(StoreConcurrencyTest, EvictionPressureWithDiskTierKeepsAnswers) {
+  constexpr int kKeys = 48;
+  constexpr int kThreads = 6;
+
+  AnswerStore store(store_path());
+  // A tiny cache forces constant eviction, so threads repeatedly re-load
+  // keys through the disk tier while others persist new ones.
+  MemoCache cache(/*max_entries=*/8, /*shards=*/2, &store);
+
+  std::atomic<int> wrong_values{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int it = 0; it < 300; ++it) {
+        const int i = (t * 7 + it) % kKeys;
+        const MemoCache::Lookup lookup =
+            cache.get_or_compute(key_of(i), [i] { return value_of(i); });
+        if (*lookup.value != value_of(i)) wrong_values.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(wrong_values.load(), 0);
+  EXPECT_GT(cache.stats().evictions, 0u) << "the test must exert pressure";
+  // Evicted-and-refetched keys come back from disk; once on disk, a key
+  // never recomputes, so the store holds exactly one record per key.
+  EXPECT_EQ(store.entries(), static_cast<std::size_t>(kKeys));
+  EXPECT_GT(cache.stats().disk_hits, 0u);
+}
+
+}  // namespace
+}  // namespace ayd::service

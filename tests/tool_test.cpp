@@ -66,7 +66,7 @@ TEST(ToolDispatch, UnknownCommandFailsWithMessage) {
 
 TEST(ToolDispatch, EveryCommandHasWorkingHelp) {
   for (const std::string cmd : {"platforms", "optimize", "simulate", "sweep",
-                                "plan", "protocols", "serve"}) {
+                                "plan", "protocols", "serve", "call"}) {
     const ToolRun r = run({cmd, "--help"});
     EXPECT_EQ(r.code, 0) << cmd;
     EXPECT_TRUE(contains(r.out, "--help")) << cmd;
