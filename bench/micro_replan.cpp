@@ -1,0 +1,191 @@
+// Microbenchmark of the online re-planning loop (service/replan.hpp):
+// sustained telemetry ingestion rate on a stationary stream (the steady
+// state where refits run but drift never fires), re-plan publish latency
+// on a regime-switch stream, and the cold vs warm-started period search
+// the loop leans on. Emits BENCH_replan.json so the loop's perf
+// trajectory is tracked across commits; CI greps the "REPLAN-BENCH"
+// summary lines.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "bench_common.hpp"
+
+#include "ayd/core/sim_optimizer.hpp"
+#include "ayd/io/json.hpp"
+#include "ayd/model/platform.hpp"
+#include "ayd/model/scenario.hpp"
+#include "ayd/rng/stream.hpp"
+#include "ayd/service/replan.hpp"
+#include "ayd/util/version.hpp"
+
+namespace {
+
+using namespace ayd;
+using bench::seconds_since;
+
+std::vector<double> draw_gaps(const model::FailureDistSpec& spec,
+                              double rate, std::size_t n,
+                              std::uint64_t seed, std::uint64_t stream) {
+  const auto dist = spec.instantiate(rate);
+  rng::RngStream rng(seed, stream);
+  std::vector<double> gaps;
+  gaps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) gaps.push_back(dist->sample(rng));
+  return gaps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::run_experiment_main(
+      argc, argv, "Micro — online re-planning loop",
+      "telemetry ingestion rate, re-plan publish latency, and cold vs "
+      "warm-started period search; JSON written for the perf trajectory",
+      [](cli::ArgParser& p) {
+        p.add_option("out", "BENCH_replan.json",
+                     "output path for the JSON record");
+        p.add_option("events", "20000",
+                     "stationary telemetry events in the ingestion phase");
+        p.add_option("searches", "12",
+                     "repeats of the cold/warm period-search phase");
+      },
+      [](const cli::ArgParser& args, const cli::ExperimentContext& ctx) {
+        const std::size_t events = args.option_uint("events");
+        const std::size_t searches =
+            std::max<std::size_t>(2, args.option_uint("searches"));
+        const double rate = 1.0 / 3600.0;
+
+        const model::System base =
+            model::System::from_platform(model::hera(),
+                                         model::Scenario::kS3)
+                .with_failure_dist(model::FailureDistSpec::weibull(0.7))
+                .with_lambda(rate);
+
+        service::ReplanOptions opts;
+        opts.procs = 1.0;
+        opts.search.replication.patterns_per_replica =
+            std::max<std::size_t>(ctx.patterns / 4, 16);
+        opts.search.replication.seed = ctx.seed;
+        opts.search.adaptive.min_replicas = 8;
+        opts.search.adaptive.max_replicas = 64;
+        opts.search.adaptive.ci_rel_tol = 0.2;
+
+        auto pool = ctx.make_pool();
+
+        // -- Ingestion phase: stationary stream, drift never fires. The
+        // cost is the rolling window + the scheduled refits — the price
+        // of *watching* telemetry, paid on every event of a live feed.
+        {
+          const std::vector<double> gaps = draw_gaps(
+              model::FailureDistSpec::weibull(0.7), rate, events,
+              ctx.seed, 1);
+          service::Replanner replanner(base, opts, pool.get());
+          (void)replanner.initial_record();
+          const auto t0 = std::chrono::steady_clock::now();
+          std::size_t replans = 0;
+          for (const double g : gaps) {
+            if (replanner.on_gap(g)) ++replans;
+          }
+          const double secs = seconds_since(t0);
+          const double rate_eps = static_cast<double>(events) / secs;
+          std::printf(
+              "REPLAN-BENCH ingest   : %10.0f events/s (%zu events, "
+              "%zu replans)\n",
+              rate_eps, events, replans);
+
+          // -- Re-plan latency: a shape switch forces real re-plans; the
+          // interesting number is how long one on_gap() that publishes a
+          // schedule takes (refit + warm-started search + record).
+          const std::vector<double> after = draw_gaps(
+              model::FailureDistSpec::weibull(1.4), rate, 3000, ctx.seed,
+              2);
+          std::vector<double> replan_ms;
+          for (const double g : after) {
+            const auto t = std::chrono::steady_clock::now();
+            const bool published = replanner.on_gap(g).has_value();
+            const double ms = seconds_since(t) * 1e3;
+            if (published) replan_ms.push_back(ms);
+          }
+          double replan_mean = 0.0;
+          for (const double ms : replan_ms) replan_mean += ms;
+          replan_mean /= std::max<std::size_t>(1, replan_ms.size());
+          std::printf(
+              "REPLAN-BENCH publish  : %10.3f ms/replan (%zu replans "
+              "over the regime switch)\n",
+              replan_mean, replan_ms.size());
+
+          // -- Cold vs warm search, measured head to head on the system
+          // the loop deploys after the switch.
+          const model::System shifted =
+              base.with_failure_dist(model::FailureDistSpec::weibull(1.4));
+          core::SimSearchOptions cold = opts.search;
+          const core::SimPeriodOptimum anchor =
+              core::sim_optimal_period(shifted, opts.procs, cold,
+                                       pool.get());
+          core::SimSearchOptions warm = opts.search;
+          warm.warm_start = anchor.period;
+
+          std::vector<double> cold_ms, warm_ms;
+          int cold_evals = 0;
+          int warm_evals = 0;
+          for (std::size_t i = 0; i < searches; ++i) {
+            // Vary the seed so repeats are honest work, not cache luck.
+            cold.replication.seed = ctx.seed + i + 1;
+            warm.replication.seed = ctx.seed + i + 1;
+            auto t = std::chrono::steady_clock::now();
+            const auto c =
+                core::sim_optimal_period(shifted, opts.procs, cold,
+                                         pool.get());
+            cold_ms.push_back(seconds_since(t) * 1e3);
+            cold_evals += c.evaluations;
+            t = std::chrono::steady_clock::now();
+            const auto w =
+                core::sim_optimal_period(shifted, opts.procs, warm,
+                                         pool.get());
+            warm_ms.push_back(seconds_since(t) * 1e3);
+            warm_evals += w.evaluations;
+          }
+          double cold_mean = 0.0, warm_mean = 0.0;
+          for (const double ms : cold_ms) cold_mean += ms;
+          for (const double ms : warm_ms) warm_mean += ms;
+          cold_mean /= static_cast<double>(cold_ms.size());
+          warm_mean /= static_cast<double>(warm_ms.size());
+          const double speedup =
+              warm_mean > 0.0 ? cold_mean / warm_mean : 0.0;
+          std::printf(
+              "REPLAN-BENCH search   : cold %8.3f ms (%d evals)  warm "
+              "%8.3f ms (%d evals)  %.2fx\n",
+              cold_mean, cold_evals, warm_mean, warm_evals, speedup);
+
+          const std::string out_path = args.option("out");
+          std::ofstream out(out_path);
+          if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         out_path.c_str());
+            return;
+          }
+          io::JsonWriter json(out, /*pretty=*/true);
+          json.begin_object();
+          json.kv("benchmark", "replan_loop");
+          json.kv("version", util::version_string());
+          json.kv("seed", static_cast<std::uint64_t>(ctx.seed));
+          json.kv("events", static_cast<std::uint64_t>(events));
+          json.kv("ingest_events_per_s", rate_eps);
+          json.kv("replans_over_switch",
+                  static_cast<std::uint64_t>(replan_ms.size()));
+          json.kv("replan_publish_ms_mean", replan_mean);
+          json.kv("searches", static_cast<std::uint64_t>(searches));
+          json.kv("cold_search_ms_mean", cold_mean);
+          json.kv("warm_search_ms_mean", warm_mean);
+          json.kv("warm_search_speedup", speedup);
+          json.kv("cold_evaluations", static_cast<std::int64_t>(cold_evals));
+          json.kv("warm_evaluations", static_cast<std::int64_t>(warm_evals));
+          json.end_object();
+          out << "\n";
+          std::printf("(JSON record written to %s)\n", out_path.c_str());
+        }
+      });
+}

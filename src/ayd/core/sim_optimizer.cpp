@@ -108,6 +108,8 @@ SimPeriodOptimum sim_optimal_period(const model::System& sys, double procs,
   AYD_REQUIRE(opt.min_period > 0.0 && opt.min_period < opt.max_period,
               "invalid period search domain");
   AYD_REQUIRE(opt.bracket_span > 1.0, "bracket_span must be > 1");
+  AYD_REQUIRE(opt.warm_start <= 0.0 || opt.warm_bracket_span > 1.0,
+              "warm_bracket_span must be > 1");
   AYD_REQUIRE(opt.coarse_points >= 3, "need at least 3 coarse candidates");
   AYD_REQUIRE(opt.x_tol > 0.0, "x_tol must be > 0");
 
@@ -135,11 +137,16 @@ SimPeriodOptimum sim_optimal_period(const model::System& sys, double procs,
 
   const double dom_lo = std::log(opt.min_period);
   const double dom_hi = std::log(opt.max_period);
-  const double span = std::log(opt.bracket_span);
-  const double seed_x =
-      std::clamp(std::log(seed.period), dom_lo, dom_hi);
-  double lo = std::max(dom_lo, seed_x - span);
-  double hi = std::min(dom_hi, seed_x + span);
+  // Warm starts (the online re-planner passing the previously deployed
+  // optimum) center a tighter bracket on the hint; the edge expansion
+  // below walks out of it when the hint has gone stale.
+  const bool warm = opt.warm_start > 0.0;
+  const double span =
+      std::log(warm ? opt.warm_bracket_span : opt.bracket_span);
+  const double center = warm ? opt.warm_start : seed.period;
+  const double center_x = std::clamp(std::log(center), dom_lo, dom_hi);
+  double lo = std::max(dom_lo, center_x - span);
+  double hi = std::min(dom_hi, center_x + span);
 
   // Coarse scan: log-spaced candidates across the bracket, extended
   // outward (same spacing) while the best sits on a bracket edge that is

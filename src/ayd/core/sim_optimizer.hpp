@@ -45,6 +45,18 @@ struct SimSearchOptions {
   /// Initial bracket half-span around the exponential seed T0:
   /// [T0/bracket_span, T0·bracket_span], clamped to the domain.
   double bracket_span = 16.0;
+  /// When > 0, warm-start the search: center the initial bracket on this
+  /// period (typically the previously deployed optimum — the online
+  /// re-planner's case, where successive optima are close) with the
+  /// tighter warm_bracket_span instead of the exponential seed with
+  /// bracket_span. `seed_period` still reports the exponential seed, and
+  /// the coarse scan's edge expansion recovers when the warm start is
+  /// stale, so a bad hint costs evaluations but never the optimum.
+  /// Ignored on the closed-form (memoryless) path.
+  double warm_start = 0.0;
+  /// Bracket half-span around warm_start (> 1; only read when
+  /// warm_start > 0).
+  double warm_bracket_span = 4.0;
   /// Coarse log-spaced candidates scanned across the bracket before the
   /// golden-section refinement (>= 3; odd counts include the seed).
   int coarse_points = 7;

@@ -9,6 +9,7 @@
 
 #include "ayd/io/json.hpp"
 #include "ayd/rng/simd.hpp"
+#include "ayd/stats/online_fit.hpp"
 #include "ayd/util/contracts.hpp"
 #include "ayd/util/error.hpp"
 #include "ayd/util/strings.hpp"
@@ -500,6 +501,36 @@ void FailureDistSpec::write_json(io::JsonWriter& w) const {
 bool operator==(const FailureDistSpec& a, const FailureDistSpec& b) {
   return a.kind_ == b.kind_ && a.shape_ == b.shape_ &&
          a.trace_gaps() == b.trace_gaps() && a.source_ == b.source_;
+}
+
+FittedFailureDist failure_dist_from_fit(const stats::MleFit& fit) {
+  FittedFailureDist out;
+  out.rate = fit.rate;
+  out.log_likelihood = fit.log_likelihood;
+  out.count = fit.count;
+  if (!fit.valid || !(fit.rate > 0.0)) return out;
+  switch (fit.family) {
+    case stats::FitFamily::kExponential:
+      out.spec = FailureDistSpec::exponential();
+      break;
+    case stats::FitFamily::kWeibull:
+      // The fitters clamp shape to [0.05, 20], well inside the spec's
+      // [0.01, 100] domain; instantiate(rate) rebuilds the Weibull scale
+      // as 1/(rate * Gamma(1 + 1/k)) == the fitted lambda.
+      out.spec = FailureDistSpec::weibull(fit.shape);
+      break;
+    case stats::FitFamily::kLogNormal:
+      // instantiate(rate) rebuilds mu = -ln(rate) - sigma^2/2 == the
+      // fitted mu (rate = exp(-(mu + sigma^2/2)) by construction).
+      out.spec = FailureDistSpec::lognormal(fit.shape);
+      break;
+  }
+  out.valid = true;
+  return out;
+}
+
+FittedFailureDist fit_failure_dist(std::span<const double> gaps) {
+  return failure_dist_from_fit(stats::fit_best_mle(gaps));
 }
 
 }  // namespace ayd::model

@@ -24,7 +24,9 @@
 
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,6 +34,10 @@
 
 namespace ayd::io {
 class JsonWriter;
+}
+
+namespace ayd::stats {
+struct MleFit;
 }
 
 namespace ayd::model {
@@ -204,5 +210,38 @@ class FailureDistSpec {
   std::shared_ptr<const std::vector<double>> sorted_gaps_;
   std::string source_;
 };
+
+// --- telemetry fitting ---------------------------------------------------
+//
+// The model-vocabulary half of the online estimator (stats/online_fit):
+// an MleFit carries family + parameters + implied arrival rate, and these
+// entry points translate that into a spec + rate pair such that
+// `fitted.spec.instantiate(fitted.rate)` reproduces exactly the fitted
+// density. The fitted rate is the *total* rate of the observed arrival
+// process; callers deploying it onto a System divide by the processor
+// count first (FailureModel's lambda_ind is per processor).
+
+/// A distribution estimate expressed in model vocabulary.
+struct FittedFailureDist {
+  FailureDistSpec spec;
+  /// Total arrival rate of the observed process (1 / fitted mean gap).
+  double rate = 0.0;
+  /// Maximized log-likelihood over the fitted sample.
+  double log_likelihood = 0.0;
+  /// Sample size the fit used.
+  std::size_t count = 0;
+  /// False when the sample was too small or degenerate to fit.
+  bool valid = false;
+};
+
+/// Translates a stats-layer fit into a spec + rate pair (see above).
+[[nodiscard]] FittedFailureDist failure_dist_from_fit(
+    const stats::MleFit& fit);
+
+/// Fits exponential/Weibull/lognormal MLEs to observed inter-arrival gaps
+/// (seconds; non-positive and non-finite entries are ignored), selects by
+/// AIC, and returns the estimate in model vocabulary. Deterministic.
+[[nodiscard]] FittedFailureDist fit_failure_dist(
+    std::span<const double> gaps);
 
 }  // namespace ayd::model

@@ -2,11 +2,14 @@
 // envelopes.
 //
 // One JSON object per line in, one JSON object per line out. A request is
-//   {"op": "optimize" | "simulate" | "plan" | "stats", "id": <any scalar>,
-//    <parameter>: <value>, ...}
+//   {"op": "optimize" | "simulate" | "plan" | "stats" | "subscribe",
+//    "id": <any scalar>, <parameter>: <value>, ...}
 // where every member other than "op" and "id" is an operation parameter
 // named exactly like the corresponding `ayd <op>` CLI option (hyphens or
-// underscores — "ci_rel_tol" and "ci-rel-tol" both work). Replies echo
+// underscores — "ci_rel_tol" and "ci-rel-tol" both work). The one
+// exception is "subscribe", whose telemetry payload ("events": an array
+// of gap seconds, or "telemetry": failure-log CSV text) is intentionally
+// non-scalar and is split off before the argv bridge runs. Replies echo
 // the request id:
 //   {"id": <id>, "ok": true,  "op": <op>, "result": {...}}
 //   {"id": <id>, "ok": false, "error": {"code": "...", "message": "..."}}

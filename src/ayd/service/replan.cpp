@@ -1,0 +1,156 @@
+#include "ayd/service/replan.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "ayd/io/json.hpp"
+#include "ayd/model/failure_dist.hpp"
+#include "ayd/util/contracts.hpp"
+
+namespace ayd::service {
+namespace {
+
+void write_fit(io::JsonWriter& w, const stats::MleFit& fit) {
+  w.begin_object();
+  w.kv("family", stats::fit_family_name(fit.family));
+  w.kv("shape", fit.shape);
+  w.kv("scale", fit.scale);
+  w.kv("rate", fit.rate);
+  w.kv("log_likelihood", fit.log_likelihood);
+  w.kv("window", static_cast<std::uint64_t>(fit.count));
+  w.end_object();
+}
+
+void write_optimum(io::JsonWriter& w, const core::SimPeriodOptimum& opt) {
+  w.kv("period", opt.period);
+  w.kv("seed_period", opt.seed_period);
+  w.kv("overhead_mean", opt.overhead.mean);
+  w.key("overhead_ci");
+  w.begin_array();
+  w.value(opt.overhead.ci.lo);
+  w.value(opt.overhead.ci.hi);
+  w.end_array();
+  w.kv("used_closed_form", opt.used_closed_form);
+  w.kv("converged", opt.converged);
+  w.kv("evaluations", static_cast<std::int64_t>(opt.evaluations));
+  w.kv("replicas", static_cast<std::uint64_t>(opt.total_replicas));
+}
+
+}  // namespace
+
+Replanner::Replanner(model::System base, ReplanOptions options,
+                     exec::ThreadPool* pool)
+    : base_(base),
+      deployed_(base),
+      options_(std::move(options)),
+      pool_(pool),
+      fit_(options_.fit) {
+  AYD_REQUIRE(std::isfinite(options_.procs) && options_.procs >= 1.0,
+              "replan: procs must be finite and >= 1");
+}
+
+core::SimPeriodOptimum Replanner::optimize(const model::System& sys,
+                                           double warm_start) {
+  core::SimSearchOptions search = options_.search;
+  search.warm_start = warm_start;
+  return core::sim_optimal_period(sys, options_.procs, search, pool_);
+}
+
+std::string Replanner::initial_record() {
+  AYD_REQUIRE(!planned_, "replan: initial_record() must run exactly once");
+  planned_ = true;
+
+  const auto optimum = optimize(base_, /*warm_start=*/0.0);
+  deployed_period_ = optimum.period;
+
+  // The GLR null: the deployed inter-arrival density at the total
+  // platform rate. Instantiations are immutable and shareable, so the
+  // lambda holds the distribution alive by value. Trace-replay and
+  // error-free deployments have no density (pdf == 0 everywhere -> the
+  // log floor), so the first stable fit reads as an improvement and
+  // re-plans immediately — the desired cold-telemetry behaviour.
+  std::shared_ptr<const model::FailureDistribution> dist =
+      base_.failure().dist().instantiate(
+          base_.failure().total_rate(options_.procs));
+  fit_.set_baseline([dist](double x) {
+    const double p = dist->pdf(x);
+    return p > 0.0 ? std::log(p) : stats::kLogDensityFloor;
+  });
+
+  std::ostringstream os;
+  io::JsonWriter w(os);
+  w.begin_object();
+  w.kv("type", "plan");
+  w.kv("event", std::uint64_t{0});
+  w.kv("procs", options_.procs);
+  w.kv("dist", base_.failure().dist().to_string());
+  w.kv("lambda_ind", base_.failure().lambda_ind());
+  write_optimum(w, optimum);
+  w.end_object();
+  return os.str();
+}
+
+std::optional<std::string> Replanner::on_gap(double gap) {
+  AYD_REQUIRE(planned_, "replan: initial_record() must run before on_gap()");
+  ++events_;
+  const auto decision = fit_.add(gap);
+  if (!decision.drift) return std::nullopt;
+
+  const auto fitted = model::failure_dist_from_fit(decision.fit);
+  if (!fitted.valid) return std::nullopt;
+
+  // Telemetry is the total error process at the deployed allocation;
+  // FailureModel wants the per-processor rate. The fail-stop fraction is
+  // configuration, not something gaps can identify, so it carries over.
+  const model::System next =
+      base_.with_failure_dist(fitted.spec)
+          .with_lambda(fitted.rate / options_.procs);
+
+  const double old_period = deployed_period_;
+  const auto optimum = optimize(next, /*warm_start=*/old_period);
+  deployed_ = next;
+  deployed_period_ = optimum.period;
+  ++replans_;
+  fit_.rebase();
+
+  std::ostringstream os;
+  io::JsonWriter w(os);
+  w.begin_object();
+  w.kv("type", "replan");
+  w.kv("event", static_cast<std::uint64_t>(events_));
+  w.kv("replan", static_cast<std::uint64_t>(replans_));
+  w.kv("old_period", old_period);
+  w.kv("new_period", optimum.period);
+  w.kv("warm_start", old_period);
+  w.kv("dist", fitted.spec.to_string());
+  w.kv("lambda_ind", fitted.rate / options_.procs);
+  w.key("fit");
+  write_fit(w, decision.fit);
+  w.key("trigger");
+  w.begin_object();
+  w.kv("mean_llr", decision.mean_llr);
+  w.kv("llr_ci_lo", decision.llr_ci_lo);
+  w.kv("ci_level", options_.fit.drift_ci_level);
+  w.kv("threshold", options_.fit.min_mean_llr);
+  w.end_object();
+  write_optimum(w, optimum);
+  w.end_object();
+  return os.str();
+}
+
+std::string Replanner::summary_record() const {
+  std::ostringstream os;
+  io::JsonWriter w(os);
+  w.begin_object();
+  w.kv("type", "summary");
+  w.kv("events", static_cast<std::uint64_t>(events_));
+  w.kv("accepted", static_cast<std::uint64_t>(fit_.count()));
+  w.kv("replans", static_cast<std::uint64_t>(replans_));
+  w.kv("period", deployed_period_);
+  w.kv("dist", deployed_.failure().dist().to_string());
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace ayd::service

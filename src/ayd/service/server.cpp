@@ -12,7 +12,9 @@
 
 #include "ayd/io/json.hpp"
 #include "ayd/model/application.hpp"
+#include "ayd/service/replan.hpp"
 #include "ayd/sim/runner.hpp"
+#include "ayd/sim/trace.hpp"
 #include "ayd/tool/commands.hpp"
 #include "ayd/tool/optimize_json.hpp"
 #include "ayd/util/strings.hpp"
@@ -146,9 +148,11 @@ std::string PlanningService::dispatch(const Request& req) {
   if (req.op == "simulate") return handle_simulate(req);
   if (req.op == "plan") return handle_plan(req);
   if (req.op == "stats") return handle_stats(req);
-  throw ProtocolError("unknown_op",
-                      "unknown op \"" + req.op +
-                          "\" (expected optimize, simulate, plan, stats)");
+  if (req.op == "subscribe") return handle_subscribe(req);
+  throw ProtocolError(
+      "unknown_op",
+      "unknown op \"" + req.op +
+          "\" (expected optimize, simulate, plan, stats, subscribe)");
 }
 
 std::string PlanningService::handle_optimize(const Request& req) {
@@ -291,6 +295,114 @@ std::string PlanningService::handle_stats(const Request& req) {
   }
   w.kv("version", util::version_string());
   w.end_object();
+  return make_ok_reply(req.id, req.op, os.str());
+}
+
+std::string PlanningService::handle_subscribe(const Request& req) {
+  // The telemetry payload must come off the parameter list before the
+  // argv bridge runs: "events" is a JSON array and "telemetry" a CSV
+  // blob, and params_to_argv deliberately rejects non-scalars.
+  const io::JsonValue* events = nullptr;
+  const io::JsonValue* telemetry = nullptr;
+  std::vector<std::pair<std::string, io::JsonValue>> scalar_params;
+  for (const auto& [name, value] : req.params) {
+    if (name == "events") {
+      events = &value;
+    } else if (name == "telemetry") {
+      telemetry = &value;
+    } else {
+      scalar_params.emplace_back(name, value);
+    }
+  }
+  if ((events == nullptr) == (telemetry == nullptr)) {
+    throw ProtocolError("bad_request",
+                        "op \"subscribe\" needs exactly one telemetry "
+                        "source: \"events\" (array of gap seconds) or "
+                        "\"telemetry\" (failure-log CSV text)");
+  }
+
+  cli::ArgParser parser("ayd serve: subscribe", "service op");
+  tool::add_system_options(parser);
+  tool::add_replan_options(parser);
+  parser.parse_args(params_to_argv(scalar_params));
+  if (parser.help_requested()) {
+    throw ProtocolError("bad_request",
+                        "\"help\" is not a request parameter (see "
+                        "docs/service.md for the protocol)");
+  }
+  const model::System sys = tool::system_from_args(parser);
+  const service::ReplanOptions opts =
+      tool::replan_options_from_args(parser, sys);
+
+  // Decode the gap sequence. Malformed telemetry is the caller's fault
+  // and must surface as a bad_request envelope before any simulation
+  // budget is spent — the error texts come verbatim from the sim/trace
+  // parser so the CLI and the service report identical diagnostics.
+  std::vector<double> gaps;
+  if (events != nullptr) {
+    if (!events->is_array()) {
+      throw ProtocolError("bad_request",
+                          "\"events\" must be an array of numbers");
+    }
+    gaps.reserve(events->as_array().size());
+    for (const io::JsonValue& v : events->as_array()) {
+      if (!v.is_number()) {
+        throw ProtocolError("bad_request",
+                            "\"events\" must be an array of numbers");
+      }
+      gaps.push_back(v.as_double());
+    }
+  } else {
+    if (!telemetry->is_string()) {
+      throw ProtocolError("bad_request",
+                          "\"telemetry\" must be a string of failure-log "
+                          "CSV lines");
+    }
+    sim::FailureLogReader reader;
+    std::istringstream lines(telemetry->as_string());
+    std::string line;
+    try {
+      while (std::getline(lines, line)) {
+        if (const auto gap = reader.feed(line)) gaps.push_back(*gap);
+      }
+    } catch (const util::Error& e) {
+      throw ProtocolError("bad_request", e.what());
+    }
+  }
+
+  // Replay through the same loop `ayd watch` streams. Deliberately not
+  // memoised: the canonical key would have to embed the entire telemetry
+  // payload, making every cache entry as large as the request and hits
+  // (identical full streams) vanishingly rare — recomputation is the
+  // honest cost model here.
+  Replanner replanner(sys, opts, /*pool=*/nullptr);
+  std::vector<std::string> records;
+  records.push_back(replanner.initial_record());
+  for (const double gap : gaps) {
+    if (auto record = replanner.on_gap(gap)) {
+      records.push_back(std::move(*record));
+    }
+  }
+
+  std::ostringstream os;
+  os << "{\"procs\":";
+  {
+    io::JsonWriter w(os);
+    w.value(opts.procs);
+  }
+  os << ",\"events\":" << gaps.size()
+     << ",\"replans\":" << replanner.replans()
+     << ",\"period\":";
+  {
+    io::JsonWriter w(os);
+    w.value(replanner.deployed_period());
+  }
+  os << ",\"records\":[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i != 0) os << ',';
+    os << records[i];
+  }
+  os << "]}";
   return make_ok_reply(req.id, req.op, os.str());
 }
 

@@ -107,6 +107,7 @@ class PlanningService {
   [[nodiscard]] std::string handle_simulate(const Request& req);
   [[nodiscard]] std::string handle_plan(const Request& req);
   [[nodiscard]] std::string handle_stats(const Request& req);
+  [[nodiscard]] std::string handle_subscribe(const Request& req);
 
   ServiceOptions options_;
   /// Constructed before cache_, which holds a non-owning pointer to it.

@@ -3,8 +3,10 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <mutex>
 #include <new>
+#include <thread>
 #include <vector>
 
 #include <fcntl.h>
@@ -131,27 +133,6 @@ bool pid_alive(std::uint32_t pid) {
   return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
 }
 
-/// Escalating wait used by every polling loop: spin (hot, ~ns), then
-/// yield, then microsleep — so warm round trips cost zero syscalls and
-/// idle waits cost negligible CPU.
-class Backoff {
- public:
-  void pause() {
-    ++spins_;
-    if (spins_ < 64) {
-      // busy-spin
-    } else if (spins_ < 512) {
-      std::this_thread::yield();
-    } else {
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
-    }
-  }
-  void reset() { spins_ = 0; }
-
- private:
-  unsigned spins_ = 0;
-};
-
 /// Rewrites an oversize reply into an error envelope that fits a frame,
 /// preserving the id prefix (replies always start {"id":<id>,"ok":...)
 /// so the client can still correlate the failure.
@@ -243,6 +224,17 @@ Mapping map_existing(const std::string& oname, const std::string& path) {
 }
 
 }  // namespace
+
+void ShmBackoff::pause() {
+  const unsigned index = pauses_;
+  if (pauses_ != std::numeric_limits<unsigned>::max()) ++pauses_;
+  if (index < kSpinPauses) return;  // busy-spin: keep the warm path hot
+  if (index < kYieldPauses) {
+    std::this_thread::yield();
+    return;
+  }
+  std::this_thread::sleep_for(sleep_for_pause(index));
+}
 
 std::string ShmServer::segment_path(const std::string& name) {
   return "/dev/shm/ayd_" + name;
@@ -411,7 +403,7 @@ ShmServerStats ShmServer::stats() const {
 
 void ShmServer::transport_loop() {
   std::string frame;
-  Backoff backoff;
+  ShmBackoff backoff;
   auto last_housekeeping = Clock::now();
   while (!impl_->stop_flag.load(std::memory_order_acquire)) {
     bool progressed = false;
@@ -480,7 +472,7 @@ void ShmServer::deliver(std::uint32_t client, std::uint32_t generation,
   }
   const auto deadline = Clock::now() + kReplyPushDeadline;
   const auto pid = static_cast<std::uint32_t>(::getpid());
-  Backoff backoff;
+  ShmBackoff backoff;
   while (!view.reply_ring.try_push({}, *payload, pid)) {
     // A full reply ring means the client stopped draining; give it the
     // deadline, but bail immediately if it died or detached (its slot
@@ -648,7 +640,7 @@ std::string ShmClient::call(const std::string& line,
     return std::string();
   };
 
-  Backoff backoff;
+  ShmBackoff backoff;
   auto last_liveness = Clock::now();
   while (!impl_->request_ring.try_push(
       std::string_view(prefix_bytes, sizeof(prefix_bytes)), line, my_pid)) {

@@ -57,6 +57,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -98,6 +99,42 @@ struct ShmOptions {
   std::size_t max_clients = 64;
   /// Per-client reply-ring slots (rounded up to a power of two, min 4).
   std::size_t reply_slots = 8;
+};
+
+/// Escalating wait used by every transport polling loop: spin (hot,
+/// ~ns), then yield, then a capped exponential microsleep — so warm
+/// round trips cost zero syscalls while an *idle* wait (a client parked
+/// on its reply ring between requests) backs off to the sleep cap
+/// instead of burning a core. Exposed here so the schedule is
+/// unit-testable (tests/service_shm_transport_test.cpp pins it).
+class ShmBackoff {
+ public:
+  static constexpr unsigned kSpinPauses = 64;    ///< hot busy-spin phase
+  static constexpr unsigned kYieldPauses = 512;  ///< sched_yield phase
+  /// First sleep after the yield phase (doubles each pause).
+  static constexpr std::chrono::microseconds kSleepFloor{50};
+  /// Exponential cap: the idle steady-state poll interval.
+  static constexpr std::chrono::microseconds kSleepCap{2000};
+
+  /// The sleep the schedule prescribes for the pause with index
+  /// `pauses` (0-based count of pauses since the last reset): zero
+  /// through the spin/yield phases, then kSleepFloor doubling per pause
+  /// up to kSleepCap. Pure — the unit tests enumerate it.
+  [[nodiscard]] static constexpr std::chrono::microseconds sleep_for_pause(
+      unsigned pauses) {
+    if (pauses < kYieldPauses) return std::chrono::microseconds{0};
+    std::chrono::microseconds sleep = kSleepFloor;
+    for (unsigned p = kYieldPauses; p < pauses && sleep < kSleepCap; ++p) {
+      sleep *= 2;
+    }
+    return sleep < kSleepCap ? sleep : kSleepCap;
+  }
+
+  void pause();
+  void reset() { pauses_ = 0; }
+
+ private:
+  unsigned pauses_ = 0;
 };
 
 /// Transport counters (served by ShmServer::stats for tests/benches).

@@ -181,6 +181,40 @@ std::vector<double> parse_failure_log_csv(const std::string& text) {
   return gaps;
 }
 
+std::optional<double> FailureLogReader::feed(const std::string& line) {
+  ++line_index_;
+  // First CSV field only, like the batch parser (extra columns in machine
+  // logs are ignored).
+  const auto comma = line.find(',');
+  const std::string field = util::trim(
+      comma == std::string::npos ? line : line.substr(0, comma));
+  if (field.empty()) return std::nullopt;
+  if (!seen_content_) {
+    seen_content_ = true;
+    const std::string header = util::to_lower(field);
+    if (header == "gap_seconds") return std::nullopt;
+    if (header == "failure_time") {
+      absolute_times_ = true;
+      return std::nullopt;
+    }
+    // No recognised header: fall through and parse as a value.
+  }
+  const double value = parse_time_field(field, line_index_);
+  if (!absolute_times_) return value;
+  if (!prev_time_.has_value()) {
+    prev_time_ = value;
+    return std::nullopt;
+  }
+  if (value < *prev_time_) {
+    throw util::InvalidArgument(
+        "failure log times must be non-decreasing (row " +
+        std::to_string(line_index_) + ")");
+  }
+  const double gap = value - *prev_time_;
+  prev_time_ = value;
+  return gap;
+}
+
 std::vector<double> read_failure_log_csv(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -77,5 +78,36 @@ void write_failure_log_csv(const std::string& path,
 /// Reads and parses a failure-log CSV file.
 [[nodiscard]] std::vector<double> read_failure_log_csv(
     const std::string& path);
+
+/// Incremental line-at-a-time reader of the failure-log CSV format, for
+/// streaming consumers (`ayd watch`, the service's `subscribe` op) that
+/// cannot wait for the whole log. Recognises the same two headers as
+/// parse_failure_log_csv and the same headerless fallback; in
+/// absolute-time mode rows are differenced on the fly.
+///
+/// feed() throws util::InvalidArgument on a malformed row (same message
+/// vocabulary as the batch parser); the reader remains usable afterwards
+/// — the bad line is dropped, prior state is kept — so a telemetry
+/// front-end can report the error and keep consuming.
+class FailureLogReader {
+ public:
+  /// Feeds one raw line (without the newline). Returns the gap this line
+  /// completes: every value row in gap mode, every row after the first in
+  /// absolute-time mode. Blank lines and the header row return nullopt.
+  std::optional<double> feed(const std::string& line);
+
+  /// True once a "failure_time" header switched the reader to
+  /// absolute-time differencing.
+  [[nodiscard]] bool absolute_times() const { return absolute_times_; }
+  /// Lines fed so far (including blanks and the header; 1-based in error
+  /// messages).
+  [[nodiscard]] std::size_t lines() const { return line_index_; }
+
+ private:
+  bool absolute_times_ = false;
+  bool seen_content_ = false;
+  std::optional<double> prev_time_;
+  std::size_t line_index_ = 0;
+};
 
 }  // namespace ayd::sim

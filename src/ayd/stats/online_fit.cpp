@@ -1,0 +1,304 @@
+#include "ayd/stats/online_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "ayd/math/roots.hpp"
+#include "ayd/stats/ci.hpp"
+#include "ayd/stats/running.hpp"
+
+namespace ayd::stats {
+namespace {
+
+constexpr double kWeibullShapeMin = 0.05;
+constexpr double kWeibullShapeMax = 20.0;
+constexpr double kLogNormalSigmaMin = 1e-6;
+constexpr double kLogNormalSigmaMax = 10.0;
+
+/// Collects the positive, finite subset every fitter works on.
+std::vector<double> positive_gaps(std::span<const double> gaps) {
+  std::vector<double> xs;
+  xs.reserve(gaps.size());
+  for (double g : gaps) {
+    if (std::isfinite(g) && g > 0.0) xs.push_back(g);
+  }
+  return xs;
+}
+
+double clamped_log(double x) {
+  return x > 0.0 ? std::max(std::log(x), kLogDensityFloor) : kLogDensityFloor;
+}
+
+MleFit fit_exponential_on(std::span<const double> xs) {
+  MleFit fit;
+  fit.family = FitFamily::kExponential;
+  fit.count = xs.size();
+  if (xs.empty()) return fit;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double mean = sum / static_cast<double>(xs.size());
+  if (!(mean > 0.0) || !std::isfinite(mean)) return fit;
+  fit.shape = 1.0;
+  fit.scale = mean;
+  fit.rate = 1.0 / mean;
+  // ll = -n ln(mean) - sum(x)/mean = -n (ln(mean) + 1)
+  fit.log_likelihood =
+      -static_cast<double>(xs.size()) * (std::log(mean) + 1.0);
+  fit.valid = true;
+  return fit;
+}
+
+/// Profile-likelihood score for the Weibull shape on mean-normalized data:
+///   g(k) = sum(y^k ln y)/sum(y^k) - 1/k - mean(ln y),
+/// monotone increasing in k, zero at the MLE. Normalizing y = x/mean(x)
+/// leaves g invariant and keeps y^k in range for any realistic telemetry.
+double weibull_score(std::span<const double> ys, double mean_log_y,
+                     double k) {
+  double sum_pow = 0.0;
+  double sum_pow_log = 0.0;
+  for (double y : ys) {
+    const double ly = std::log(y);
+    const double p = std::pow(y, k);
+    sum_pow += p;
+    sum_pow_log += p * ly;
+  }
+  return sum_pow_log / sum_pow - 1.0 / k - mean_log_y;
+}
+
+MleFit fit_weibull_on(std::span<const double> xs) {
+  MleFit fit;
+  fit.family = FitFamily::kWeibull;
+  fit.count = xs.size();
+  if (xs.size() < 2) return fit;
+  const auto n = static_cast<double>(xs.size());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double sample_mean = sum / n;
+  if (!(sample_mean > 0.0) || !std::isfinite(sample_mean)) return fit;
+
+  std::vector<double> ys(xs.begin(), xs.end());
+  double sum_log_y = 0.0;
+  for (double& y : ys) {
+    y /= sample_mean;
+    sum_log_y += std::log(y);
+  }
+  const double mean_log_y = sum_log_y / n;
+
+  const auto score = [&](double k) {
+    return weibull_score(ys, mean_log_y, k);
+  };
+  double k_hat;
+  const double g_lo = score(kWeibullShapeMin);
+  const double g_hi = score(kWeibullShapeMax);
+  if (g_lo >= 0.0) {
+    k_hat = kWeibullShapeMin;  // heavier-tailed than the clamp allows
+  } else if (g_hi <= 0.0) {
+    k_hat = kWeibullShapeMax;  // near-degenerate spike
+  } else {
+    math::RootOptions opt;
+    opt.x_tol = 1e-10;
+    const auto root =
+        math::brent_root(score, kWeibullShapeMin, kWeibullShapeMax, opt);
+    k_hat = root.x;
+  }
+
+  // Scale on the normalized data, then undo the normalization.
+  double sum_pow = 0.0;
+  for (double y : ys) sum_pow += std::pow(y, k_hat);
+  const double lambda_y = std::pow(sum_pow / n, 1.0 / k_hat);
+  const double lambda = lambda_y * sample_mean;
+  if (!(lambda > 0.0) || !std::isfinite(lambda)) return fit;
+
+  fit.shape = k_hat;
+  fit.scale = lambda;
+  // Model mean = lambda * Gamma(1 + 1/k); rate is its reciprocal, so a
+  // FailureDistSpec::weibull(k) instantiated at this rate has scale
+  // exactly `lambda` again (the round-trip contract).
+  fit.rate = 1.0 / (lambda * std::tgamma(1.0 + 1.0 / k_hat));
+  // ll = n ln k - n k ln(lambda) + (k-1) sum(ln x) - sum((x/lambda)^k),
+  // and at the MLE sum((x/lambda)^k) = n.
+  double sum_log_x = 0.0;
+  for (double x : xs) sum_log_x += std::log(x);
+  fit.log_likelihood = n * std::log(k_hat) - n * k_hat * std::log(lambda) +
+                       (k_hat - 1.0) * sum_log_x - n;
+  fit.valid = std::isfinite(fit.log_likelihood) && fit.rate > 0.0;
+  return fit;
+}
+
+MleFit fit_lognormal_on(std::span<const double> xs) {
+  MleFit fit;
+  fit.family = FitFamily::kLogNormal;
+  fit.count = xs.size();
+  if (xs.size() < 2) return fit;
+  const auto n = static_cast<double>(xs.size());
+  RunningStats logs;
+  for (double x : xs) logs.add(std::log(x));
+  const double mu = logs.mean();
+  // MLE uses the population (1/n) variance of the logs.
+  double sigma = std::sqrt(logs.population_variance());
+  sigma = std::clamp(sigma, kLogNormalSigmaMin, kLogNormalSigmaMax);
+
+  fit.shape = sigma;
+  fit.scale = std::exp(mu);
+  // Model mean = exp(mu + sigma^2/2); the spec's instantiate(rate)
+  // reconstructs mu' = -ln(rate) - sigma^2/2 = mu exactly.
+  fit.rate = std::exp(-(mu + 0.5 * sigma * sigma));
+  // ll = -n/2 ln(2 pi) - n ln(sigma) - sum(ln x) - sum((ln x - mu)^2) /
+  // (2 sigma^2); the last sum is n * population_variance at the MLE (the
+  // clamp makes it inexact only in pathological sigma ranges).
+  double sum_log_x = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    const double lx = std::log(x);
+    sum_log_x += lx;
+    sum_sq += (lx - mu) * (lx - mu);
+  }
+  fit.log_likelihood = -0.5 * n * std::log(2.0 * M_PI) -
+                       n * std::log(sigma) - sum_log_x -
+                       sum_sq / (2.0 * sigma * sigma);
+  fit.valid = std::isfinite(fit.log_likelihood) &&
+              std::isfinite(fit.rate) && fit.rate > 0.0;
+  return fit;
+}
+
+}  // namespace
+
+const char* fit_family_name(FitFamily family) {
+  switch (family) {
+    case FitFamily::kExponential: return "exponential";
+    case FitFamily::kWeibull: return "weibull";
+    case FitFamily::kLogNormal: return "lognormal";
+  }
+  return "unknown";
+}
+
+double MleFit::log_pdf(double x) const {
+  if (!valid || !(x > 0.0) || !std::isfinite(x)) return kLogDensityFloor;
+  double lp = kLogDensityFloor;
+  switch (family) {
+    case FitFamily::kExponential:
+      lp = -std::log(scale) - x / scale;
+      break;
+    case FitFamily::kWeibull: {
+      const double z = x / scale;
+      lp = std::log(shape / scale) + (shape - 1.0) * clamped_log(z) -
+           std::pow(z, shape);
+      break;
+    }
+    case FitFamily::kLogNormal: {
+      const double lx = std::log(x);
+      const double mu = std::log(scale);
+      const double d = (lx - mu) / shape;
+      lp = -lx - std::log(shape) - 0.5 * std::log(2.0 * M_PI) - 0.5 * d * d;
+      break;
+    }
+  }
+  if (!std::isfinite(lp)) return kLogDensityFloor;
+  return std::max(lp, kLogDensityFloor);
+}
+
+double MleFit::mean() const {
+  return rate > 0.0 ? 1.0 / rate
+                    : std::numeric_limits<double>::infinity();
+}
+
+double MleFit::aic() const {
+  const double params = family == FitFamily::kExponential ? 1.0 : 2.0;
+  return 2.0 * params - 2.0 * log_likelihood;
+}
+
+MleFit fit_exponential_mle(std::span<const double> gaps) {
+  return fit_exponential_on(positive_gaps(gaps));
+}
+
+MleFit fit_weibull_mle(std::span<const double> gaps) {
+  return fit_weibull_on(positive_gaps(gaps));
+}
+
+MleFit fit_lognormal_mle(std::span<const double> gaps) {
+  return fit_lognormal_on(positive_gaps(gaps));
+}
+
+MleFit fit_best_mle(std::span<const double> gaps) {
+  const auto xs = positive_gaps(gaps);
+  // Declaration order is the deterministic tie-break: a candidate must
+  // strictly beat the incumbent's AIC to replace it, so equal-likelihood
+  // samples always report the simplest family.
+  MleFit best = fit_exponential_on(xs);
+  for (const MleFit& cand : {fit_weibull_on(xs), fit_lognormal_on(xs)}) {
+    if (!cand.valid) continue;
+    if (!best.valid || cand.aic() < best.aic()) best = cand;
+  }
+  return best;
+}
+
+OnlineFit::OnlineFit(OnlineFitOptions options) : options_(options) {
+  if (options_.window == 0) options_.window = 1;
+  if (options_.refit_interval == 0) options_.refit_interval = 1;
+  ring_.assign(options_.window, 0.0);
+}
+
+void OnlineFit::set_baseline(LogDensity baseline) {
+  baseline_ = std::move(baseline);
+}
+
+std::span<const double> OnlineFit::window_samples() const {
+  scratch_.clear();
+  scratch_.reserve(filled_);
+  // Oldest first: with a full ring the oldest sample sits at head_.
+  const std::size_t start =
+      filled_ < ring_.size() ? 0 : head_;
+  for (std::size_t i = 0; i < filled_; ++i) {
+    scratch_.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return scratch_;
+}
+
+MleFit OnlineFit::fit() const { return fit_best_mle(window_samples()); }
+
+DriftDecision OnlineFit::add(double gap) {
+  DriftDecision decision;
+  if (!std::isfinite(gap) || !(gap > 0.0)) return decision;
+
+  ring_[head_] = gap;
+  head_ = (head_ + 1) % ring_.size();
+  filled_ = std::min(filled_ + 1, ring_.size());
+  ++accepted_;
+
+  if (accepted_ < options_.min_events) return decision;
+  if ((accepted_ - options_.min_events) % options_.refit_interval != 0) {
+    return decision;
+  }
+
+  decision.refit_ran = true;
+  decision.fit = fit();
+  last_fit_ = decision.fit;
+  if (!decision.fit.valid || !baseline_) return decision;
+
+  // GLR over the window: per-event log-likelihood ratio of the fresh fit
+  // against the deployed baseline. The fit maximizes the window
+  // likelihood, so the mean LLR is >= 0 by construction whenever the
+  // baseline is in the fitted family — the Student-t lower bound plus the
+  // noise floor is what separates real drift from that in-sample bias.
+  RunningStats llr;
+  for (double x : window_samples()) {
+    const double base = std::max(baseline_(x), kLogDensityFloor);
+    llr.add(decision.fit.log_pdf(x) - base);
+  }
+  const auto ci = mean_ci_student(llr, options_.drift_ci_level);
+  decision.mean_llr = llr.mean();
+  decision.llr_ci_lo = ci.lo;
+  decision.drift =
+      ci.lo > 0.0 && decision.mean_llr >= options_.min_mean_llr;
+  return decision;
+}
+
+void OnlineFit::rebase() {
+  if (!last_fit_.valid) return;
+  const MleFit fit = last_fit_;
+  baseline_ = [fit](double x) { return fit.log_pdf(x); };
+}
+
+}  // namespace ayd::stats

@@ -1,0 +1,173 @@
+// Windowed maximum-likelihood fitting of failure inter-arrival times with
+// change detection — the estimator half of the online re-planning loop
+// (ROADMAP item 4).
+//
+// OnlineFit keeps a fixed-size rolling ring of the most recent positive
+// gaps, refits exponential / Weibull / lognormal MLEs on a cadence, picks
+// the family by AIC, and tests for drift with a generalized-likelihood-
+// ratio statistic: the per-event log-likelihood ratio of the fresh fit
+// against the deployed baseline density, averaged over the window. The
+// re-plan guard is the same CI discipline the golden-section search uses
+// (stats/ci): drift fires only when the Student-t lower confidence bound
+// of the mean LLR clears zero AND the mean itself clears a configured
+// noise floor — a stable improvement, not a lucky window.
+//
+// Everything here is deterministic: same gap sequence in, same fits and
+// decisions out, independent of thread count (callers own the threading).
+// The model-layer bridge (MleFit -> FailureDistSpec) lives in
+// model/failure_dist.hpp so this module stays free of model dependencies.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace ayd::stats {
+
+/// Families the online estimator can fit. Mirrors the analytic subset of
+/// model::FailureDistKind without depending on the model layer.
+enum class FitFamily : int {
+  kExponential,
+  kWeibull,
+  kLogNormal,
+};
+
+[[nodiscard]] const char* fit_family_name(FitFamily family);
+
+/// Value returned by log_pdf() for points outside the support (and the
+/// clamp applied to vanishing densities) so likelihood ratios stay finite:
+/// roughly log(DBL_MIN·1e-20).
+inline constexpr double kLogDensityFloor = -745.0;
+
+/// One fitted family: parameters, implied arrival rate, and the maximized
+/// log-likelihood of the sample it was fitted on.
+struct MleFit {
+  FitFamily family = FitFamily::kExponential;
+  /// Weibull shape k or lognormal sigma; 1 for the exponential.
+  double shape = 1.0;
+  /// Weibull scale lambda, lognormal exp(mu) (the median), or the
+  /// exponential mean.
+  double scale = 0.0;
+  /// Arrival rate = 1 / model mean, the quantity FailureModel speaks.
+  /// Round-trip contract: FailureDistSpec::instantiate(rate) with the
+  /// matching spec reproduces exactly this density.
+  double rate = 0.0;
+  /// Maximized log-likelihood over the fitted sample.
+  double log_likelihood = 0.0;
+  /// Sample size the fit used.
+  std::size_t count = 0;
+  /// False when the sample was too small/degenerate to fit.
+  bool valid = false;
+
+  /// Log-density of the fitted model at x, floored at kLogDensityFloor
+  /// (x <= 0 is outside every family's support).
+  [[nodiscard]] double log_pdf(double x) const;
+  /// Model mean inter-arrival (1/rate; +inf when rate == 0).
+  [[nodiscard]] double mean() const;
+  /// Akaike information criterion: 2·params - 2·log_likelihood
+  /// (exponential counts 1 parameter, Weibull/lognormal 2).
+  [[nodiscard]] double aic() const;
+};
+
+/// Exponential MLE (mean = sample mean). Requires >= 1 positive gap.
+[[nodiscard]] MleFit fit_exponential_mle(std::span<const double> gaps);
+/// Weibull MLE: shape from the profile likelihood equation solved with
+/// Brent (gaps are normalized by their mean first, so large-magnitude
+/// samples cannot overflow x^k), shape clamped to [0.05, 20]. Requires
+/// >= 2 positive gaps.
+[[nodiscard]] MleFit fit_weibull_mle(std::span<const double> gaps);
+/// Lognormal MLE (closed form: mean/sd of log gaps), sigma clamped to
+/// [1e-6, 10]. Requires >= 2 positive gaps.
+[[nodiscard]] MleFit fit_lognormal_mle(std::span<const double> gaps);
+/// Fits all three families and keeps the lowest AIC. Ties (and the
+/// degenerate small-sample case) resolve deterministically in declaration
+/// order: exponential, then Weibull, then lognormal. Non-positive or
+/// non-finite gaps are ignored by all fitters.
+[[nodiscard]] MleFit fit_best_mle(std::span<const double> gaps);
+
+/// Tuning of the rolling estimator + drift detector.
+struct OnlineFitOptions {
+  /// Ring capacity: the fit window (most recent events).
+  std::size_t window = 256;
+  /// No refits (hence no drift decisions) before this many events.
+  std::size_t min_events = 64;
+  /// Refit every this many accepted events once warmed up.
+  std::size_t refit_interval = 16;
+  /// Confidence level of the Student-t bound on the mean LLR.
+  double drift_ci_level = 0.99;
+  /// Noise floor: mean per-event LLR must exceed this in addition to the
+  /// CI bound clearing zero. Units are nats/event; ~0.02 rejects window
+  /// noise on stationary streams while catching a Weibull k 0.7 -> 1.4
+  /// regime switch within a window (tests/online_fit_test.cpp pins the
+  /// false-positive rate).
+  double min_mean_llr = 0.02;
+};
+
+/// Outcome of feeding one gap to OnlineFit.
+struct DriftDecision {
+  /// True when this event triggered a scheduled refit.
+  bool refit_ran = false;
+  /// True when the refit cleared the drift guard (CI lower bound > 0 and
+  /// mean LLR >= min_mean_llr). Never true without refit_ran.
+  bool drift = false;
+  /// Mean per-event LLR of the fresh fit vs the baseline (refits only).
+  double mean_llr = 0.0;
+  /// Student-t lower confidence bound of the mean LLR (refits only).
+  double llr_ci_lo = 0.0;
+  /// The fresh fit (refits only; check fit.valid).
+  MleFit fit{};
+};
+
+/// Rolling-window MLE with GLR drift detection against a deployed
+/// baseline density. Single-threaded by design; determinism comes from
+/// being a pure function of the gap sequence.
+class OnlineFit {
+ public:
+  /// Log-density of the currently deployed model, used as the GLR null.
+  using LogDensity = std::function<double(double)>;
+
+  explicit OnlineFit(OnlineFitOptions options = {});
+
+  /// Installs the deployed model's log-density. Until set, drift can
+  /// never fire (there is nothing to improve on).
+  void set_baseline(LogDensity baseline);
+
+  /// Feeds one inter-arrival gap. Non-finite or non-positive gaps are
+  /// ignored (the telemetry layer reports them; the estimator must not
+  /// corrupt its window). Returns the refit/drift outcome.
+  DriftDecision add(double gap);
+
+  /// Re-bases the GLR null to the latest fit — call after acting on a
+  /// drift decision (re-plan published) so subsequent windows are judged
+  /// against the newly deployed model.
+  void rebase();
+
+  /// Fits the current window on demand (same result a scheduled refit
+  /// would produce right now).
+  [[nodiscard]] MleFit fit() const;
+  /// Latest scheduled-refit result (invalid before the first refit).
+  [[nodiscard]] const MleFit& last_fit() const { return last_fit_; }
+
+  /// Accepted (positive, finite) events so far.
+  [[nodiscard]] std::size_t count() const { return accepted_; }
+  /// Events currently in the window (<= options().window).
+  [[nodiscard]] std::size_t window_fill() const { return filled_; }
+  [[nodiscard]] const OnlineFitOptions& options() const { return options_; }
+
+ private:
+  /// Copies the ring (oldest first) into scratch_ and returns a span.
+  [[nodiscard]] std::span<const double> window_samples() const;
+
+  OnlineFitOptions options_;
+  std::vector<double> ring_;
+  std::size_t head_ = 0;    ///< next write slot
+  std::size_t filled_ = 0;  ///< occupied slots
+  std::size_t accepted_ = 0;
+  LogDensity baseline_;
+  MleFit last_fit_{};
+  mutable std::vector<double> scratch_;
+};
+
+}  // namespace ayd::stats

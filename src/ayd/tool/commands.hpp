@@ -13,6 +13,7 @@
 #include "ayd/core/optimizer.hpp"
 #include "ayd/model/application.hpp"
 #include "ayd/model/system.hpp"
+#include "ayd/service/replan.hpp"
 #include "ayd/sim/runner.hpp"
 
 namespace ayd::tool {
@@ -40,6 +41,7 @@ int cmd_protocols(const std::vector<std::string>& args, std::ostream& out);
 int cmd_serve(const std::vector<std::string>& args, std::ostream& out);
 int cmd_call(const std::vector<std::string>& args, std::ostream& out);
 int cmd_cache(const std::vector<std::string>& args, std::ostream& out);
+int cmd_watch(const std::vector<std::string>& args, std::ostream& out);
 
 // -- Shared system-description options ---------------------------------
 
@@ -134,5 +136,19 @@ struct PlanReport {
 [[nodiscard]] PlanReport compute_plan(const model::System& sys,
                                       const model::Application& app,
                                       double max_procs);
+
+// -- Shared re-planning options (ayd watch + the "subscribe" op) --------
+
+/// Declares the online re-planning option group: --procs plus the
+/// estimator knobs (--window, --min-events, --refit-interval,
+/// --drift-ci-level, --min-mean-llr) and the re-optimization knobs
+/// (the standard simulation options, --ci-rel-tol, --max-reps).
+void add_replan_options(cli::ArgParser& parser);
+
+/// Reads the group into service::ReplanOptions. An empty --procs
+/// defaults to the numerically optimal allocation for `sys`, like
+/// `ayd simulate`.
+[[nodiscard]] service::ReplanOptions replan_options_from_args(
+    const cli::ArgParser& parser, const model::System& sys);
 
 }  // namespace ayd::tool

@@ -8,6 +8,7 @@
 
 #include "ayd/core/overhead.hpp"
 #include "ayd/engine/evaluator.hpp"
+#include "ayd/util/error.hpp"
 
 namespace ayd::tool {
 
@@ -49,6 +50,73 @@ void add_plan_options(cli::ArgParser& parser) {
   parser.add_option("name", "job", "job name for the report");
   parser.add_option("max-procs", "1e7",
                     "largest allocation available to the job");
+}
+
+void add_replan_options(cli::ArgParser& parser) {
+  parser.add_option("procs", "",
+                    "deployed allocation P the telemetry was observed at "
+                    "(default: the numerically optimal allocation)");
+  parser.add_option("window", "256", "rolling fit window in events");
+  parser.add_option("min-events", "64",
+                    "events observed before the first refit");
+  parser.add_option("refit-interval", "16",
+                    "events between refits once warmed up");
+  parser.add_option("drift-ci-level", "0.99",
+                    "confidence level of the Student-t bound the mean "
+                    "log-likelihood ratio must clear before a re-plan");
+  parser.add_option("min-mean-llr", "0.02",
+                    "drift noise floor: mean per-event log-likelihood "
+                    "ratio (nats) the fresh fit must gain over the "
+                    "deployed model");
+  add_simulation_options(parser);
+  parser.add_option("ci-rel-tol", "0.02",
+                    "adaptive replication target of each re-optimization: "
+                    "CI half-width <= this fraction of the mean overhead");
+  parser.add_option("max-reps", "4096",
+                    "adaptive replication cap per candidate pattern");
+}
+
+service::ReplanOptions replan_options_from_args(const cli::ArgParser& parser,
+                                                const model::System& sys) {
+  service::ReplanOptions opt;
+  opt.fit.window = static_cast<std::size_t>(parser.option_uint("window"));
+  opt.fit.min_events =
+      static_cast<std::size_t>(parser.option_uint("min-events"));
+  opt.fit.refit_interval =
+      static_cast<std::size_t>(parser.option_uint("refit-interval"));
+  opt.fit.drift_ci_level = parser.option_double("drift-ci-level");
+  opt.fit.min_mean_llr = parser.option_double("min-mean-llr");
+  if (opt.fit.window == 0) {
+    throw util::CliError("--window must be >= 1");
+  }
+  if (!(opt.fit.drift_ci_level > 0.0 && opt.fit.drift_ci_level < 1.0)) {
+    throw util::CliError("--drift-ci-level must be in (0, 1)");
+  }
+
+  opt.search.replication = replication_from_args(parser);
+  if (opt.search.replication.replicas < 2) {
+    throw util::CliError(
+        "re-planning needs --runs >= 2 (a CI requires two replicas)");
+  }
+  opt.search.adaptive.min_replicas = opt.search.replication.replicas;
+  opt.search.adaptive.ci_rel_tol = parser.option_double("ci-rel-tol");
+  opt.search.adaptive.max_replicas =
+      static_cast<std::size_t>(parser.option_uint("max-reps"));
+  if (opt.search.adaptive.max_replicas < 2) {
+    throw util::CliError("--max-reps must be >= 2");
+  }
+  if (opt.search.adaptive.max_replicas < opt.search.adaptive.min_replicas) {
+    opt.search.adaptive.min_replicas = opt.search.adaptive.max_replicas;
+  }
+
+  if (parser.option("procs").empty()) {
+    engine::EvalSpec defaults;
+    defaults.numerical = true;
+    opt.procs = engine::evaluate_point(sys, defaults).allocation->procs;
+  } else {
+    opt.procs = parser.option_double("procs");
+  }
+  return opt;
 }
 
 PlanReport compute_plan(const model::System& sys,

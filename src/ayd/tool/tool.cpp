@@ -39,6 +39,10 @@ const std::vector<Command>& commands() {
        "inspect, export or import the persistent answer store "
        "(--cache-dir)",
        &cmd_cache},
+      {"watch",
+       "online re-planning from streamed failure telemetry: rolling "
+       "MLE + drift detection, NDJSON re-plan records out",
+       &cmd_watch},
   };
   return kCommands;
 }

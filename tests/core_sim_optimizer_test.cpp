@@ -210,5 +210,68 @@ TEST(SimOptimalAllocation, WeibullLadderSearchReturnsIntegerAllocation) {
   EXPECT_GT(sim.seed_procs, 0.0);
 }
 
+// -- Warm-started search (the online re-planning loop's fast path) -------
+
+TEST(SimOptimalPeriod, WarmStartNearTheOptimumStaysOnTheOptimum) {
+  // Weibull k = 1 again: the full search runs against an exact analytic
+  // ground truth. A warm start at the known optimum with the narrow
+  // bracket must land in the same neighbourhood as the cold search.
+  const System sys =
+      System::from_platform(model::hera(), Scenario::kS3)
+          .with_failure_dist(model::FailureDistSpec::weibull(1.0));
+  const PeriodOptimum exact = optimal_period(sys, kProcs);
+
+  SimSearchOptions warm = quick_search();
+  warm.warm_start = exact.period;
+  const SimPeriodOptimum sim = sim_optimal_period(sys, kProcs, warm);
+  EXPECT_TRUE(sim.converged);
+  EXPECT_FALSE(sim.used_closed_form);
+  const double h_at_found = pattern_overhead(sys, {sim.period, kProcs});
+  EXPECT_LE(h_at_found, 1.01 * exact.overhead);
+  EXPECT_GT(sim.period, exact.period / warm.warm_bracket_span);
+  EXPECT_LT(sim.period, exact.period * warm.warm_bracket_span);
+}
+
+TEST(SimOptimalPeriod, StaleWarmStartRecoversThroughEdgeExpansion) {
+  // A hint 50x below the true optimum: the narrow warm bracket cannot
+  // contain the minimum, so the edge-expansion logic must walk out and
+  // still find it. This is the safety net that makes warm starts safe to
+  // use on every re-plan.
+  const System sys =
+      System::from_platform(model::hera(), Scenario::kS3)
+          .with_failure_dist(model::FailureDistSpec::weibull(1.0));
+  const PeriodOptimum exact = optimal_period(sys, kProcs);
+
+  SimSearchOptions warm = quick_search();
+  warm.warm_start = exact.period / 50.0;
+  warm.max_iterations = 40;
+  const SimPeriodOptimum sim = sim_optimal_period(sys, kProcs, warm);
+  const double h_at_found = pattern_overhead(sys, {sim.period, kProcs});
+  EXPECT_LE(h_at_found, 1.02 * exact.overhead);
+}
+
+TEST(SimOptimalPeriod, WarmStartIsIgnoredOnTheClosedFormPath) {
+  // Memoryless systems take the exact closed form; a (nonsense) warm
+  // hint must not perturb it.
+  const System sys = System::from_platform(model::hera(), Scenario::kS3);
+  SimSearchOptions opt = quick_search();
+  opt.warm_start = 17.0;
+  const SimPeriodOptimum sim = sim_optimal_period(sys, kProcs, opt);
+  const PeriodOptimum exact = optimal_period(sys, kProcs);
+  EXPECT_TRUE(sim.used_closed_form);
+  EXPECT_DOUBLE_EQ(sim.period, exact.period);
+}
+
+TEST(SimOptimalPeriod, WarmBracketSpanMustExceedOne) {
+  const System sys =
+      System::from_platform(model::hera(), Scenario::kS3)
+          .with_failure_dist(model::FailureDistSpec::weibull(1.0));
+  SimSearchOptions opt = quick_search();
+  opt.warm_start = 1000.0;
+  opt.warm_bracket_span = 1.0;
+  EXPECT_THROW((void)sim_optimal_period(sys, kProcs, opt),
+               util::InvalidArgument);
+}
+
 }  // namespace
 }  // namespace ayd::core

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Regenerates the synthetic regime-switch failure logs used by the
+replay test tier (tests/replan_replay_test.cpp) and the `ayd watch` CI
+smoke. Deterministic: fixed seeds, shortest-round-trip formatting, so a
+rerun reproduces the committed files byte for byte.
+
+The traces are failure-log CSVs (sim/trace.hpp): one "gap_seconds"
+header, one inter-arrival gap in seconds per line.
+"""
+
+import math
+import random
+
+
+def weibull_gaps(rng, n, shape, mean):
+    """Weibull(k) gaps with the given mean (scale = mean / Gamma(1+1/k))."""
+    scale = mean / math.gamma(1.0 + 1.0 / shape)
+    return [rng.weibullvariate(scale, shape) for _ in range(n)]
+
+
+def exponential_gaps(rng, n, mean):
+    return [rng.expovariate(1.0 / mean) for _ in range(n)]
+
+
+def write(path, gaps):
+    with open(path, "w") as f:
+        f.write("gap_seconds\n")
+        for g in gaps:
+            f.write(repr(g) + "\n")
+    print(f"{path}: {len(gaps)} gaps")
+
+
+def main():
+    # Shape switch at constant mean: Weibull k 0.7 (bursty) -> 1.4
+    # (wear-out) at event 600, platform MTBF fixed at one hour. The
+    # replay tests assert this switch is detected within a bounded
+    # number of events after it happens.
+    rng = random.Random(20160907)
+    write(
+        "replay_weibull_shift.csv",
+        weibull_gaps(rng, 600, 0.7, 3600.0)
+        + weibull_gaps(rng, 600, 1.4, 3600.0),
+    )
+
+    # Stationary exponential stream: the false-positive guard. A
+    # correctly configured noise floor must publish no re-plans here.
+    rng = random.Random(424243)
+    write("replay_stationary_exp.csv", exponential_gaps(rng, 800, 3600.0))
+
+    # Rate step at constant shape: exponential failures whose rate
+    # quadruples at event 450 (MTBF 2h -> 30min).
+    rng = random.Random(77001)
+    write(
+        "replay_rate_step.csv",
+        exponential_gaps(rng, 450, 7200.0)
+        + exponential_gaps(rng, 450, 1800.0),
+    )
+
+
+if __name__ == "__main__":
+    main()

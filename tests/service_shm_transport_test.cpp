@@ -11,8 +11,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <limits>
 #include <set>
 #include <string>
 #include <thread>
@@ -455,6 +458,83 @@ TEST(ShmTransport, DetachFreesTheClientSlot) {
   ShmClient next(name);
   EXPECT_NE(next.call(R"({"op":"stats","id":2})").find("\"ok\":true"),
             std::string::npos);
+}
+
+// -- ShmBackoff: the capped exponential wait schedule --------------------
+//
+// Every ring wait (transport loop, delivery, client reply wait) runs this
+// schedule: a hot spin phase for warm-path latency, a yield phase, then
+// exponential sleeps so an idle endpoint stops burning a core. The
+// schedule function is pure and constexpr — pin it exactly.
+
+static_assert(ShmBackoff::kSpinPauses < ShmBackoff::kYieldPauses,
+              "spin phase precedes the yield phase");
+static_assert(ShmBackoff::sleep_for_pause(0).count() == 0);
+static_assert(
+    ShmBackoff::sleep_for_pause(ShmBackoff::kYieldPauses - 1).count() == 0);
+static_assert(ShmBackoff::sleep_for_pause(ShmBackoff::kYieldPauses) ==
+              ShmBackoff::kSleepFloor);
+
+TEST(ShmBackoff, ScheduleSpinsThenYieldsThenSleepsExponentially) {
+  using std::chrono::microseconds;
+  // Spin + yield phases never sleep: warm-hit latency is untouched.
+  for (const unsigned p : {0u, 1u, ShmBackoff::kSpinPauses,
+                           ShmBackoff::kYieldPauses - 1}) {
+    EXPECT_EQ(ShmBackoff::sleep_for_pause(p), microseconds{0}) << p;
+  }
+  // Then 50 us doubling per pause: 50, 100, 200, 400, 800, 1600, 2000.
+  const unsigned base = ShmBackoff::kYieldPauses;
+  EXPECT_EQ(ShmBackoff::sleep_for_pause(base + 0), microseconds{50});
+  EXPECT_EQ(ShmBackoff::sleep_for_pause(base + 1), microseconds{100});
+  EXPECT_EQ(ShmBackoff::sleep_for_pause(base + 2), microseconds{200});
+  EXPECT_EQ(ShmBackoff::sleep_for_pause(base + 3), microseconds{400});
+  EXPECT_EQ(ShmBackoff::sleep_for_pause(base + 4), microseconds{800});
+  EXPECT_EQ(ShmBackoff::sleep_for_pause(base + 5), microseconds{1600});
+  // The cap is the idle steady-state poll interval; it never grows past
+  // kSleepCap no matter how long the wait.
+  EXPECT_EQ(ShmBackoff::sleep_for_pause(base + 6), ShmBackoff::kSleepCap);
+  EXPECT_EQ(ShmBackoff::sleep_for_pause(base + 7), ShmBackoff::kSleepCap);
+  EXPECT_EQ(ShmBackoff::sleep_for_pause(1u << 20), ShmBackoff::kSleepCap);
+  EXPECT_EQ(ShmBackoff::sleep_for_pause(
+                std::numeric_limits<unsigned>::max()),
+            ShmBackoff::kSleepCap);
+}
+
+TEST(ShmBackoff, ResetRearmsTheHotSpinPhase) {
+  // After a frame arrives the waiter resets; the next wait must start
+  // from the spin phase again (the latency path), not from the 2 ms
+  // steady state. pause() itself must also survive saturation.
+  ShmBackoff backoff;
+  for (int i = 0; i < 600; ++i) backoff.pause();
+  backoff.reset();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (unsigned i = 0; i < ShmBackoff::kSpinPauses; ++i) backoff.pause();
+  const auto spin_elapsed = std::chrono::steady_clock::now() - t0;
+  // A re-armed spin phase is pure busy work: far under one sleep quantum.
+  EXPECT_LT(spin_elapsed, std::chrono::milliseconds(40));
+}
+
+TEST(ShmBackoff, IdleWaitSleepsInsteadOfBurningTheCore) {
+  // Drive one backoff well into the sleep phase and compare thread CPU
+  // time against wall time: an idle waiter must spend the overwhelming
+  // majority of the wait descheduled. (The old fixed-sleep wait passed
+  // this too — the regression this pins is any return to pure spinning.)
+  ShmBackoff backoff;
+  timespec cpu0{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &cpu0);
+  const auto w0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 560; ++i) backoff.pause();  // ~90 ms of schedule
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - w0)
+          .count();
+  timespec cpu1{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &cpu1);
+  const double cpu = static_cast<double>(cpu1.tv_sec - cpu0.tv_sec) +
+                     1e-9 * static_cast<double>(cpu1.tv_nsec - cpu0.tv_nsec);
+  if (wall < 0.02) {
+    GTEST_SKIP() << "sleeps did not materialise (loaded CI machine)";
+  }
+  EXPECT_LT(cpu, 0.5 * wall) << "cpu=" << cpu << "s wall=" << wall << "s";
 }
 
 }  // namespace

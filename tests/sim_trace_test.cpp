@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "ayd/util/error.hpp"
 
 namespace ayd::sim {
@@ -68,6 +72,99 @@ TEST(Trace, RenderPicksDominantKindPerBucket) {
       static_cast<std::size_t>(std::count(line.begin(), line.end(), 'D'));
   EXPECT_GE(d_count, 1u);  // at least the downtime bucket (+1 in legend)
   EXPECT_LE(d_count, 2u);
+}
+
+// -- FailureLogReader: the streaming telemetry parser --------------------
+//
+// `ayd watch` and the service's subscribe op feed one line at a time;
+// every malformed-input path must throw a typed error carrying the row
+// number and leave the reader usable for the next line (a live feed must
+// not wedge on one bad row).
+
+std::vector<double> feed_all(FailureLogReader& reader,
+                             const std::vector<std::string>& lines) {
+  std::vector<double> gaps;
+  for (const std::string& line : lines) {
+    if (const auto gap = reader.feed(line)) gaps.push_back(*gap);
+  }
+  return gaps;
+}
+
+TEST(FailureLogReader, GapModeStreamsValuesThroughHeaderAndBlanks) {
+  FailureLogReader reader;
+  const std::vector<double> gaps =
+      feed_all(reader, {"gap_seconds", "3600", "", "  ", "1800.5,ignored",
+                        "7200"});
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_DOUBLE_EQ(gaps[0], 3600.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 1800.5);  // only the first CSV field counts
+  EXPECT_DOUBLE_EQ(gaps[2], 7200.0);
+  EXPECT_EQ(reader.lines(), 6u);
+}
+
+TEST(FailureLogReader, AbsoluteModeDifferencesTimestamps) {
+  FailureLogReader reader;
+  const std::vector<double> gaps =
+      feed_all(reader, {"failure_time", "100", "350", "350", "1000"});
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_DOUBLE_EQ(gaps[0], 250.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 0.0);  // simultaneous records are legal
+  EXPECT_DOUBLE_EQ(gaps[2], 650.0);
+}
+
+TEST(FailureLogReader, NonMonotoneTimestampsThrowWithRowNumber) {
+  FailureLogReader reader;
+  (void)reader.feed("failure_time");
+  (void)reader.feed("100");
+  (void)reader.feed("250");
+  try {
+    (void)reader.feed("200");
+    FAIL() << "expected util::InvalidArgument";
+  } catch (const util::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("non-decreasing"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("row 4"), std::string::npos);
+  }
+}
+
+TEST(FailureLogReader, MalformedValuesThrowAndNameTheRow) {
+  // Truncated numbers, non-numeric junk, NaN/inf spellings, negative
+  // times, and out-of-range literals all take the same typed-error path.
+  for (const std::string& bad :
+       {std::string("12.5e"), std::string("bogus"), std::string("nan"),
+        std::string("inf"), std::string("-30"), std::string("1e999"),
+        std::string("3600 junk")}) {
+    FailureLogReader reader;
+    (void)reader.feed("gap_seconds");
+    try {
+      (void)reader.feed(bad);
+      FAIL() << "expected util::InvalidArgument for \"" << bad << "\"";
+    } catch (const util::InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find("row 2"), std::string::npos)
+          << bad;
+      EXPECT_NE(std::string(e.what()).find("bad time value"),
+                std::string::npos)
+          << bad;
+    }
+  }
+}
+
+TEST(FailureLogReader, StaysUsableAfterAThrow) {
+  FailureLogReader reader;
+  (void)reader.feed("gap_seconds");
+  EXPECT_THROW((void)reader.feed("bogus"), util::InvalidArgument);
+  const auto gap = reader.feed("3600");
+  ASSERT_TRUE(gap.has_value());
+  EXPECT_DOUBLE_EQ(*gap, 3600.0);
+  EXPECT_EQ(reader.lines(), 3u);  // the bad row still counted
+}
+
+TEST(FailureLogReader, HeaderlessStreamsParseFromTheFirstLine) {
+  FailureLogReader reader;
+  const std::vector<double> gaps = feed_all(reader, {"42", "58"});
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0], 42.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 58.0);
 }
 
 TEST(SegmentKind, NamesAndGlyphsDistinct) {
