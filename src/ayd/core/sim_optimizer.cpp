@@ -35,7 +35,7 @@ struct SearchContext {
     // literal shared memory instead of recomputed transforms. Results
     // are bit-identical to per-candidate sampling under the scalar tier
     // (sim/variate_pool.hpp). A caller-supplied sweep-level pool wins.
-    if (replication.shared_units == nullptr &&
+    if (replication.shared_units == nullptr && !sys.extended() &&
         sim::UnitVariatePool::eligible(sys.failure().dist())) {
       owned_pool = std::make_unique<sim::UnitVariatePool>(
           sys.failure().dist(), replication.seed);
@@ -121,8 +121,12 @@ SimPeriodOptimum sim_optimal_period(const model::System& sys, double procs,
 
   // Exponential distributions are exactly the regime of Proposition 1:
   // answer with the closed-form optimiser and only spend simulation
-  // budget on attaching an honest CI at that optimum.
-  if (sys.failure().dist().memoryless() && !opt.force_search) {
+  // budget on attaching an honest CI at that optimum. Extended systems
+  // never qualify — a correlated world's interruption process is not
+  // the i.i.d. per-node Poisson the closed form prices, even when every
+  // source is exponential.
+  if (sys.failure().dist().memoryless() && !sys.extended() &&
+      !opt.force_search) {
     out.period = seed.period;
     out.used_closed_form = true;
     out.converged = seed.converged;
@@ -245,7 +249,8 @@ SimAllocationOptimum sim_optimal_allocation(
   SimAllocationOptimum out;
   out.seed_procs = seed.procs;
 
-  if (sys.failure().dist().memoryless() && !opt.period.force_search) {
+  if (sys.failure().dist().memoryless() && !sys.extended() &&
+      !opt.period.force_search) {
     // Exponential: the exact optimiser answers; attach a CI at (T*, P*).
     out.procs = seed.procs;
     out.period = seed.period;
@@ -277,7 +282,7 @@ SimAllocationOptimum sim_optimal_allocation(
   // (each rung's SearchContext sees shared_units set and keeps it).
   SimSearchOptions period_opt = opt.period;
   std::unique_ptr<sim::UnitVariatePool> ladder_pool;
-  if (period_opt.replication.shared_units == nullptr &&
+  if (period_opt.replication.shared_units == nullptr && !sys.extended() &&
       sim::UnitVariatePool::eligible(sys.failure().dist())) {
     ladder_pool = std::make_unique<sim::UnitVariatePool>(
         sys.failure().dist(), period_opt.replication.seed);

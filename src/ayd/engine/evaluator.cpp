@@ -24,6 +24,31 @@ model::System apply_axes(const model::System& base, const Point& pt) {
     }
     // Other axes ("procs", bench-specific knobs) are not system fields.
   }
+  sys = apply_extension_axes(sys, pt);
+  return sys;
+}
+
+model::System apply_extension_axes(const model::System& base,
+                                   const Point& pt) {
+  model::System sys = base;
+  // shock_rho and shock_group are one axis pair: the group fraction only
+  // means something once a correlation is set, so it rides along with
+  // whatever rho the point carries (or the base system's, when sweeping
+  // the group fraction alone against a --shock'd base).
+  if (pt.has_var("shock_rho") || pt.has_var("shock_group")) {
+    model::ShockSpec shock;
+    const auto* ext = sys.extension();
+    if (ext != nullptr && ext->shock.has_value()) shock = *ext->shock;
+    if (pt.has_var("shock_rho")) shock.correlation = pt.var("shock_rho");
+    if (pt.has_var("shock_group")) {
+      shock.group_fraction = pt.var("shock_group");
+    }
+    sys = sys.with_shock(shock);
+  }
+  if (pt.has_var("pfs_penalty")) {
+    sys = sys.with_two_tier(model::TwoTierCostSpec::from_penalty(
+        sys.costs(), pt.var("pfs_penalty")));
+  }
   return sys;
 }
 
@@ -48,6 +73,7 @@ model::System system_for_point(const SystemSpec& spec, const Point& pt) {
   } else {
     sys = sys.with_failure_dist(spec.failure_dist);
   }
+  sys = apply_extension_axes(sys, pt);
   return sys;
 }
 
@@ -114,9 +140,12 @@ PointEval evaluate_point(const model::System& sys, const EvalSpec& spec,
   // through this evaluation; a null cache (or an ineligible spec) leaves
   // replication.shared_units null — independent sampling, the historical
   // behaviour.
+  // Extended systems (correlated / heterogeneous / two-tier worlds)
+  // interleave several laws per draw sequence, so they are excluded from
+  // pooling and always sample independently.
   sim::ReplicationOptions replication = spec.replication;
   std::shared_ptr<sim::UnitVariatePool> crn_pool;
-  if (spec.crn != nullptr) {
+  if (spec.crn != nullptr && !sys.extended()) {
     crn_pool = spec.crn->pool_for(sys.failure().dist(), replication.seed);
     replication.shared_units = crn_pool.get();
   }

@@ -6,8 +6,10 @@
 
 #pragma once
 
+#include <memory>
 #include <string>
 
+#include "ayd/model/correlated.hpp"
 #include "ayd/model/cost.hpp"
 #include "ayd/model/failure.hpp"
 #include "ayd/model/platform.hpp"
@@ -62,7 +64,23 @@ class System {
     return speedup_.overhead(p);
   }
 
+  // -- Correlated / multi-level extensions (model/correlated.hpp) ------
+
+  /// True when any extension survived normalization; extended systems
+  /// route to the correlated simulators (sim/correlated.hpp) and are
+  /// excluded from CRN variate pooling.
+  [[nodiscard]] bool extended() const { return ext_ != nullptr; }
+  /// The normalized extension bundle (nullptr for plain systems).
+  [[nodiscard]] const CorrelatedSpec* extension() const {
+    return ext_.get();
+  }
+
   // -- Value-semantic modifiers (copy with one field replaced) ---------
+  //
+  // All of them preserve any active extensions, except with_costs, which
+  // replaces the cost models outright and therefore drops a two-tier
+  // extension (that extension is a refinement of the costs it was built
+  // from).
 
   [[nodiscard]] System with_lambda(double lambda_ind) const;
   [[nodiscard]] System with_downtime(double downtime) const;
@@ -71,11 +89,42 @@ class System {
   /// Same rates, different failure inter-arrival distribution shape.
   [[nodiscard]] System with_failure_dist(FailureDistSpec dist) const;
 
+  // -- Normalizing extension modifiers ---------------------------------
+  //
+  // Each replaces its extension axis after normalizing: a degenerate
+  // argument (rho == 0 shock, all-identical component classes, equal
+  // recovery tiers) clears the axis instead of storing it, so degenerate
+  // extended systems are bitwise the plain system — same simulator path,
+  // same canonical key (tests/property_test.cpp pins this).
+
+  /// Replaces the shock axis. spec.correlation == 0 clears it.
+  [[nodiscard]] System with_shock(const ShockSpec& spec) const;
+  /// Replaces the heterogeneity axis; the groups are validated and
+  /// merged by HeterogeneousSpec::normalized against the current base
+  /// failure distribution. A spec equivalent to the homogeneous platform
+  /// clears the axis.
+  [[nodiscard]] System with_heterogeneity(const HeterogeneousSpec& spec) const;
+  /// Replaces the two-tier cost axis. The single-tier projections are
+  /// rebuilt from the spec either way (checkpoint := bb_write +
+  /// pfs_write, recovery := bb_recovery — the burst-buffer path every
+  /// non-shock rollback takes); equal recovery tiers fold into that
+  /// plain model and clear the axis.
+  [[nodiscard]] System with_two_tier(const TwoTierCostSpec& spec) const;
+
  private:
+  System(FailureModel failure, ResilienceCosts costs, double downtime,
+         Speedup speedup, std::shared_ptr<const CorrelatedSpec> ext);
+
+  /// Stores `spec` normalized: no active member leaves ext_ null.
+  [[nodiscard]] System with_extension(CorrelatedSpec spec) const;
+
   FailureModel failure_;
   ResilienceCosts costs_;
   double downtime_;
   Speedup speedup_;
+  /// Normalized extension bundle; null for plain systems (the common
+  /// case), shared because System travels by value through every grid.
+  std::shared_ptr<const CorrelatedSpec> ext_;
 };
 
 }  // namespace ayd::model

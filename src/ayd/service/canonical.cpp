@@ -50,6 +50,14 @@ CanonicalKeyBuilder& CanonicalKeyBuilder::system(const model::System& sys) {
   writer_.value(static_cast<std::int64_t>(sys.speedup_model().kind()));
   writer_.value(sys.speedup_model().parameter());
   writer_.end_array();
+  // Correlated-world extensions are part of the answer's identity.
+  // Degenerate specs never reach here: System normalizes them away at
+  // construction, so an extended system is one whose simulated answers
+  // genuinely differ from the plain system's.
+  if (sys.extension() != nullptr) {
+    writer_.key("ext");
+    sys.extension()->write_json(writer_);
+  }
   writer_.end_object();
   return *this;
 }

@@ -90,7 +90,11 @@ struct StoreOpenStats {
 /// record's file extent.
 class AnswerStore {
  public:
-  static constexpr std::uint32_t kFormatVersion = 1;
+  /// v2: canonical keys gained the system "ext" member (correlated /
+  /// multi-level failure worlds, model/correlated.hpp). The key schema
+  /// is part of a record's identity, so older stores are refused rather
+  /// than reinterpreted — see tests/service_store_test.cpp.
+  static constexpr std::uint32_t kFormatVersion = 2;
   /// FNV-1a offset basis: the hash seed every record's key_hash is
   /// derived from. Stored in the header; a mismatch rejects the file.
   static constexpr std::uint64_t kHashSeed = 0xcbf29ce484222325ull;

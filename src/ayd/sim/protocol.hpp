@@ -85,6 +85,10 @@ struct PatternStats {
   std::uint64_t recovery_fail_stops = 0;  ///< ... of which during recovery
   std::uint64_t silent_detections = 0;    ///< silent errors caught by verify
   std::uint64_t masked_silent = 0;   ///< silent errors masked by fail-stop
+  /// Fail-stop strikes attributed to the platform-wide shock stream of a
+  /// correlated world (sim/correlated.hpp); always 0 for the plain
+  /// simulators in this header.
+  std::uint64_t shock_errors = 0;
 
   void merge(const PatternStats& o) {
     wall_time += o.wall_time;
@@ -93,6 +97,7 @@ struct PatternStats {
     recovery_fail_stops += o.recovery_fail_stops;
     silent_detections += o.silent_detections;
     masked_silent += o.masked_silent;
+    shock_errors += o.shock_errors;
   }
 };
 

@@ -5,6 +5,7 @@
 
 #include "ayd/core/expected_time.hpp"
 #include "ayd/core/overhead.hpp"
+#include "ayd/sim/correlated.hpp"
 #include "ayd/stats/ci.hpp"
 #include "ayd/util/contracts.hpp"
 
@@ -57,7 +58,19 @@ void run_replicas(const model::System& sys, const core::Pattern& pattern,
                   std::vector<ReplicaOutcome>& outcomes, std::size_t first) {
   const std::size_t count = outcomes.size() - first;
   const auto run_chunk = [&](std::size_t begin, std::size_t end) {
-    if (opt.backend == Backend::kDes) {
+    if (sys.extended()) {
+      // Correlated / multi-level worlds: same backend choice, different
+      // simulators; the plain bit-pinned paths are never entered.
+      if (opt.backend == Backend::kDes) {
+        run_replica_range<CorrelatedDesSimulator>(
+            sys, pattern, opt, first + begin, first + end,
+            outcomes.data() + first + begin);
+      } else {
+        run_replica_range<CorrelatedFastSimulator>(
+            sys, pattern, opt, first + begin, first + end,
+            outcomes.data() + first + begin);
+      }
+    } else if (opt.backend == Backend::kDes) {
       run_replica_range<DesProtocolSimulator>(
           sys, pattern, opt, first + begin, first + end,
           outcomes.data() + first + begin);
@@ -110,6 +123,8 @@ ReplicationResult reduce_outcomes(const model::System& sys,
       static_cast<double>(totals.silent_detections) / n;
   result.masked_silent_per_pattern =
       static_cast<double>(totals.masked_silent) / n;
+  result.shock_errors_per_pattern =
+      static_cast<double>(totals.shock_errors) / n;
   result.attempts_per_pattern = static_cast<double>(totals.attempts) / n;
   return result;
 }
@@ -125,10 +140,12 @@ ReplicationResult simulate_overhead(const model::System& sys,
   AYD_REQUIRE(opt.patterns_per_replica >= 1,
               "need at least one pattern per replica");
   AYD_REQUIRE(opt.shared_units == nullptr ||
-                  (opt.shared_units->seed() == opt.seed &&
+                  (!sys.extended() &&
+                   opt.shared_units->seed() == opt.seed &&
                    opt.shared_units->spec() == sys.failure().dist()),
               "shared_units pool was built for a different (spec, seed) "
-              "scenario than this replication");
+              "scenario than this replication (extended systems have no "
+              "CRN pool mode)");
   core::validate(pattern);
 
   std::vector<ReplicaOutcome> local;
@@ -155,10 +172,12 @@ ReplicationResult simulate_overhead_adaptive(const model::System& sys,
               "ci_rel_tol must be finite and > 0");
   AYD_REQUIRE(adapt.growth > 1.0, "adaptive growth factor must be > 1");
   AYD_REQUIRE(opt.shared_units == nullptr ||
-                  (opt.shared_units->seed() == opt.seed &&
+                  (!sys.extended() &&
+                   opt.shared_units->seed() == opt.seed &&
                    opt.shared_units->spec() == sys.failure().dist()),
               "shared_units pool was built for a different (spec, seed) "
-              "scenario than this replication");
+              "scenario than this replication (extended systems have no "
+              "CRN pool mode)");
   core::validate(pattern);
 
   std::vector<ReplicaOutcome> local;

@@ -24,6 +24,9 @@ enum class Backend {
   kFast,  ///< closed-form per-segment sampler (default)
   kDes,   ///< event-queue reference simulator
 };
+// Extended systems (model/correlated.hpp) keep the same two-backend
+// choice; the driver routes them to the correlated simulators
+// (sim/correlated.hpp) instead of the plain bit-pinned ones.
 
 struct ReplicationOptions {
   /// Independent runs (the paper uses 500).
@@ -57,6 +60,8 @@ struct ReplicationResult {
   double fail_stops_per_pattern = 0.0;
   double silent_detections_per_pattern = 0.0;
   double masked_silent_per_pattern = 0.0;
+  /// Shock-stream strikes of a correlated world (0 for plain systems).
+  double shock_errors_per_pattern = 0.0;
   double attempts_per_pattern = 0.0;
   std::uint64_t total_patterns = 0;
   /// Replication rounds executed (1 for the fixed-count driver; the

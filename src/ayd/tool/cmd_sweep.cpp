@@ -21,12 +21,14 @@ namespace {
 
 void validate_variable(const std::string& s) {
   if (s == "lambda" || s == "alpha" || s == "procs" || s == "downtime" ||
-      s == "weibull-k" || s == "lognormal-sigma") {
+      s == "weibull-k" || s == "lognormal-sigma" || s == "shock-rho" ||
+      s == "shock-group" || s == "pfs-penalty") {
     return;
   }
   throw util::CliError("unknown sweep variable: " + s +
                        " (expected lambda, alpha, procs, downtime, "
-                       "weibull-k, lognormal-sigma)");
+                       "weibull-k, lognormal-sigma, shock-rho, "
+                       "shock-group, pfs-penalty)");
 }
 
 /// CLI variables use dashes; engine axis names use underscores.
@@ -48,7 +50,8 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
   add_simulation_options(parser);
   parser.add_option("var", "lambda",
                     "swept variable: lambda, alpha, procs, downtime, "
-                    "weibull-k, lognormal-sigma");
+                    "weibull-k, lognormal-sigma, shock-rho, shock-group, "
+                    "pfs-penalty");
   parser.add_option("from", "1e-12", "lower end of the sweep");
   parser.add_option("to", "1e-8", "upper end of the sweep");
   parser.add_option("points", "5", "number of grid points");
@@ -79,12 +82,17 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
   const std::string var = parser.option("var");
   validate_variable(var);
   const std::string axis = axis_name(var);
+  const bool ext_sweep = var == "shock-rho" || var == "shock-group" ||
+                         var == "pfs-penalty";
   const bool log_spacing = !parser.flag("linear") && var != "downtime" &&
-                           var != "weibull-k" && var != "lognormal-sigma";
+                           var != "weibull-k" && var != "lognormal-sigma" &&
+                           !ext_sweep;
   const bool fixed_procs = var == "procs";
-  const bool shape_sweep = var == "weibull-k" || var == "lognormal-sigma";
-  // The analytic columns assume exponential arrivals, so a shape sweep
-  // without simulation would print rows independent of the swept value.
+  const bool shape_sweep = var == "weibull-k" || var == "lognormal-sigma" ||
+                           ext_sweep;
+  // The analytic columns assume exponential i.i.d. arrivals, so a shape
+  // or correlated-world sweep without simulation would print rows
+  // independent of the swept value.
   const bool simulate = parser.flag("simulate") || shape_sweep;
 
   // The --from/--to defaults are lambda-oriented; catch out-of-range
@@ -101,6 +109,33 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
     throw util::CliError(
         "--var lognormal-sigma needs --from/--to within (0, 10] "
         "(e.g. --from 0.4 --to 1.6); the defaults target lambda sweeps");
+  }
+  if (var == "shock-rho" && (parser.option_double("from") < 0.0 ||
+                             parser.option_double("to") >= 1.0)) {
+    throw util::CliError(
+        "--var shock-rho needs --from/--to within [0, 1) "
+        "(e.g. --from 0 --to 0.6); the defaults target lambda sweeps");
+  }
+  if (var == "shock-group" && (parser.option_double("from") <= 0.0 ||
+                               parser.option_double("to") > 1.0)) {
+    throw util::CliError(
+        "--var shock-group needs --from/--to within (0, 1] "
+        "(e.g. --from 0.01 --to 0.5); the defaults target lambda sweeps");
+  }
+  if (var == "pfs-penalty" && (parser.option_double("from") < 1.0 ||
+                               parser.option_double("to") < 1.0)) {
+    throw util::CliError(
+        "--var pfs-penalty needs --from/--to >= 1 (PHI multiplies the "
+        "burst-buffer recovery cost); the defaults target lambda sweeps");
+  }
+  // A PFS-penalty sweep is invisible unless shocks actually occur, and a
+  // group-fraction sweep needs a correlation to scale.
+  if ((var == "pfs-penalty" || var == "shock-group") &&
+      (base.extension() == nullptr ||
+       !base.extension()->shock.has_value())) {
+    throw util::CliError("--var " + var +
+                         " needs --shock rho=... (the swept value only "
+                         "matters when shocks occur)");
   }
 
   engine::GridSpec grid;
@@ -126,8 +161,8 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
       << util::format_sig(pts.back().var(axis), 4) << "], " << pts.size()
       << " points\n";
   if (shape_sweep) {
-    out << "(analytic columns assume exponential arrivals; the swept "
-           "shape only moves H (sim))\n";
+    out << "(analytic columns assume exponential i.i.d. arrivals; the "
+           "swept value only moves H (sim))\n";
   }
   out << "\n";
 

@@ -168,6 +168,22 @@ void add_system_options(cli::ArgParser& parser) {
                     "V_P = v + u/P (seconds)");
   parser.add_option("verif-inv", "",
                     "verification cost: 1/P coefficient u (seconds)");
+  parser.add_option("shock", "",
+                    "correlated node-group failures: rho=RHO[,group=G]"
+                    "[,dist=SPEC] mixes a platform-wide shock stream "
+                    "(fraction rho of the fail-stop rate, hitting a "
+                    "fraction G of the nodes per event) into the "
+                    "individual renewals (simulation only)");
+  parser.add_option("hetero", "",
+                    "heterogeneous components: SHARE*SCALE*DIST[;...] "
+                    "splits the platform into classes with relative "
+                    "failure-rate scales (shares sum to 1, share-weighted "
+                    "scales sum to 1; simulation only)");
+  parser.add_option("pfs-penalty", "",
+                    "two-tier checkpoint cost: recovery from the parallel "
+                    "file system costs PHI x the burst-buffer recovery; "
+                    "shock-triggered rollbacks pay the PFS path "
+                    "(simulation only, requires --shock)");
 }
 
 model::System system_from_args(const cli::ArgParser& parser) {
@@ -251,8 +267,23 @@ model::System system_from_args(const cli::ArgParser& parser) {
 
   if (dist.lambda_override.has_value()) lambda = *dist.lambda_override;
 
-  return {model::FailureModel(lambda, fail_stop_fraction, dist.spec), costs,
-          parser.option_double("downtime"), speedup};
+  model::System sys{model::FailureModel(lambda, fail_stop_fraction, dist.spec),
+                    costs, parser.option_double("downtime"), speedup};
+
+  // Correlated-world extensions ride on top of the finished base system;
+  // --pfs-penalty last so it refines the final cost model.
+  if (set(parser, "shock")) {
+    sys = sys.with_shock(model::ShockSpec::parse(parser.option("shock")));
+  }
+  if (set(parser, "hetero")) {
+    sys = sys.with_heterogeneity(
+        model::HeterogeneousSpec::parse(parser.option("hetero")));
+  }
+  if (set(parser, "pfs-penalty")) {
+    sys = sys.with_two_tier(model::TwoTierCostSpec::from_penalty(
+        sys.costs(), parser.option_double("pfs-penalty")));
+  }
+  return sys;
 }
 
 void print_system(const model::System& sys, std::ostream& out) {
@@ -273,6 +304,23 @@ void print_system(const model::System& sys, std::ostream& out) {
     out << "failures: " << failure.dist().to_string()
         << " inter-arrivals (simulation only; analytic formulas assume "
            "exponential)\n";
+  }
+  if (const model::CorrelatedSpec* ext = sys.extension()) {
+    if (ext->shock.has_value()) {
+      out << "shock:  " << ext->shock->to_string()
+          << " (simulation only; analytic formulas see the i.i.d. "
+             "marginal)\n";
+    }
+    if (ext->heterogeneity.has_value()) {
+      out << "hetero: " << ext->heterogeneity->to_string()
+          << " (simulation only)\n";
+    }
+    if (ext->two_tier.has_value()) {
+      out << "tiers:  BB recovery "
+          << ext->two_tier->bb_recovery.describe() << ", PFS recovery "
+          << ext->two_tier->pfs_recovery.describe()
+          << " (shock rollbacks pay the PFS path)\n";
+    }
   }
 }
 

@@ -137,6 +137,69 @@ TEST(EngineCrn, CrnSweepIsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(EngineCrn, CorrelatedSweepIsBitIdenticalAcrossThreadCounts) {
+  // Correlated worlds have no pooled mode, but the thread-invariance
+  // contract is unchanged: replica i draws substream (seed, i), so a
+  // shock-rho sweep is byte-identical serial vs pooled, on both
+  // backends.
+  model::HeterogeneousSpec hetero;
+  hetero.groups = {{0.5, 1.5, FailureDistSpec::weibull(0.7)},
+                   {0.5, 0.5, {}}};
+  const System base =
+      test_system(FailureDistSpec::exponential()).with_heterogeneity(hetero);
+  ASSERT_TRUE(base.extended());
+
+  for (const sim::Backend backend : {sim::Backend::kFast,
+                                     sim::Backend::kDes}) {
+    const auto run = [&](exec::ThreadPool* pool) {
+      const EvalSpec spec = sim_spec(backend);
+      GridSpec grid;
+      grid.axis(Axis::spaced("shock_rho", 0.1, 0.7, 4, /*log=*/false));
+      std::vector<double> overheads;
+      const auto records = run_grid(grid, pool, [&](const Point& pt) {
+        const System sys = apply_axes(base, pt);
+        Record r;
+        r.set("overhead",
+              evaluate_point(sys, spec, 256.0).sim_numerical->overhead.mean);
+        return r;
+      });
+      for (const Record& r : records) overheads.push_back(r.num("overhead"));
+      return overheads;
+    };
+
+    const std::vector<double> serial = run(nullptr);
+    exec::ThreadPool pool(4);
+    const std::vector<double> parallel = run(&pool);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], parallel[i]) << "point " << i;
+    }
+  }
+}
+
+TEST(EngineCrn, ExtendedSystemsAreExcludedFromCrnPooling) {
+  // A CRN-enabled sweep over an extended world must not build (or worse,
+  // use) a pool: evaluate_point gates pooling on !sys.extended(), so the
+  // cache stays empty and the results equal the no-cache run bitwise.
+  const System sys =
+      test_system(FailureDistSpec::exponential()).with_shock({0.5, 0.05});
+  ASSERT_TRUE(sys.extended());
+
+  const EvalSpec independent = sim_spec(sim::Backend::kFast);
+  EvalSpec pooled = independent;
+  sim::VariateCache cache;
+  pooled.crn = &cache;
+
+  const PointEval a = evaluate_point(sys, independent, 512.0);
+  const PointEval b = evaluate_point(sys, pooled, 512.0);
+  ASSERT_TRUE(a.sim_numerical.has_value());
+  ASSERT_TRUE(b.sim_numerical.has_value());
+  EXPECT_EQ(a.sim_numerical->overhead.mean, b.sim_numerical->overhead.mean);
+  EXPECT_EQ(a.sim_numerical->overhead.stddev,
+            b.sim_numerical->overhead.stddev);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 TEST(EngineCrn, CacheKeysOnShapeAndSeedAndRejectsTraces) {
   sim::VariateCache cache;
   const auto a = cache.pool_for(FailureDistSpec::weibull(0.7), 1);

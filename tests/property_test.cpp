@@ -220,6 +220,68 @@ TEST_P(SystemProperties, TwoLevelSimulationAgreesWithFormula) {
                               << " expected " << expected;
 }
 
+TEST_P(SystemProperties, ZeroShockRateReproducesIidStreamBitwise) {
+  // rho = 0 normalizes away at construction: the "extended" system is
+  // the plain system, takes the plain bit-pinned simulators, and
+  // reproduces their streams bitwise — not just in distribution.
+  const auto [sys, pattern] = draw_config(GetParam());
+  const System with = sys.with_shock({0.0, 0.1});
+  EXPECT_FALSE(with.extended());
+  sim::ReplicationOptions opt;
+  opt.replicas = 8;
+  opt.patterns_per_replica = 20;
+  opt.seed = GetParam() * 7919 + 13;
+  const sim::ReplicationResult a = sim::simulate_overhead(sys, pattern, opt);
+  const sim::ReplicationResult b = sim::simulate_overhead(with, pattern, opt);
+  EXPECT_EQ(a.overhead.mean, b.overhead.mean);
+  EXPECT_EQ(a.pattern_time.mean, b.pattern_time.mean);
+  EXPECT_EQ(a.fail_stops_per_pattern, b.fail_stops_per_pattern);
+  EXPECT_EQ(b.shock_errors_per_pattern, 0.0);
+}
+
+TEST_P(SystemProperties, HomogeneousEquivalentGroupsCollapseBitwise) {
+  // Identical per-component specs merge into one class (the platform
+  // process is defined per distinct class), and a single x1 class at the
+  // base law is no extension at all — again a bitwise reproduction.
+  const auto [sys, pattern] = draw_config(GetParam());
+  model::HeterogeneousSpec hetero;
+  hetero.groups = {{0.25, 1.0, sys.failure().dist()},
+                   {0.5, 1.0, sys.failure().dist()},
+                   {0.25, 1.0, sys.failure().dist()}};
+  const System with = sys.with_heterogeneity(hetero);
+  EXPECT_FALSE(with.extended());
+  sim::ReplicationOptions opt;
+  opt.replicas = 8;
+  opt.patterns_per_replica = 20;
+  opt.seed = GetParam() * 6151 + 29;
+  const sim::ReplicationResult a = sim::simulate_overhead(sys, pattern, opt);
+  const sim::ReplicationResult b = sim::simulate_overhead(with, pattern, opt);
+  EXPECT_EQ(a.overhead.mean, b.overhead.mean);
+  EXPECT_EQ(a.pattern_time.mean, b.pattern_time.mean);
+}
+
+TEST_P(SystemProperties, EqualTierTwoTierSpecFoldsToSingleTier) {
+  // phi = 1 prices both recovery tiers identically; the spec folds into
+  // the plain cost model (checkpoint = bb_write + pfs_write, recovery =
+  // bb_recovery) and the system stays non-extended.
+  const auto [sys, pattern] = draw_config(GetParam());
+  const System with = sys.with_two_tier(
+      model::TwoTierCostSpec::from_penalty(sys.costs(), 1.0));
+  EXPECT_FALSE(with.extended());
+  const double p = pattern.procs;
+  EXPECT_EQ(with.checkpoint_cost(p), sys.checkpoint_cost(p));
+  EXPECT_EQ(with.recovery_cost(p), sys.recovery_cost(p));
+  EXPECT_EQ(with.verification_cost(p), sys.verification_cost(p));
+  sim::ReplicationOptions opt;
+  opt.replicas = 8;
+  opt.patterns_per_replica = 20;
+  opt.seed = GetParam() * 4231 + 7;
+  const sim::ReplicationResult a = sim::simulate_overhead(sys, pattern, opt);
+  const sim::ReplicationResult b = sim::simulate_overhead(with, pattern, opt);
+  EXPECT_EQ(a.overhead.mean, b.overhead.mean);
+  EXPECT_EQ(a.pattern_time.mean, b.pattern_time.mean);
+}
+
 INSTANTIATE_TEST_SUITE_P(RandomConfigs, SystemProperties,
                          ::testing::Range<std::uint64_t>(0, 24));
 

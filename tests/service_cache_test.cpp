@@ -73,6 +73,67 @@ TEST(CanonicalKey, DistinguishesEverySemanticField) {
             ref.text);
 }
 
+TEST(CanonicalKey, DistinguishesCorrelatedWorldExtensions) {
+  // The "ext" member splits extended worlds from the plain system and
+  // from each other along every extension axis.
+  const model::System base =
+      model::System::from_platform(model::hera(), model::Scenario::kS3);
+  const CanonicalKey ref =
+      CanonicalKeyBuilder("optimize").system(base).finish();
+
+  model::HeterogeneousSpec hetero;
+  hetero.groups = {{0.5, 1.5, model::FailureDistSpec::weibull(0.7)},
+                   {0.5, 0.5, {}}};
+  model::System two_tier_base = base.with_shock({0.4, 0.05});
+  const std::vector<model::System> variants = {
+      base.with_shock({0.4, 0.05}),
+      base.with_shock({0.5, 0.05}),
+      base.with_shock({0.4, 0.1}),
+      base.with_shock(
+          {0.4, 0.05, model::FailureDistSpec::weibull(0.7)}),
+      base.with_heterogeneity(hetero),
+      two_tier_base.with_two_tier(
+          model::TwoTierCostSpec::from_penalty(two_tier_base.costs(), 4.0)),
+  };
+  std::vector<std::string> texts;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const CanonicalKey k =
+        CanonicalKeyBuilder("optimize").system(variants[i]).finish();
+    EXPECT_NE(k.text, ref.text) << "variant " << i;
+    texts.push_back(k.text);
+  }
+  for (std::size_t i = 0; i < texts.size(); ++i) {
+    for (std::size_t j = i + 1; j < texts.size(); ++j) {
+      EXPECT_NE(texts[i], texts[j]) << "variants " << i << " and " << j;
+    }
+  }
+}
+
+TEST(CanonicalKey, DegenerateExtensionsShareThePlainSystemKey) {
+  // Degenerate specs normalize away at construction, so the canonical
+  // key — and therefore every cached answer — is shared with the plain
+  // system rather than split by a semantically empty extension.
+  const model::System base =
+      model::System::from_platform(model::hera(), model::Scenario::kS3);
+  const CanonicalKey ref =
+      CanonicalKeyBuilder("optimize").system(base).finish();
+
+  model::HeterogeneousSpec uniform;
+  uniform.groups = {{1.0, 1.0, base.failure().dist()}};
+  const std::vector<model::System> degenerate = {
+      base.with_shock({0.0, 0.05}),
+      base.with_heterogeneity(uniform),
+      base.with_two_tier(
+          model::TwoTierCostSpec::from_penalty(base.costs(), 1.0)),
+  };
+  for (std::size_t i = 0; i < degenerate.size(); ++i) {
+    EXPECT_FALSE(degenerate[i].extended()) << "variant " << i;
+    const CanonicalKey k =
+        CanonicalKeyBuilder("optimize").system(degenerate[i]).finish();
+    EXPECT_EQ(k.text, ref.text) << "variant " << i;
+  }
+}
+
 TEST(CanonicalKey, ExactParametersNotFormattedOnes) {
   // 0.1 and 0.1000001 collapse under 4-significant-digit formatting
   // (Speedup::name()); canonical keys must keep them apart.

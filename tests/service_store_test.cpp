@@ -221,6 +221,30 @@ TEST_F(StoreTest, HeaderVersionMismatchIsRejectedWithPathAndReason) {
   }
 }
 
+// A store persisted by a binary with an older canonical-key schema must
+// be refused, not reinterpreted: v1 keys lack the system "ext" member,
+// so a v1 record could alias a v2 answer. The committed v1 fixture is a
+// real artifact of the version-1 code, not a patched header.
+TEST_F(StoreTest, OldFormatPersistedStoreIsRefusedWithPathAndReason) {
+  const std::string golden_v1 =
+      std::string(AYD_TEST_DATA_DIR) + "/golden_v1.aydstore";
+  ASSERT_TRUE(fs::exists(golden_v1))
+      << "missing fixture " << golden_v1
+      << " (a v1-era store; see tests/data/README.md)";
+  const std::string copy = (dir_ / "golden_v1.aydstore").string();
+  fs::copy_file(golden_v1, copy);
+  try {
+    AnswerStore store(copy);
+    FAIL() << "expected StoreError";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.path(), copy);
+    EXPECT_NE(e.reason().find("version"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find(copy), std::string::npos);
+  }
+  // Refusal, not destruction: the old store is left byte-identical.
+  EXPECT_EQ(slurp(copy), slurp(golden_v1));
+}
+
 TEST_F(StoreTest, HashSeedMismatchIsRejected) {
   { AnswerStore store(store_path()); }
   std::string bytes = slurp(store_path());
@@ -266,7 +290,7 @@ TEST_F(StoreTest, ImportRejectsIncompatibleHeaderAndImportsNothing) {
     source.export_to(artifact);
   }
   std::string bytes = slurp(artifact);
-  bytes[8] = 2;  // bump the format version
+  bytes[8] = static_cast<char>(AnswerStore::kFormatVersion + 1);
   spit(artifact, bytes);
 
   AnswerStore store(store_path());

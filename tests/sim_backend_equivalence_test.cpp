@@ -147,6 +147,106 @@ TEST(BackendEquivalence, ErrorFreeSystemIsDeterministicOnBothBackends) {
   }
 }
 
+// Correlated worlds route to their own pair of backends
+// (sim/correlated.hpp); the same CI-agreement criterion holds them
+// together across all three extension axes.
+TEST(BackendEquivalence, CorrelatedShockArrivals) {
+  const model::System sys =
+      model::System::from_platform(model::hera(), model::Scenario::kS1)
+          .with_shock({0.4, 0.05});
+  ASSERT_TRUE(sys.extended());
+  expect_backends_agree_on(sys, "hera S1 shock rho=0.4 g=0.05");
+}
+
+TEST(BackendEquivalence, CorrelatedHeterogeneousComponents) {
+  model::HeterogeneousSpec hetero;
+  hetero.groups = {{0.25, 3.0, model::FailureDistSpec::weibull(0.7)},
+                   {0.75, 1.0 / 3.0, {}}};
+  const model::System sys =
+      model::System::from_platform(model::hera(), model::Scenario::kS3)
+          .with_heterogeneity(hetero);
+  ASSERT_TRUE(sys.extended());
+  expect_backends_agree_on(sys, "hera S3 hetero 0.25*3*weibull");
+}
+
+TEST(BackendEquivalence, CorrelatedShockWithTwoTierRecovery) {
+  model::System sys =
+      model::System::from_platform(model::atlas(), model::Scenario::kS5)
+          .with_shock({0.5, 0.1});
+  sys = sys.with_two_tier(
+      model::TwoTierCostSpec::from_penalty(sys.costs(), 8.0));
+  ASSERT_TRUE(sys.extended());
+  ASSERT_TRUE(sys.extension()->two_tier.has_value());
+  expect_backends_agree_on(sys, "atlas S5 shock rho=0.5 pfs_penalty=8");
+}
+
+// Degeneracy pins, backend by backend: a degenerate extension must not
+// merely be statistically close to the plain system — it must normalize
+// away at construction and reproduce the plain simulators' streams
+// bitwise.
+TEST(BackendEquivalence, DegenerateExtensionsReproducePlainWorldBitwise) {
+  const model::System plain =
+      model::System::from_platform(model::hera(), model::Scenario::kS1);
+  const double p = 512.0;
+  const core::Pattern pattern{core::optimal_period_first_order(plain, p), p};
+
+  // rho = 0 shock, single x1 group, and an equal-tier cost spec each
+  // collapse to a non-extended System...
+  const model::System no_shock = plain.with_shock({0.0, 0.05});
+  model::HeterogeneousSpec uniform;
+  uniform.groups = {{1.0, 1.0, plain.failure().dist()}};
+  const model::System no_hetero = plain.with_heterogeneity(uniform);
+  const model::System no_tier = plain.with_two_tier(
+      model::TwoTierCostSpec::from_penalty(plain.costs(), 1.0));
+  EXPECT_FALSE(no_shock.extended());
+  EXPECT_FALSE(no_hetero.extended());
+  EXPECT_FALSE(no_tier.extended());
+
+  // ...so every backend runs the plain bit-pinned path: identical seeds
+  // give byte-identical estimates, not merely CI-compatible ones.
+  for (const Backend backend : {Backend::kFast, Backend::kDes}) {
+    const ReplicationResult ref =
+        simulate_overhead(plain, pattern, options(backend));
+    for (const model::System* sys : {&no_shock, &no_hetero, &no_tier}) {
+      const ReplicationResult got =
+          simulate_overhead(*sys, pattern, options(backend));
+      EXPECT_EQ(got.overhead.mean, ref.overhead.mean);
+      EXPECT_EQ(got.pattern_time.mean, ref.pattern_time.mean);
+      EXPECT_EQ(got.fail_stops_per_pattern, ref.fail_stops_per_pattern);
+      EXPECT_EQ(got.shock_errors_per_pattern, 0.0);
+    }
+  }
+}
+
+TEST(BackendEquivalence, ShockTelemetryMatchesAcrossBackends) {
+  // Failure-prone configuration: shocks vs individual events occur at
+  // rho/(1-rho) / (gP) — small g and modest P keep the shock stream a
+  // large share of the interruptions, and the raised lambda gives the
+  // fixed-size replication enough events to measure.
+  const model::System sys =
+      model::System::from_platform(model::hera(), model::Scenario::kS1)
+          .with_lambda(1e-8)
+          .with_shock({0.6, 0.01});
+  const double p = 64.0;
+  const core::Pattern pattern{core::optimal_period_first_order(sys, p), p};
+
+  const ReplicationResult fast =
+      simulate_overhead(sys, pattern, options(Backend::kFast));
+  const ReplicationResult des =
+      simulate_overhead(sys, pattern, options(Backend::kDes));
+
+  // Shocks occur on both backends at compatible per-pattern rates, and
+  // never exceed the total fail-stop count.
+  EXPECT_GT(fast.shock_errors_per_pattern, 0.0);
+  EXPECT_GT(des.shock_errors_per_pattern, 0.0);
+  EXPECT_LE(fast.shock_errors_per_pattern, fast.fail_stops_per_pattern);
+  EXPECT_LE(des.shock_errors_per_pattern, des.fail_stops_per_pattern);
+  EXPECT_NEAR(fast.shock_errors_per_pattern, des.shock_errors_per_pattern,
+              0.25 * (fast.shock_errors_per_pattern +
+                      des.shock_errors_per_pattern) +
+                  0.01);
+}
+
 TEST(BackendEquivalence, TelemetryRatesMatchAcrossBackends) {
   const model::System sys =
       model::System::from_platform(model::hera(), model::Scenario::kS1);
